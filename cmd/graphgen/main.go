@@ -1,0 +1,72 @@
+// Command graphgen generates the synthetic dataset corpus and inspects
+// graph statistics.
+//
+//	graphgen -profile products -vertices 50000 -out products.el
+//	graphgen -stats products.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"graphite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+	var (
+		profile  = flag.String("profile", "products", "dataset profile: products, wikipedia, papers, twitter")
+		vertices = flag.Int("vertices", 10_000, "vertex count")
+		out      = flag.String("out", "", "write the graph as an edge list to this file ('-' for stdout)")
+		statsIn  = flag.String("stats", "", "read an edge-list file and print its statistics instead of generating")
+	)
+	flag.Parse()
+
+	if *statsIn != "" {
+		f, err := os.Open(*statsIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		g, err := graphite.ReadGraph(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(*statsIn, g)
+		return
+	}
+
+	p := graphite.Profile(*profile)
+	g, err := graphite.GenerateGraph(p, *vertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printStats(string(p), g)
+	if *out == "" {
+		return
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graphite.WriteGraph(w, g); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d edges to %s\n", g.NumEdges(), *out)
+	}
+}
+
+func printStats(name string, g *graphite.Graph) {
+	s := g.Stats()
+	fmt.Printf("%s: |V|=%d |E|=%d avg-degree=%.2f max-degree=%d degree-variance=%.1f\n",
+		name, g.NumVertices(), g.NumEdges(), s.Mean, s.Max, s.Variance)
+}

@@ -1,0 +1,67 @@
+// Command graphite-bench regenerates the paper's evaluation tables and
+// figures. Each experiment is addressed by id; "all" runs the full set.
+//
+//	graphite-bench -list
+//	graphite-bench fig11a fig14
+//	graphite-bench -scale 40000 -simscale 4000 all
+//
+// Wall-clock experiments (fig2, fig11*, fig13, fig14, fig15, table3) run
+// the real kernels on this machine; simulator experiments (fig3, fig12*,
+// fig16, table4, table5, fig11*-sim) run on the memsim model of the
+// paper's 28-core platform. Absolute numbers depend on the host; the
+// printed paper figures are for shape comparison (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"graphite/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphite-bench: ")
+	var (
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		scale    = flag.Int("scale", 0, "wall-clock experiment vertex count (default 40000)")
+		simScale = flag.Int("simscale", 0, "simulator experiment vertex count (default 4000)")
+		hidden   = flag.Int("hidden", 0, "hidden feature length for wall-clock runs (default 256)")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		simCores = flag.Int("simcores", 0, "simulated core count (default 8)")
+		reps     = flag.Int("reps", 0, "repetitions per wall-clock measurement, minimum kept (default 1)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			title, _ := bench.Title(id)
+			fmt.Printf("%-12s %s\n", id, title)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		log.Fatal("no experiments given; use -list to see ids or 'all'")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = bench.IDs()
+	}
+	cfg := bench.Config{
+		Scale: *scale, SimScale: *simScale, Hidden: *hidden,
+		Threads: *threads, SimCores: *simCores, Reps: *reps,
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := bench.Run(id, cfg)
+		if err != nil {
+			log.Printf("%s: %v", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

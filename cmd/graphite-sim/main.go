@@ -1,0 +1,123 @@
+// Command graphite-sim runs the cycle-approximate machine model directly:
+// pick a dataset profile, an implementation variant, and a machine shape,
+// and get the simulated cycles, top-down pipeline breakdown, cache/DRAM
+// counters, and DMA engine statistics. This is the paper's
+// Sniper-experiment workflow as a single command.
+//
+//	graphite-sim -profile wikipedia -variant fusion+dma -train
+//	graphite-sim -variant combined -order locality -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"graphite/internal/dma"
+	"graphite/internal/graph"
+	"graphite/internal/locality"
+	"graphite/internal/memsim"
+	"graphite/internal/perf"
+	"graphite/internal/simgnn"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphite-sim: ")
+	var (
+		profile  = flag.String("profile", "products", "dataset profile: products, wikipedia, papers, twitter")
+		vertices = flag.Int("vertices", 4000, "vertex count of the scaled synthetic graph")
+		variant  = flag.String("variant", "combined", "distgnn, basic, compression, fusion, combined, fusion+dma")
+		features = flag.Int("features", 128, "feature vector length")
+		layersN  = flag.Int("layers", 2, "GNN layers")
+		train    = flag.Bool("train", false, "simulate a training iteration (forward+backward)")
+		aggOnly  = flag.Bool("agg-only", false, "simulate a single aggregation phase only")
+		order    = flag.String("order", "natural", "processing order: natural, random, locality")
+		cores    = flag.Int("cores", 8, "simulated core count")
+		scaled   = flag.Bool("scaled-caches", true, "scale caches down with the graph (paper footprint ratio)")
+		tracking = flag.Int("tracking", 32, "DMA memory-request tracking-table entries")
+		sparsity = flag.Float64("sparsity", 0.5, "hidden-feature sparsity assumed by compression")
+		stlb     = flag.Int("stlb", 0, "enable the STLB model with this many entries (0 = off)")
+	)
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.GenerateProfile(graph.Profile(*profile), *vertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g = g.AddSelfLoops()
+
+	mc := memsim.DefaultConfig(*cores)
+	if *scaled {
+		mc.L1Bytes = 8 << 10
+		mc.L2Bytes = 128 << 10
+		mc.L3Bytes = *cores * 176 << 10
+	}
+	mc.STLBEntries = *stlb
+	eng := dma.DefaultEngineConfig()
+	eng.TrackingEntries = *tracking
+	opt := simgnn.Options{Cores: *cores, Machine: mc, Engine: eng, Sparsity: *sparsity}
+	switch *order {
+	case "natural":
+	case "random":
+		opt.Order = locality.Randomized(g.NumVertices(), 1)
+	case "locality":
+		opt.Order = locality.Reorder(g)
+	default:
+		log.Fatalf("unknown order %q", *order)
+	}
+
+	layers := make([]simgnn.Layer, *layersN)
+	for i := range layers {
+		layers[i] = simgnn.Layer{Fin: *features, Fout: *features}
+	}
+
+	var res simgnn.Result
+	switch {
+	case *aggOnly:
+		res, err = simgnn.SimulateAggregation(g, *features, v, opt)
+	case *train:
+		res, err = simgnn.SimulateTraining(g, layers, v, opt)
+	default:
+		res, err = simgnn.SimulateInference(g, layers, v, opt)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Stats
+	fmt.Printf("graph %s |V|=%d |E|=%d, variant %s, %d cores, order=%s\n",
+		*profile, g.NumVertices(), g.NumEdges(), v, *cores, *order)
+	fmt.Printf("cycles (makespan):     %d\n", res.Cycles)
+	fmt.Printf("top-down:              %s\n", perf.FromStats(s))
+	fmt.Printf("L1: %d accesses, %.1f%% miss   L2: %d accesses, %.1f%% miss\n",
+		s.L1Accesses, 100*s.L1MissRate(), s.L2Accesses, 100*s.L2MissRate())
+	fmt.Printf("DRAM: %.1f MB read, %.1f MB written\n",
+		float64(s.DRAMReadBytes())/1e6, float64(s.DRAMWriteBytes())/1e6)
+	if res.EngineJobs > 0 {
+		fmt.Printf("DMA engines: %d descriptors executed, %d lines fetched (private caches bypassed)\n",
+			res.EngineJobs, res.EngineLines)
+	}
+}
+
+func parseVariant(s string) (simgnn.Variant, error) {
+	switch s {
+	case "distgnn":
+		return simgnn.VarDistGNN, nil
+	case "basic":
+		return simgnn.VarBasic, nil
+	case "compression":
+		return simgnn.VarCompressed, nil
+	case "fusion":
+		return simgnn.VarFused, nil
+	case "combined":
+		return simgnn.VarCombined, nil
+	case "fusion+dma", "dma":
+		return simgnn.VarFusedDMA, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q", s)
+}

@@ -1,0 +1,160 @@
+// Command graphite runs full-batch GNN inference or training on a synthetic
+// dataset-profile graph with a chosen implementation variant, printing
+// per-phase timings and (for training) the loss/accuracy trace.
+//
+// Examples:
+//
+//	graphite -model gcn -profile products -vertices 20000 -impl combined
+//	graphite -model sage -profile wikipedia -train -epochs 5 -locality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"graphite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphite: ")
+	var (
+		model    = flag.String("model", "gcn", "GNN model: gcn or sage")
+		profile  = flag.String("profile", "products", "dataset profile: products, wikipedia, papers, twitter")
+		vertices = flag.Int("vertices", 20_000, "vertex count of the scaled synthetic graph")
+		implName = flag.String("impl", "combined", "implementation: distgnn, mkl, basic, fusion, compression, combined")
+		hidden   = flag.Int("hidden", 256, "hidden feature length")
+		classes  = flag.Int("classes", 16, "output classes")
+		layers   = flag.Int("layers", 2, "number of GNN layers")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		train    = flag.Bool("train", false, "train instead of inference")
+		epochs   = flag.Int("epochs", 5, "training epochs")
+		locality = flag.Bool("locality", false, "apply the §4.4 locality reordering")
+		dropout  = flag.Float64("dropout", 0, "hidden-feature dropout during training")
+		sparsity = flag.Float64("sparsity", 0.5, "input feature sparsity")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	kind, err := parseModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	impl, err := parseImpl(*implName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := parseProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *layers < 1 {
+		log.Fatal("need at least one layer")
+	}
+
+	g, err := graphite.GenerateGraph(prof, *vertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := g.Stats()
+	fmt.Printf("graph %s: |V|=%d |E|=%d avg-degree=%.1f max=%d\n",
+		prof, g.NumVertices(), g.NumEdges(), stats.Mean, stats.Max)
+
+	fin := prof.InputFeatureLen()
+	dims := []int{fin}
+	for i := 1; i < *layers; i++ {
+		dims = append(dims, *hidden)
+	}
+	dims = append(dims, *classes)
+	eng, err := graphite.NewEngine(graphite.Config{
+		Model: kind, Dims: dims, Impl: impl, Threads: *threads,
+		LocalityOrder: *locality, Dropout: *dropout, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network %s %v (%d parameters), impl %s, locality=%v\n",
+		kind, dims, eng.NumParams(), impl, *locality)
+
+	x := graphite.RandomFeatures(g.NumVertices(), fin, *sparsity, *seed)
+	var labels []int32
+	if *train {
+		labels = make([]int32, g.NumVertices())
+		for i := range labels {
+			labels[i] = int32(i % *classes)
+		}
+	}
+	w, err := eng.NewWorkload(g, x, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*train {
+		start := time.Now()
+		logits, err := eng.Infer(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("inference: %v for %d vertices (%d logits/vertex)\n",
+			time.Since(start).Round(time.Millisecond), logits.Rows, logits.Cols)
+		return
+	}
+
+	tr, err := eng.NewTrainer(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for e := 0; e < *epochs; e++ {
+		start := time.Now()
+		res, err := tr.Epoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %2d: loss %.4f acc %.3f  wall %v  (agg %v, update %v, fused %v, backward %v)\n",
+			e, res.Loss, res.Accuracy, time.Since(start).Round(time.Millisecond),
+			res.Timings.Aggregate.Round(time.Millisecond),
+			res.Timings.Update.Round(time.Millisecond),
+			res.Timings.Fused.Round(time.Millisecond),
+			res.Timings.Backward.Round(time.Millisecond))
+	}
+}
+
+func parseModel(s string) (graphite.Model, error) {
+	switch s {
+	case "gcn":
+		return graphite.GCN, nil
+	case "sage":
+		return graphite.SAGE, nil
+	case "gin":
+		return graphite.GIN, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (want gcn, sage, or gin)", s)
+}
+
+func parseImpl(s string) (graphite.Implementation, error) {
+	switch s {
+	case "distgnn":
+		return graphite.DistGNNBaseline, nil
+	case "mkl":
+		return graphite.MKLBaseline, nil
+	case "basic":
+		return graphite.Basic, nil
+	case "fusion":
+		return graphite.Fusion, nil
+	case "compression":
+		return graphite.Compression, nil
+	case "combined", "":
+		return graphite.Combined, nil
+	}
+	return 0, fmt.Errorf("unknown implementation %q", s)
+}
+
+func parseProfile(s string) (graphite.Profile, error) {
+	switch graphite.Profile(s) {
+	case graphite.ProfileProducts, graphite.ProfileWikipedia, graphite.ProfilePapers, graphite.ProfileTwitter:
+		return graphite.Profile(s), nil
+	}
+	return "", fmt.Errorf("unknown profile %q", s)
+}

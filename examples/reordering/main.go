@@ -1,0 +1,84 @@
+// Demonstrate the temporal-locality vertex reordering (paper §4.4,
+// Algorithm 3): compare the cache hit rate and wall-clock training time of
+// the natural order, randomized orders, and the locality reorder on a
+// products-profile graph whose community structure is hidden behind a
+// random labeling — the situation where the reordering shines.
+//
+//	go run ./examples/reordering
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"graphite"
+	"graphite/internal/gnn"
+	"graphite/internal/locality"
+)
+
+const (
+	numVertices = 8000
+	features    = 64
+	epochs      = 3
+)
+
+func main() {
+	g, err := graphite.GenerateGraph(graphite.ProfileProducts, numVertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("products-profile graph: |V|=%d |E|=%d avg degree %.1f\n",
+		g.NumVertices(), g.NumEdges(), s.Mean)
+
+	// First, the reuse-distance oracle: hit rate of an LRU cache holding
+	// 128 feature vectors while aggregating in each order.
+	orders := []struct {
+		name  string
+		order []int32
+	}{
+		{"natural", locality.Identity(g.NumVertices())},
+		{"randomized", locality.Randomized(g.NumVertices(), 1)},
+		{"locality (Alg. 3)", locality.Reorder(g)},
+	}
+	fmt.Println("\nLRU(128 rows) hit rate during aggregation:")
+	for _, o := range orders {
+		hr, err := locality.HitRate(g, o.order, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %.3f\n", o.name, hr)
+	}
+
+	// Then wall-clock: train the combined implementation for a few epochs
+	// under each order.
+	x := graphite.RandomFeatures(numVertices, features, 0.5, 2)
+	labels := make([]int32, numVertices)
+	for i := range labels {
+		labels[i] = int32(i % 8)
+	}
+	w, err := gnn.NewWorkload(g, gnn.GCN, x, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwall-clock, %d training epochs of combined GCN:\n", epochs)
+	for _, o := range orders {
+		net, err := gnn.NewNetwork(gnn.Config{Kind: gnn.GCN, Dims: []int{features, 64, 8}, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := gnn.NewTrainer(net, w, gnn.RunOptions{Impl: gnn.ImplCombined, Order: o.order}, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := tr.Train(epochs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s %v\n", o.name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nAlgorithm 3 groups each vertex under its highest-degree neighbour, so")
+	fmt.Println("vertices sharing hub neighbours are processed back to back and the hub")
+	fmt.Println("features stay cached (§4.4). Its O(|V|+|E|) cost amortises over epochs.")
+}

@@ -1,0 +1,125 @@
+// Train a GraphSAGE node classifier full-batch on a synthetic citation
+// graph (the papers profile), with community-correlated labels so there is
+// real signal to learn, semi-supervised labeling (40% of vertices), and the
+// locality-reordered combined implementation — the paper's full software
+// training configuration.
+//
+//	go run ./examples/train_citation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"graphite"
+)
+
+const (
+	numVertices = 4000
+	numClasses  = 4
+	inputFeats  = 32
+	labeledFrac = 0.4
+	epochs      = 30
+)
+
+func main() {
+	g, err := graphite.GenerateGraph(graphite.ProfilePapers, numVertices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("citation graph: %d papers, %d citations, avg degree %.1f\n",
+		g.NumVertices(), g.NumEdges(), s.Mean)
+
+	// Ground-truth classes correlate with graph neighbourhoods: a vertex
+	// usually shares its class with the majority of its citations, which
+	// is the homophily a GNN exploits.
+	rng := rand.New(rand.NewSource(7))
+	truth := make([]int32, numVertices)
+	for v := range truth {
+		truth[v] = int32(rng.Intn(numClasses))
+	}
+	for pass := 0; pass < 3; pass++ {
+		for v := 0; v < numVertices; v++ {
+			counts := make([]int, numClasses)
+			counts[truth[v]] += 2
+			for _, u := range g.Neighbors(v) {
+				counts[truth[u]]++
+			}
+			best := 0
+			for c, n := range counts {
+				if n > counts[best] {
+					best = c
+				}
+			}
+			truth[v] = int32(best)
+		}
+	}
+
+	// Features: a noisy embedding of the class plus random dimensions.
+	x := graphite.RandomFeatures(numVertices, inputFeats, 0, 7)
+	for v := 0; v < numVertices; v++ {
+		row := x.Row(v)
+		row[truth[v]] += 2.5 // class-informative coordinate, with noise
+	}
+
+	// Semi-supervised: only 40% of vertices reveal their label; the rest
+	// are -1 (unlabeled) and are scored as a held-out set.
+	labels := make([]int32, numVertices)
+	heldOut := make([]int32, numVertices)
+	for v := range labels {
+		if rng.Float64() < labeledFrac {
+			labels[v] = truth[v]
+			heldOut[v] = -1
+		} else {
+			labels[v] = -1
+			heldOut[v] = truth[v]
+		}
+	}
+
+	eng, err := graphite.NewEngine(graphite.Config{
+		Model:         graphite.SAGE,
+		Dims:          []int{inputFeats, 32, numClasses},
+		Impl:          graphite.Combined,
+		LocalityOrder: true,
+		LearningRate:  0.6,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := eng.NewWorkload(g, x, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := eng.NewTrainer(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		res, err := tr.Epoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e%5 == 0 || e == epochs-1 {
+			fmt.Printf("epoch %2d: loss %.4f train-acc %.3f\n", e, res.Loss, res.Accuracy)
+		}
+	}
+	fmt.Printf("trained %d epochs in %v\n", epochs, time.Since(start).Round(time.Millisecond))
+
+	// Score the unlabeled (held-out) vertices.
+	logits, err := eng.Infer(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := graphite.Accuracy(logits, heldOut)
+	fmt.Printf("held-out accuracy on %d%% unlabeled vertices: %.3f\n",
+		int(100*(1-labeledFrac)), acc)
+	if acc < 0.5 {
+		log.Fatalf("model failed to learn (held-out accuracy %.3f)", acc)
+	}
+}

@@ -1,0 +1,243 @@
+// Package graphite is a from-scratch reproduction of "Graphite: Optimizing
+// Graph Neural Networks on CPUs Through Cooperative Software-Hardware
+// Techniques" (Gong et al., ISCA 2022).
+//
+// It provides high-performance full-batch GNN inference and training on
+// CPUs through the paper's three software techniques — layer fusion (§4.2),
+// mask-based feature compression (§4.3), and temporal-locality vertex
+// reordering (§4.4) — on top of a parallel width-specialised aggregation
+// substrate (§4.1), plus a cycle-approximate model of the paper's enhanced
+// DMA engine (§5) for the hardware-assisted results.
+//
+// Quick start:
+//
+//	g, _ := graphite.GenerateGraph(graphite.ProfileProducts, 10_000)
+//	eng, _ := graphite.NewEngine(graphite.Config{
+//	    Model: graphite.GCN,
+//	    Dims:  []int{100, 256, 47},
+//	    Impl:  graphite.Combined,
+//	})
+//	x := graphite.NewMatrix(g.NumVertices(), 100)
+//	w, _ := eng.NewWorkload(g, x, nil)
+//	logits, _ := eng.Infer(w)
+//
+// See the examples/ directory for complete programs and cmd/graphite-bench
+// for the harness that regenerates every table and figure of the paper's
+// evaluation.
+package graphite
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"graphite/internal/gnn"
+	"graphite/internal/graph"
+	"graphite/internal/locality"
+	"graphite/internal/tensor"
+)
+
+// Graph is a directed graph in compressed sparse row form.
+type Graph = graph.CSR
+
+// Matrix is a row-major float32 feature matrix with cache-line-padded rows.
+type Matrix = tensor.Matrix
+
+// DegreeStats summarises a degree distribution (Table 3 columns).
+type DegreeStats = graph.DegreeStats
+
+// Model selects the GNN model (Table 2).
+type Model = gnn.Kind
+
+// Supported models.
+const (
+	GCN  = gnn.GCN
+	SAGE = gnn.SAGE
+	GIN  = gnn.GIN
+)
+
+// Implementation selects the layer implementation variant (§7.1). The zero
+// value picks Combined, the full software stack.
+type Implementation int
+
+// Implementation variants, from the baselines to the full software stack.
+const (
+	Default Implementation = iota
+	DistGNNBaseline
+	MKLBaseline
+	Basic
+	Fusion
+	Compression
+	Combined
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (i Implementation) String() string { return i.impl().String() }
+
+func (i Implementation) impl() gnn.Impl {
+	switch i {
+	case DistGNNBaseline:
+		return gnn.ImplDistGNN
+	case MKLBaseline:
+		return gnn.ImplMKL
+	case Basic:
+		return gnn.ImplBasic
+	case Fusion:
+		return gnn.ImplFused
+	case Compression:
+		return gnn.ImplCompressed
+	default:
+		return gnn.ImplCombined
+	}
+}
+
+// Profile identifies one of the paper's dataset shapes (Table 3),
+// reproduced by the synthetic generator.
+type Profile = graph.Profile
+
+// Dataset profiles.
+const (
+	ProfileProducts  = graph.Products
+	ProfileWikipedia = graph.Wikipedia
+	ProfilePapers    = graph.Papers
+	ProfileTwitter   = graph.Twitter
+)
+
+// Workload is a prepared (graph, features, labels) bundle.
+type Workload = gnn.Workload
+
+// EpochResult reports one training epoch.
+type EpochResult = gnn.EpochResult
+
+// Config configures an Engine.
+type Config struct {
+	// Model is GCN or SAGE.
+	Model Model
+	// Dims is the layer width chain: input, hidden..., output classes.
+	Dims []int
+	// Impl selects the implementation variant (default Combined).
+	Impl Implementation
+	// Dropout is the training-time hidden-feature dropout (§2.2).
+	Dropout float64
+	// Threads bounds worker parallelism (<=0 → GOMAXPROCS).
+	Threads int
+	// BlockSize is the fused block B (§4.2; default 64).
+	BlockSize int
+	// LocalityOrder enables the §4.4 vertex reordering. The paper applies
+	// it to training, where the O(|E|+|V|) cost amortises over epochs.
+	LocalityOrder bool
+	// LearningRate is the SGD step for trainers (default 0.1).
+	LearningRate float32
+	// Seed makes weight init and dropout deterministic.
+	Seed int64
+}
+
+// Engine runs GNN inference and builds trainers with a fixed configuration.
+type Engine struct {
+	cfg Config
+	net *gnn.Network
+}
+
+// NewEngine validates the config and initialises the network weights.
+func NewEngine(cfg Config) (*Engine, error) {
+	net, err := gnn.NewNetwork(gnn.Config{Kind: cfg.Model, Dims: cfg.Dims, Dropout: cfg.Dropout, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	return &Engine{cfg: cfg, net: net}, nil
+}
+
+// NumParams returns the number of trainable scalars.
+func (e *Engine) NumParams() int { return e.net.NumParams() }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NewWorkload prepares a graph + features (+ optional labels) for this
+// engine: self loops are added and the model's normalization factors are
+// precomputed (shared by all kernels and DMA descriptors).
+func (e *Engine) NewWorkload(g *Graph, x *Matrix, labels []int32) (*Workload, error) {
+	if len(e.cfg.Dims) > 0 && x != nil && x.Cols != e.cfg.Dims[0] {
+		return nil, fmt.Errorf("graphite: features have %d columns, engine expects %d", x.Cols, e.cfg.Dims[0])
+	}
+	return gnn.NewWorkload(g, e.cfg.Model, x, labels)
+}
+
+func (e *Engine) runOptions(w *Workload) gnn.RunOptions {
+	opts := gnn.RunOptions{
+		Impl:      e.cfg.Impl.impl(),
+		Threads:   e.cfg.Threads,
+		BlockSize: e.cfg.BlockSize,
+	}
+	if e.cfg.LocalityOrder {
+		opts.Order = locality.Reorder(w.G)
+	}
+	return opts
+}
+
+// Infer runs a full-batch forward pass and returns the logits.
+func (e *Engine) Infer(w *Workload) (*Matrix, error) {
+	st, err := gnn.Infer(e.net, w, e.runOptions(w))
+	if err != nil {
+		return nil, err
+	}
+	return st.Logits(), nil
+}
+
+// Trainer drives full-batch training epochs.
+type Trainer struct {
+	inner *gnn.Trainer
+}
+
+// NewTrainer builds a trainer over a labeled workload.
+func (e *Engine) NewTrainer(w *Workload) (*Trainer, error) {
+	tr, err := gnn.NewTrainer(e.net, w, e.runOptions(w), e.cfg.LearningRate)
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{inner: tr}, nil
+}
+
+// Epoch runs one training epoch.
+func (t *Trainer) Epoch() (EpochResult, error) { return t.inner.Epoch() }
+
+// Train runs the given number of epochs.
+func (t *Trainer) Train(epochs int) ([]EpochResult, error) { return t.inner.Train(epochs) }
+
+// Accuracy scores logits against labels (label < 0 = unlabeled).
+func Accuracy(logits *Matrix, labels []int32) float64 { return gnn.Accuracy(logits, labels) }
+
+// NewMatrix allocates a zeroed rows×cols feature matrix.
+func NewMatrix(rows, cols int) *Matrix { return tensor.NewMatrix(rows, cols) }
+
+// RandomFeatures fills a fresh rows×cols matrix with uniform values and the
+// given zero fraction (the paper's synthetic feature population, §6).
+func RandomFeatures(rows, cols int, sparsity float64, seed int64) *Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	m.FillSparse(rand.New(rand.NewSource(seed)), 1, sparsity)
+	return m
+}
+
+// GenerateGraph builds a scaled synthetic instance of a Table 3 dataset
+// profile.
+func GenerateGraph(p Profile, numVertices int) (*Graph, error) {
+	return graph.GenerateProfile(p, numVertices)
+}
+
+// NewGraphFromEdges builds a graph from (src, dst) edge pairs.
+func NewGraphFromEdges(numVertices int, src, dst []int32) (*Graph, error) {
+	return graph.FromEdges(numVertices, src, dst)
+}
+
+// ReadGraph parses a plain-text edge list.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteGraph writes a graph as a plain-text edge list.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReorderForLocality computes the §4.4 processing order explicitly, for
+// callers that want to inspect or persist it.
+func ReorderForLocality(g *Graph) []int32 { return locality.Reorder(g) }

@@ -1,0 +1,152 @@
+package graphite
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEngineInferAllImplementations(t *testing.T) {
+	g, err := GenerateGraph(ProfileProducts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomFeatures(g.NumVertices(), 16, 0.5, 1)
+	var ref *Matrix
+	for _, impl := range []Implementation{Default, DistGNNBaseline, MKLBaseline, Basic, Fusion, Compression, Combined} {
+		eng, err := NewEngine(Config{Model: GCN, Dims: []int{16, 24, 4}, Impl: impl, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := eng.NewWorkload(g, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logits, err := eng.Infer(w)
+		if err != nil {
+			t.Fatalf("%v: %v", impl, err)
+		}
+		if logits.Rows != g.NumVertices() || logits.Cols != 4 {
+			t.Fatalf("%v: logits %dx%d", impl, logits.Rows, logits.Cols)
+		}
+		if ref == nil {
+			ref = logits
+			continue
+		}
+		var maxd float64
+		for i := 0; i < logits.Rows; i++ {
+			for j := 0; j < logits.Cols; j++ {
+				d := float64(logits.At(i, j) - ref.At(i, j))
+				if d < 0 {
+					d = -d
+				}
+				if d > maxd {
+					maxd = d
+				}
+			}
+		}
+		if maxd > 2e-3 {
+			t.Errorf("%v differs from reference by %g", impl, maxd)
+		}
+	}
+}
+
+func TestEngineTrainImprovesAccuracy(t *testing.T) {
+	g, err := GenerateGraph(ProfileWikipedia, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomFeatures(g.NumVertices(), 12, 0, 2)
+	labels := make([]int32, g.NumVertices())
+	for i := range labels {
+		labels[i] = int32(i % 3)
+	}
+	eng, err := NewEngine(Config{Model: SAGE, Dims: []int{12, 16, 3}, Impl: Combined,
+		LocalityOrder: true, LearningRate: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eng.NewWorkload(g, x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.NewTrainer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Train(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[len(res)-1].Loss >= res[0].Loss {
+		t.Fatalf("loss did not decrease: %.4f -> %.4f", res[0].Loss, res[len(res)-1].Loss)
+	}
+}
+
+func TestEngineRejectsMismatchedFeatures(t *testing.T) {
+	g, err := GenerateGraph(ProfilePapers, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{Model: GCN, Dims: []int{8, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.NewWorkload(g, NewMatrix(g.NumVertices(), 16), nil); err == nil {
+		t.Fatal("mismatched feature width accepted")
+	}
+}
+
+func TestGraphIORoundTripThroughPublicAPI(t *testing.T) {
+	g, err := NewGraphFromEdges(3, []int32{0, 1, 2}, []int32{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 3 {
+		t.Fatalf("round trip lost edges: %d", back.NumEdges())
+	}
+}
+
+func TestReorderForLocalityIsPermutation(t *testing.T) {
+	g, err := GenerateGraph(ProfileTwitter, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := ReorderForLocality(g)
+	seen := make([]bool, g.NumVertices())
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("duplicate in order")
+		}
+		seen[v] = true
+	}
+}
+
+func TestImplementationStrings(t *testing.T) {
+	if Default.String() != "combined" {
+		t.Fatalf("Default = %q", Default.String())
+	}
+	if DistGNNBaseline.String() != "DistGNN" || Fusion.String() != "fusion" {
+		t.Fatal("labels wrong")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	eng, err := NewEngine(Config{Model: GCN, Dims: []int{10, 20, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumParams() != 10*20+20+20*5+5 {
+		t.Fatalf("params %d", eng.NumParams())
+	}
+	if eng.Config().LearningRate != 0.1 {
+		t.Fatal("default learning rate not applied")
+	}
+}

@@ -1,0 +1,149 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure in the paper's evaluation (§7). Each experiment is
+// addressable by id (run IDs() for the list) and produces a textual report
+// with the measured series next to the paper's published numbers.
+//
+// Software-technique experiments (fig2, fig11a/b, fig13, fig14, fig15,
+// table3) run the real kernels wall-clock; hardware and characterization
+// experiments (fig3, fig12a/b, fig16, table4, table5) run on the memsim
+// machine model, like the paper's own split between a 28-core server and
+// the Sniper simulator (§6). The fig11a-sim, fig11b-sim, fig13-sim and
+// fig15-sim variants additionally rerun the software-technique comparisons
+// on the simulated machine, whose cache-to-footprint ratio matches the
+// paper's platform — see EXPERIMENTS.md for why both planes are reported.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Scale is the vertex count for wall-clock experiments (default
+	// 40000; the paper's graphs are 2.4M-111M, scaled per DESIGN.md).
+	Scale int
+	// SimScale is the vertex count for simulator experiments (default
+	// 4000 — simulation is ~1000x slower than native).
+	SimScale int
+	// Threads bounds wall-clock parallelism (<=0 → GOMAXPROCS).
+	Threads int
+	// Hidden is the hidden feature length (default 256, as in §6; use a
+	// smaller value for quick runs).
+	Hidden int
+	// SimCores is the simulated core count (default 8).
+	SimCores int
+	// Reps repeats each wall-clock measurement and keeps the minimum
+	// (default 1).
+	Reps int
+}
+
+func (c Config) fill() Config {
+	if c.Scale <= 0 {
+		c.Scale = 40_000
+	}
+	if c.SimScale <= 0 {
+		c.SimScale = 4_000
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 256
+	}
+	if c.SimCores <= 0 {
+		c.SimCores = 8
+	}
+	if c.Reps <= 0 {
+		c.Reps = 1
+	}
+	return c
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// Addf appends a formatted line.
+func (r *Report) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type experiment struct {
+	title string
+	run   func(Config) (*Report, error)
+}
+
+var experiments = map[string]experiment{
+	"table3":     {"dataset corpus statistics", table3},
+	"fig2":       {"sampled-training epoch breakdown vs mini-batch size", fig2},
+	"fig3":       {"pipeline-slot breakdown of full-batch baseline training (simulated)", fig3},
+	"fig11a":     {"software-technique inference speedups over DistGNN (wall clock)", fig11a},
+	"fig11b":     {"software-technique training speedups over DistGNN (wall clock)", fig11b},
+	"fig11a-sim": {"software-technique inference speedups over DistGNN (simulated machine)", fig11aSim},
+	"fig11b-sim": {"software-technique training speedups over DistGNN (simulated machine)", fig11bSim},
+	"fig12a":     {"simulated inference speedups with the DMA engine", fig12a},
+	"fig12b":     {"simulated training speedups with the DMA engine", fig12b},
+	"fig13":      {"layer-fusion execution-time breakdown (wall clock)", fig13},
+	"fig13-sim":  {"layer-fusion execution-time breakdown (simulated machine)", fig13sim},
+	"fig14":      {"feature-compression speedup vs sparsity", fig14},
+	"fig15":      {"locality reordering vs randomized orders (wall clock)", fig15},
+	"fig15-sim":  {"locality reordering vs randomized orders (simulated machine)", fig15sim},
+	"fig16":      {"DMA time vs tracking-table entries (simulated)", fig16},
+	"table4":     {"memory-performance characterization (simulated)", table4},
+	"table5":     {"private-cache access reduction from the DMA engine (simulated)", table5},
+}
+
+// IDs lists the experiment ids in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's description.
+func Title(id string) (string, bool) {
+	e, ok := experiments[id]
+	return e.title, ok
+}
+
+// Run executes one experiment.
+func Run(id string, cfg Config) (*Report, error) {
+	e, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.run(cfg.fill())
+}
+
+// timeIt measures f, repeating per cfg.Reps and keeping the minimum.
+func timeIt(reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickConfig keeps harness tests fast.
+func quickConfig() Config {
+	return Config{Scale: 1500, SimScale: 800, Hidden: 32, Threads: 2, SimCores: 2}
+}
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("got %d experiments: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if title, ok := Title(id); !ok || title == "" {
+			t.Fatalf("missing title for %s", id)
+		}
+	}
+	if _, ok := Title("nope"); ok {
+		t.Fatal("unknown id has a title")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", Config{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestAllExperimentsProduceReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	cfg := quickConfig()
+	for _, id := range IDs() {
+		rep, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Lines) == 0 {
+			t.Fatalf("%s: empty report", id)
+		}
+		out := rep.String()
+		if !strings.Contains(out, rep.ID) {
+			t.Fatalf("%s: report does not name itself:\n%s", id, out)
+		}
+		t.Logf("\n%s", out)
+	}
+}

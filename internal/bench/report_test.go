@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportString(t *testing.T) {
+	r := &Report{ID: "figX", Title: "demo"}
+	r.Addf("value %.2f", 1.5)
+	out := r.String()
+	if !strings.Contains(out, "figX") || !strings.Contains(out, "demo") || !strings.Contains(out, "1.50") {
+		t.Fatalf("report rendering broken:\n%s", out)
+	}
+}
+
+func TestConfigFillDefaults(t *testing.T) {
+	c := Config{}.fill()
+	if c.Scale != 40_000 || c.SimScale != 4_000 || c.Hidden != 256 || c.SimCores != 8 || c.Reps != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	c = Config{Scale: 10, SimScale: 20, Hidden: 30, SimCores: 2, Reps: 3}.fill()
+	if c.Scale != 10 || c.Reps != 3 {
+		t.Fatal("explicit values overwritten")
+	}
+}
+
+func TestTimeItKeepsMinimumAndPropagatesErrors(t *testing.T) {
+	calls := 0
+	d, err := timeIt(3, func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil || calls != 3 || d <= 0 {
+		t.Fatalf("timeIt: d=%v err=%v calls=%d", d, err, calls)
+	}
+	if _, err := timeIt(2, func() error { return errFake }); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }
+
+func TestSplitLines(t *testing.T) {
+	got := splitLines("a\nb\nc")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("splitLines: %v", got)
+	}
+	if len(splitLines("x\n")) != 1 {
+		t.Fatal("trailing newline handling")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if ratio(1, 0) != 0 || ratio(2, 4) != 0.5 {
+		t.Fatal("ratio wrong")
+	}
+}

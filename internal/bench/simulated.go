@@ -1,0 +1,406 @@
+package bench
+
+import (
+	"fmt"
+
+	"graphite/internal/dma"
+	"graphite/internal/graph"
+	"graphite/internal/locality"
+	"graphite/internal/memsim"
+	"graphite/internal/perf"
+	"graphite/internal/simgnn"
+)
+
+// simFeature is the feature width used in simulator experiments: half the
+// paper's 256 so simulation stays tractable. 128 preserves the ratios that
+// drive the phenomena: the compressed-row traffic saving at 50% sparsity
+// (37.5% vs the paper's 47%) and the update-to-aggregation cost ratio
+// (≈8% on products, ≈24% on wikipedia — the paper reports 7% and 31%).
+const simFeature = 128
+
+func simGraph(p graph.Profile, n int) (*graph.CSR, error) {
+	g, err := graph.GenerateProfile(p, n)
+	if err != nil {
+		return nil, err
+	}
+	return g.AddSelfLoops(), nil
+}
+
+func simLayers() []simgnn.Layer {
+	return []simgnn.Layer{{Fin: simFeature, Fout: simFeature}, {Fin: simFeature, Fout: simFeature}}
+}
+
+// simOptions scales the simulated machine's caches down by the same factor
+// the graphs are scaled down, preserving the paper's footprint-to-cache
+// ratio (their 2.4M-111M vertex graphs dwarf a 38.5MB L3; a scaled graph
+// must dwarf the scaled caches the same way or every technique would be
+// hidden by cache residency).
+func simOptions(cfg Config) simgnn.Options {
+	mc := memsim.DefaultConfig(cfg.SimCores)
+	mc.L1Bytes = 8 << 10
+	mc.L2Bytes = 128 << 10
+	mc.L3Bytes = cfg.SimCores * 176 << 10
+	return simgnn.Options{Cores: cfg.SimCores, Machine: mc}
+}
+
+// fig3 regenerates the motivation profile: the pipeline-slot breakdown of
+// baseline full-batch training.
+func fig3(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig3", Title: "pipeline slots of baseline full-batch GraphSAGE training (simulated)"}
+	g, err := simGraph(graph.Products, cfg.SimScale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := simgnn.SimulateTraining(g, simLayers(), simgnn.VarDistGNN, simOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	td := perf.FromStats(res.Stats)
+	r.Addf("retiring %.1f%%  frontend %.1f%%  core %.1f%%  memory-bound %.1f%%",
+		td.Retiring*100, td.FrontendBound*100, td.CoreBound*100, td.MemoryBound*100)
+	r.Addf("paper: retiring 10.1%%, frontend 3.3%%, core 23.6%%, memory-bound 61.7%%")
+	return r, nil
+}
+
+// fig12 regenerates the simulated speedups with the DMA engine.
+func fig12(cfg Config, train bool) (*Report, error) {
+	id, what := "fig12a", "inference"
+	if train {
+		id, what = "fig12b", "training"
+	}
+	r := &Report{ID: id, Title: fmt.Sprintf("simulated %s speedup over DistGNN (products & wikipedia)", what)}
+	type variant struct {
+		label    string
+		v        simgnn.Variant
+		locality bool
+	}
+	variants := []variant{
+		{"DistGNN", simgnn.VarDistGNN, false},
+		{"fusion", simgnn.VarFused, false},
+		{"fusion+DMA", simgnn.VarFusedDMA, false},
+	}
+	if train {
+		variants = append(variants,
+			variant{"fusion+locality", simgnn.VarFused, true},
+			variant{"fusion+DMA+locality", simgnn.VarFusedDMA, true})
+	}
+	header := fmt.Sprintf("%-11s", "graph")
+	for _, v := range variants {
+		header += fmt.Sprintf("%21s", v.label)
+	}
+	r.Addf("%s", header)
+	for _, p := range []graph.Profile{graph.Products, graph.Wikipedia} {
+		g, err := simGraph(p, cfg.SimScale)
+		if err != nil {
+			return nil, err
+		}
+		var base int64
+		line := fmt.Sprintf("%-11s", p)
+		for _, v := range variants {
+			opt := simOptions(cfg)
+			if v.locality {
+				opt.Order = locality.Reorder(g)
+			}
+			var res simgnn.Result
+			if train {
+				res, err = simgnn.SimulateTraining(g, simLayers(), v.v, opt)
+			} else {
+				res, err = simgnn.SimulateInference(g, simLayers(), v.v, opt)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = res.Cycles
+			}
+			line += fmt.Sprintf("%20.2fx", float64(base)/float64(res.Cycles))
+		}
+		r.Addf("%s", line)
+	}
+	if train {
+		r.Addf("paper: fusion 1.22-1.25x, fusion+DMA 1.55-1.70x, f-locality 1.39-2.39x, DMA-locality 1.89-3.14x")
+	} else {
+		r.Addf("paper: fusion 1.25-1.36x, fusion+DMA 1.63-1.98x")
+	}
+	return r, nil
+}
+
+func fig12a(cfg Config) (*Report, error) { return fig12(cfg, false) }
+func fig12b(cfg Config) (*Report, error) { return fig12(cfg, true) }
+
+// fig11sim reproduces the Fig. 11 software-technique comparison on the
+// simulated machine. The wall-clock fig11a/fig11b run the real kernels on
+// the host, whose cache-to-footprint ratio differs wildly from the paper's
+// 28-core server; this variant models the paper's bandwidth-starved
+// platform, so the speedup *shape* is directly comparable.
+func fig11sim(cfg Config, train bool) (*Report, error) {
+	id, what := "fig11a-sim", "inference"
+	if train {
+		id, what = "fig11b-sim", "training"
+	}
+	r := &Report{ID: id, Title: fmt.Sprintf("simulated software %s speedup over DistGNN @50%% sparsity", what)}
+	type variant struct {
+		label    string
+		v        simgnn.Variant
+		locality bool
+	}
+	variants := []variant{
+		{"DistGNN", simgnn.VarDistGNN, false},
+		{"basic", simgnn.VarBasic, false},
+		{"fusion", simgnn.VarFused, false},
+		{"compression", simgnn.VarCompressed, false},
+		{"combined", simgnn.VarCombined, false},
+	}
+	if train {
+		variants = append(variants, variant{"c-locality", simgnn.VarCombined, true})
+	}
+	header := fmt.Sprintf("%-11s", "graph")
+	for _, v := range variants {
+		header += fmt.Sprintf("%13s", v.label)
+	}
+	r.Addf("%s", header)
+	for _, p := range graph.Profiles() {
+		g, err := simGraph(p, cfg.SimScale)
+		if err != nil {
+			return nil, err
+		}
+		var base int64
+		line := fmt.Sprintf("%-11s", p)
+		for _, v := range variants {
+			opt := simOptions(cfg)
+			if v.locality {
+				opt.Order = locality.Reorder(g)
+			}
+			var res simgnn.Result
+			if train {
+				res, err = simgnn.SimulateTraining(g, simLayers(), v.v, opt)
+			} else {
+				res, err = simgnn.SimulateInference(g, simLayers(), v.v, opt)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = res.Cycles
+			}
+			line += fmt.Sprintf("%12.2fx", float64(base)/float64(res.Cycles))
+		}
+		r.Addf("%s", line)
+	}
+	if train {
+		r.Addf("paper: basic 1.02-1.11x, fusion 1.11-1.27x, compression 1.31-1.48x, combined 1.50-1.62x, c-locality 1.60-2.64x")
+	} else {
+		r.Addf("paper: basic 1.02-1.13x, fusion 1.18-1.61x, compression 1.37-1.52x, combined 1.72-1.94x")
+	}
+	return r, nil
+}
+
+func fig11aSim(cfg Config) (*Report, error) { return fig11sim(cfg, false) }
+func fig11bSim(cfg Config) (*Report, error) { return fig11sim(cfg, true) }
+
+// fig13sim reproduces the fusion breakdown on the simulated machine: the
+// aggregation/update cycle split of the unfused layer, and the fused
+// layer's time normalized to the unfused total.
+func fig13sim(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig13-sim", Title: "simulated hidden-layer breakdown: basic agg/update split vs fused, normalized to basic"}
+	r.Addf("%-11s %8s %8s %12s", "graph", "agg", "update", "fused-inf")
+	oneLayer := simLayers()[:1]
+	for _, p := range graph.Profiles() {
+		g, err := simGraph(p, cfg.SimScale)
+		if err != nil {
+			return nil, err
+		}
+		opt := simOptions(cfg)
+		agg, err := simgnn.SimulateAggregation(g, simFeature, simgnn.VarBasic, opt)
+		if err != nil {
+			return nil, err
+		}
+		layer, err := simgnn.SimulateInference(g, oneLayer, simgnn.VarBasic, opt)
+		if err != nil {
+			return nil, err
+		}
+		fused, err := simgnn.SimulateInference(g, oneLayer, simgnn.VarFused, opt)
+		if err != nil {
+			return nil, err
+		}
+		update := layer.Cycles - agg.Cycles
+		if update < 0 {
+			update = 0
+		}
+		total := float64(layer.Cycles)
+		r.Addf("%-11s %7.2f%% %7.2f%% %11.2f", p,
+			100*float64(agg.Cycles)/total, 100*float64(update)/total,
+			float64(fused.Cycles)/total)
+	}
+	r.Addf("paper: update share 7-31%% (smallest on high-degree products); fused ≈ basic's aggregation time")
+	return r, nil
+}
+
+// fig15sim reproduces the processing-order comparison on the simulated
+// machine, at aggregation granularity where the §4.4 effect is direct.
+func fig15sim(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig15-sim", Title: "simulated aggregation: speedup over randomized processing order"}
+	r.Addf("%-11s %12s %12s %12s", "graph", "randomized", "natural", "locality")
+	for _, p := range graph.Profiles() {
+		g, err := simGraph(p, cfg.SimScale)
+		if err != nil {
+			return nil, err
+		}
+		run := func(order []int32) (int64, error) {
+			opt := simOptions(cfg)
+			opt.Order = order
+			res, err := simgnn.SimulateAggregation(g, simFeature, simgnn.VarBasic, opt)
+			return res.Cycles, err
+		}
+		rnd, err := run(locality.Randomized(g.NumVertices(), 1))
+		if err != nil {
+			return nil, err
+		}
+		nat, err := run(nil)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := run(locality.Reorder(g))
+		if err != nil {
+			return nil, err
+		}
+		r.Addf("%-11s %11.2fx %11.2fx %11.2fx", p, 1.0,
+			float64(rnd)/float64(nat), float64(rnd)/float64(loc))
+	}
+	r.Addf("paper (full training): natural ≈1.0x on products/papers, locality 1.17-1.64x over randomized")
+	return r, nil
+}
+
+// fig16 sweeps the memory-request tracking table size.
+func fig16(cfg Config) (*Report, error) {
+	r := &Report{ID: "fig16", Title: "DMA-aggregation time on wikipedia vs tracking-table entries, normalized to 8"}
+	g, err := simGraph(graph.Wikipedia, cfg.SimScale)
+	if err != nil {
+		return nil, err
+	}
+	var base int64
+	line := ""
+	for _, entries := range []int{8, 16, 32, 64} {
+		eng := dma.DefaultEngineConfig()
+		eng.TrackingEntries = entries
+		res, err := simgnn.SimulateAggregation(g, simFeature, simgnn.VarFusedDMA,
+			func() simgnn.Options { o := simOptions(cfg); o.Engine = eng; return o }())
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		line += fmt.Sprintf("  %d entries: %.2f", entries, float64(res.Cycles)/float64(base))
+	}
+	r.Addf("%s", line)
+	r.Addf("paper: 1.00 / 0.72 / 0.49 / 0.46 at 8/16/32/64 entries")
+	return r, nil
+}
+
+// table4 regenerates the memory characterization of GCN training.
+func table4(cfg Config) (*Report, error) {
+	r := &Report{ID: "table4", Title: "simulated GCN training characterization (paper Table 4)"}
+	type row struct {
+		label    string
+		v        simgnn.Variant
+		locality bool
+	}
+	rows := []row{
+		{"DistGNN", simgnn.VarDistGNN, false},
+		{"basic", simgnn.VarBasic, false},
+		{"combined", simgnn.VarCombined, false},
+		{"c-locality", simgnn.VarCombined, true},
+	}
+	for _, p := range graph.Profiles() {
+		g, err := simGraph(p, cfg.SimScale)
+		if err != nil {
+			return nil, err
+		}
+		labels := make([]string, 0, len(rows))
+		tds := make([]perf.TopDown, 0, len(rows))
+		for _, rw := range rows {
+			opt := simOptions(cfg)
+			if rw.locality {
+				opt.Order = locality.Reorder(g)
+			}
+			res, err := simgnn.SimulateTraining(g, simLayers(), rw.v, opt)
+			if err != nil {
+				return nil, err
+			}
+			labels = append(labels, rw.label)
+			tds = append(tds, perf.FromStats(res.Stats))
+		}
+		r.Addf("--- %s ---", p)
+		for _, l := range splitLines(perf.Table(labels, tds)) {
+			r.Addf("%s", l)
+		}
+	}
+	r.Addf("paper (products): DistGNN retiring 9.8%%/membound 75.2%%; combined 18.8%%/58.1%%; c-locality 28.7%%/39.3%%")
+	return r, nil
+}
+
+// table5 regenerates the private-cache access reductions from DMA offload,
+// plus the §7.3.2 L2 miss-rate improvement.
+func table5(cfg Config) (*Report, error) {
+	r := &Report{ID: "table5", Title: "reduction in private-cache accesses with the DMA engine (simulated)"}
+	r.Addf("%-11s %-22s %10s %10s %14s %14s", "graph", "scenario", "L1-D red.", "L2 red.", "L2 miss sw", "L2 miss dma")
+	for _, p := range []graph.Profile{graph.Products, graph.Wikipedia} {
+		g, err := simGraph(p, cfg.SimScale)
+		if err != nil {
+			return nil, err
+		}
+		opt := simOptions(cfg)
+		// Aggregation only.
+		sw, err := simgnn.SimulateAggregation(g, simFeature, simgnn.VarBasic, opt)
+		if err != nil {
+			return nil, err
+		}
+		hw, err := simgnn.SimulateAggregation(g, simFeature, simgnn.VarFusedDMA, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.Addf("%-11s %-22s %9.0f%% %9.0f%% %13.1f%% %13.1f%%", p, "aggregation only",
+			100*(1-ratio(hw.Stats.L1Accesses, sw.Stats.L1Accesses)),
+			100*(1-ratio(hw.Stats.L2Accesses, sw.Stats.L2Accesses)),
+			100*sw.Stats.L2MissRate(), 100*hw.Stats.L2MissRate())
+		// Fused aggregation-update.
+		swf, err := simgnn.SimulateInference(g, simLayers()[:1], simgnn.VarFused, opt)
+		if err != nil {
+			return nil, err
+		}
+		hwf, err := simgnn.SimulateInference(g, simLayers()[:1], simgnn.VarFusedDMA, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.Addf("%-11s %-22s %9.0f%% %9.0f%% %13.1f%% %13.1f%%", p, "fused agg-update",
+			100*(1-ratio(hwf.Stats.L1Accesses, swf.Stats.L1Accesses)),
+			100*(1-ratio(hwf.Stats.L2Accesses, swf.Stats.L2Accesses)),
+			100*swf.Stats.L2MissRate(), 100*hwf.Stats.L2MissRate())
+	}
+	r.Addf("paper: agg-only 97-98%% L1 / 89-97%% L2; fused 19-43%% L1 / 12-36%% L2;")
+	r.Addf("       L2 miss rate 20.5%%→2.8%% (products), 45.5%%→2.8%% (wikipedia)")
+	return r, nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphite/internal/tensor"
+)
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cols := range []int{1, 7, 63, 64, 65, 100, 128, 256} {
+		src := tensor.NewMatrix(20, cols)
+		src.FillSparse(rng, 1, 0.5)
+		cm := FromDense(src, 2)
+		back := cm.ToDense(2)
+		if d := tensor.MaxAbsDiff(src, back); d != 0 {
+			t.Fatalf("cols=%d: round trip diff %g", cols, d)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, cols8 uint8, sparsity8 uint8) bool {
+		cols := int(cols8)%200 + 1
+		sparsity := float64(sparsity8) / 255
+		rng := rand.New(rand.NewSource(seed))
+		src := tensor.NewMatrix(5, cols)
+		src.FillSparse(rng, 2, sparsity)
+		cm := FromDense(src, 1)
+		return tensor.MaxAbsDiff(src, cm.ToDense(1)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllZeroAndAllDenseRows(t *testing.T) {
+	src := tensor.NewMatrix(2, 70)
+	row1 := src.Row(1)
+	for j := range row1 {
+		row1[j] = float32(j + 1)
+	}
+	cm := FromDense(src, 1)
+	if cm.NNZ(0) != 0 {
+		t.Fatalf("zero row NNZ %d", cm.NNZ(0))
+	}
+	if cm.NNZ(1) != 70 {
+		t.Fatalf("dense row NNZ %d, want 70", cm.NNZ(1))
+	}
+	back := cm.ToDense(1)
+	if d := tensor.MaxAbsDiff(src, back); d != 0 {
+		t.Fatalf("round trip diff %g", d)
+	}
+}
+
+func TestAXPYRowMatchesDecompressThenAXPY(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := tensor.NewMatrix(10, 90)
+	src.FillSparse(rng, 1, 0.6)
+	cm := FromDense(src, 1)
+	for i := 0; i < src.Rows; i++ {
+		a := make([]float32, 90)
+		b := make([]float32, 90)
+		for j := range a {
+			a[j] = float32(j)
+			b[j] = float32(j)
+		}
+		cm.AXPYRow(a, i, 0.5)
+		tensor.AXPY(b, src.Row(i), 0.5)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d col %d: %g vs %g", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestMaskMetadataOverhead(t *testing.T) {
+	// 1 bit per 32-bit element = 3.125% (§4.3).
+	cm := NewMatrix(1, 256)
+	maskBytes := len(cm.Mask(0)) * 8
+	valueBytes := 256 * 4
+	overhead := float64(maskBytes) / float64(valueBytes)
+	if overhead != 0.03125 {
+		t.Fatalf("mask overhead %.5f, want 0.03125", overhead)
+	}
+}
+
+func TestRowTrafficBytesShrinksWithSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	denseSrc := tensor.NewMatrix(1, 256)
+	denseSrc.FillSparse(rng, 1, 0)
+	sparseSrc := tensor.NewMatrix(1, 256)
+	sparseSrc.FillSparse(rng, 1, 0.9)
+	d := FromDense(denseSrc, 1)
+	s := FromDense(sparseSrc, 1)
+	if s.RowTrafficBytes(0) >= d.RowTrafficBytes(0) {
+		t.Fatalf("sparse traffic %d not below dense traffic %d",
+			s.RowTrafficBytes(0), d.RowTrafficBytes(0))
+	}
+	// Dense rows cost slightly MORE than uncompressed (mask overhead).
+	if d.RowTrafficBytes(0) <= d.UncompressedRowBytes() {
+		t.Fatalf("fully dense compressed traffic %d should exceed raw %d",
+			d.RowTrafficBytes(0), d.UncompressedRowBytes())
+	}
+}
+
+func TestTotalTrafficAt50PercentSparsity(t *testing.T) {
+	// §4.3: at 50% sparsity the saving is 50% - 3.125% ≈ 46.9%; with
+	// cache-line rounding we accept 40-50%.
+	rng := rand.New(rand.NewSource(4))
+	src := tensor.NewMatrix(200, 256)
+	src.FillSparse(rng, 1, 0.5)
+	cm := FromDense(src, 1)
+	raw := cm.UncompressedRowBytes() * int64(src.Rows)
+	got := cm.TotalTrafficBytes()
+	saving := 1 - float64(got)/float64(raw)
+	if saving < 0.40 || saving > 0.50 {
+		t.Fatalf("traffic saving %.3f at 50%% sparsity, want ≈0.47", saving)
+	}
+}
+
+func TestCompressRowLengthPanics(t *testing.T) {
+	cm := NewMatrix(1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row accepted")
+		}
+	}()
+	cm.CompressRow(0, make([]float32, 4))
+}
+
+func TestDecompressShortDstPanics(t *testing.T) {
+	cm := NewMatrix(1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination accepted")
+		}
+	}()
+	cm.DecompressRow(make([]float32, 4), 0)
+}
+
+func TestReCompressRowReusesStorage(t *testing.T) {
+	// Rows are rewritten every layer/iteration; stale values must not leak.
+	cm := NewMatrix(1, 64)
+	dense := make([]float32, 64)
+	for j := range dense {
+		dense[j] = 1
+	}
+	cm.CompressRow(0, dense)
+	sparse := make([]float32, 64)
+	sparse[3] = 7
+	cm.CompressRow(0, sparse)
+	out := make([]float32, 64)
+	cm.DecompressRow(out, 0)
+	for j, v := range out {
+		want := float32(0)
+		if j == 3 {
+			want = 7
+		}
+		if v != want {
+			t.Fatalf("col %d = %g, want %g", j, v, want)
+		}
+	}
+	if cm.NNZ(0) != 1 {
+		t.Fatalf("NNZ %d, want 1", cm.NNZ(0))
+	}
+}

@@ -1,0 +1,184 @@
+// Package dma implements the paper's enhanced DMA engine (§5): the 64-byte
+// aggregation descriptor (Fig. 8), the functional aggregation operation
+// (Algorithm 4) executed against a virtual address space, and a
+// cycle-approximate timing model of the engine's fetch pipeline (index
+// buffer, memory-request tracking table, Fig. 10) that plugs into the
+// memsim machine.
+package dma
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RedOp is the reduction operator (red_op field).
+type RedOp uint8
+
+// Reduction operators.
+const (
+	RedSum RedOp = iota
+	RedMax
+	RedMin
+	redOpEnd
+)
+
+// BinOp is the optional binary operator applied to each gathered element
+// and the matching factor element (bin_op field) — the hardware form of the
+// feature processing function ψ (§5.1). With RedSum and BinMul the
+// operation is a dense-matrix sparse-vector product (§5.2).
+type BinOp uint8
+
+// Binary operators.
+const (
+	BinNone BinOp = iota
+	BinMul
+	BinAdd
+	binOpEnd
+)
+
+// IdxType is the index element type (idx_t field).
+type IdxType uint8
+
+// Index types.
+const (
+	Idx32 IdxType = iota
+	Idx64
+	idxTypeEnd
+)
+
+// Size returns the index element size in bytes.
+func (t IdxType) Size() int64 {
+	if t == Idx64 {
+		return 8
+	}
+	return 4
+}
+
+// ValType is the value element type (val_t field).
+type ValType uint8
+
+// Value types.
+const (
+	Val32 ValType = iota
+	valTypeEnd
+)
+
+// Size returns the value element size in bytes.
+func (t ValType) Size() int64 { return 4 }
+
+// DescriptorBytes is the fixed descriptor size (Fig. 8).
+const DescriptorBytes = 64
+
+// Descriptor is the proposed aggregation descriptor (Fig. 8). One
+// descriptor encodes an entire per-vertex aggregation: N fixed-size data
+// blocks gathered through an index array, optionally combined with a
+// factor array, and reduced into one output vector — replacing the chain
+// of per-block descriptors traditional scatter-gather DMA needs (§2.3,
+// §5.1).
+type Descriptor struct {
+	Red    RedOp
+	Bin    BinOp
+	IdxT   IdxType
+	ValT   ValType
+	E      uint32 // values per data block
+	S      uint32 // padded size of each data block, bytes
+	N      uint32 // number of input data blocks
+	IDX    uint64 // index array start address
+	IN     uint64 // input base address
+	OUT    uint64 // output start address
+	FACTOR uint64 // factor array start address (BinNone ignores it)
+	STATUS uint64 // completion record start address
+}
+
+// Encode serialises the descriptor into its 64-byte wire format.
+func (d *Descriptor) Encode() [DescriptorBytes]byte {
+	var b [DescriptorBytes]byte
+	b[0] = byte(d.Red)
+	b[1] = byte(d.Bin)
+	b[2] = byte(d.IdxT)
+	b[3] = byte(d.ValT)
+	binary.LittleEndian.PutUint32(b[4:], d.E)
+	binary.LittleEndian.PutUint32(b[8:], d.S)
+	binary.LittleEndian.PutUint32(b[12:], d.N)
+	binary.LittleEndian.PutUint64(b[16:], d.IDX)
+	binary.LittleEndian.PutUint64(b[24:], d.IN)
+	binary.LittleEndian.PutUint64(b[32:], d.OUT)
+	binary.LittleEndian.PutUint64(b[40:], d.FACTOR)
+	binary.LittleEndian.PutUint64(b[48:], d.STATUS)
+	return b
+}
+
+// Decode parses a 64-byte descriptor.
+func Decode(b [DescriptorBytes]byte) Descriptor {
+	return Descriptor{
+		Red:    RedOp(b[0]),
+		Bin:    BinOp(b[1]),
+		IdxT:   IdxType(b[2]),
+		ValT:   ValType(b[3]),
+		E:      binary.LittleEndian.Uint32(b[4:]),
+		S:      binary.LittleEndian.Uint32(b[8:]),
+		N:      binary.LittleEndian.Uint32(b[12:]),
+		IDX:    binary.LittleEndian.Uint64(b[16:]),
+		IN:     binary.LittleEndian.Uint64(b[24:]),
+		OUT:    binary.LittleEndian.Uint64(b[32:]),
+		FACTOR: binary.LittleEndian.Uint64(b[40:]),
+		STATUS: binary.LittleEndian.Uint64(b[48:]),
+	}
+}
+
+// Validate checks the static well-formedness the engine requires before
+// execution. outputBufferBytes is the engine's output buffer capacity: a
+// descriptor whose output vector exceeds it must be split by software
+// (§5.2).
+func (d *Descriptor) Validate(outputBufferBytes int) error {
+	if d.Red >= redOpEnd {
+		return fmt.Errorf("dma: unknown red_op %d", d.Red)
+	}
+	if d.Bin >= binOpEnd {
+		return fmt.Errorf("dma: unknown bin_op %d", d.Bin)
+	}
+	if d.IdxT >= idxTypeEnd {
+		return fmt.Errorf("dma: unknown idx_t %d", d.IdxT)
+	}
+	if d.ValT >= valTypeEnd {
+		return fmt.Errorf("dma: unknown val_t %d", d.ValT)
+	}
+	if d.E == 0 {
+		return fmt.Errorf("dma: descriptor with E=0 values per block")
+	}
+	if int64(d.E)*d.ValT.Size() > int64(outputBufferBytes) {
+		return fmt.Errorf("dma: output vector (%d bytes) exceeds the %dB output buffer; split the descriptor",
+			int64(d.E)*d.ValT.Size(), outputBufferBytes)
+	}
+	if int64(d.E)*d.ValT.Size() > int64(d.S) {
+		return fmt.Errorf("dma: E=%d values do not fit the padded block size S=%d", d.E, d.S)
+	}
+	return nil
+}
+
+// Split breaks a descriptor whose output exceeds maxE elements into a chain
+// of descriptors each covering at most maxE contiguous elements of every
+// block — the software-side splitting §5.2 describes (e.g. a 400-element
+// vector on a 256-element buffer becomes 256 + 144).
+func (d *Descriptor) Split(maxE uint32) []Descriptor {
+	if maxE == 0 || d.E <= maxE {
+		return []Descriptor{*d}
+	}
+	var out []Descriptor
+	for off := uint32(0); off < d.E; off += maxE {
+		part := *d
+		part.E = min32(maxE, d.E-off)
+		byteOff := uint64(off) * uint64(d.ValT.Size())
+		part.IN = d.IN + byteOff
+		part.OUT = d.OUT + byteOff
+		out = append(out, part)
+	}
+	return out
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,381 @@
+package dma
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"graphite/internal/graph"
+	"graphite/internal/memsim"
+	"graphite/internal/sparse"
+	"graphite/internal/tensor"
+)
+
+func TestDescriptorEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(e, s, n uint32, idx, in, out, factor, status uint64, red, bin, it uint8) bool {
+		d := Descriptor{
+			Red: RedOp(red % 3), Bin: BinOp(bin % 3), IdxT: IdxType(it % 2), ValT: Val32,
+			E: e, S: s, N: n, IDX: idx, IN: in, OUT: out, FACTOR: factor, STATUS: status,
+		}
+		return Decode(d.Encode()) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorWireLayout(t *testing.T) {
+	d := Descriptor{Red: RedSum, Bin: BinMul, IdxT: Idx32, ValT: Val32,
+		E: 3, S: 16, N: 5, IDX: 0x1000, IN: 0x2000, OUT: 0x3000, FACTOR: 0x4000, STATUS: 0x5000}
+	b := d.Encode()
+	if b[0] != 0 || b[1] != 1 || b[2] != 0 || b[3] != 0 {
+		t.Fatalf("op bytes %v", b[:4])
+	}
+	if b[4] != 3 || b[8] != 16 || b[12] != 5 {
+		t.Fatalf("E/S/N bytes wrong: %v", b[:16])
+	}
+	if b[16] != 0 || b[17] != 0x10 {
+		t.Fatalf("IDX little-endian encoding wrong: %v", b[16:24])
+	}
+	if len(b) != DescriptorBytes {
+		t.Fatalf("descriptor size %d", len(b))
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	good := Descriptor{Red: RedSum, Bin: BinMul, E: 4, S: 16, N: 1}
+	if err := good.Validate(2048); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Descriptor{
+		{Red: 99, E: 4, S: 16},
+		{Bin: 99, E: 4, S: 16},
+		{IdxT: 99, E: 4, S: 16},
+		{ValT: 99, E: 4, S: 16},
+		{E: 0, S: 16},
+		{E: 1024, S: 4096}, // exceeds 2KB output buffer
+		{E: 8, S: 16},      // E*4 > S
+	}
+	for i, d := range cases {
+		if d.Red == 0 && i != 0 {
+			d.Red = RedSum
+		}
+		if err := d.Validate(2048); err == nil {
+			t.Errorf("case %d accepted: %+v", i, d)
+		}
+	}
+}
+
+func TestDescriptorSplit(t *testing.T) {
+	d := Descriptor{Red: RedSum, E: 400, S: 1600, N: 3, IN: 1000, OUT: 5000}
+	parts := d.Split(256)
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	if parts[0].E != 256 || parts[1].E != 144 {
+		t.Fatalf("E split %d/%d, want 256/144 (the §5.2 example)", parts[0].E, parts[1].E)
+	}
+	if parts[1].IN != 1000+256*4 || parts[1].OUT != 5000+256*4 {
+		t.Fatalf("addresses not offset: %+v", parts[1])
+	}
+	if parts[0].N != 3 || parts[1].N != 3 {
+		t.Fatal("N must be unchanged by splitting")
+	}
+	one := d.Split(512)
+	if len(one) != 1 || one[0] != d {
+		t.Fatal("small descriptor should not split")
+	}
+}
+
+func TestSliceMemoryBoundsAndTypes(t *testing.T) {
+	var m SliceMemory
+	if err := m.MapF32(0x1000, make([]float32, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapI32(0x2000, []int32{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapF32(0x1008, make([]float32, 4)); err == nil {
+		t.Fatal("overlapping segment accepted")
+	}
+	if _, err := m.LoadVal(0x1010, Val32); err == nil {
+		t.Fatal("out-of-bounds load accepted")
+	}
+	if _, err := m.LoadVal(0x1001, Val32); err == nil {
+		t.Fatal("misaligned load accepted")
+	}
+	if _, err := m.LoadVal(0x2000, Val32); err == nil {
+		t.Fatal("type-mismatched load accepted")
+	}
+	if v, err := m.LoadIdx(0x2000, Idx32); err != nil || v != 7 {
+		t.Fatalf("LoadIdx got %d, %v", v, err)
+	}
+	if err := m.StoreVal(0x1000, Val32, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadVal(0x1000, Val32); v != 3.5 {
+		t.Fatalf("stored value %g", v)
+	}
+}
+
+// buildAggregationSetup maps a graph's CSR arrays and feature matrix into a
+// SliceMemory the way Fig. 9 lays them out, and returns descriptor
+// builders.
+type aggSetup struct {
+	mem     SliceMemory
+	g       *graph.CSR
+	h       *tensor.Matrix
+	factors []float32
+	out     []float32
+	status  []uint8
+
+	inBase, outBase, idxBase, facBase, stBase uint64
+	strideBytes                               uint64
+}
+
+func newAggSetup(t *testing.T, n, cols int) *aggSetup {
+	t.Helper()
+	g, err := graph.GenerateProfile(graph.Wikipedia, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.AddSelfLoops()
+	s := &aggSetup{
+		g:       g,
+		factors: sparse.Factors(g, sparse.NormGCN),
+		h:       tensor.NewMatrix(n, cols),
+		inBase:  0x10_0000,
+		outBase: 0x80_0000,
+		idxBase: 0xA0_0000,
+		facBase: 0xB0_0000,
+		stBase:  0xC0_0000,
+	}
+	s.h.FillRandom(rand.New(rand.NewSource(9)), 1)
+	s.out = make([]float32, n*s.h.Stride)
+	s.status = make([]uint8, g.NumEdges())
+	s.strideBytes = uint64(s.h.Stride) * 4
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.mem.MapF32(s.inBase, s.h.Data))
+	must(s.mem.MapF32(s.outBase, s.out))
+	must(s.mem.MapI32(s.idxBase, g.Col))
+	must(s.mem.MapF32(s.facBase, s.factors))
+	must(s.mem.MapU8(s.stBase, s.status))
+	return s
+}
+
+// descriptorFor builds the Fig. 9 descriptor for vertex v.
+func (s *aggSetup) descriptorFor(v int) Descriptor {
+	return Descriptor{
+		Red: RedSum, Bin: BinMul, IdxT: Idx32, ValT: Val32,
+		E:      uint32(s.h.Cols),
+		S:      uint32(s.strideBytes),
+		N:      uint32(s.g.Degree(v)),
+		IDX:    s.idxBase + uint64(s.g.Ptr[v])*4,
+		IN:     s.inBase,
+		OUT:    s.outBase + uint64(v)*s.strideBytes,
+		FACTOR: s.facBase + uint64(s.g.Ptr[v])*4,
+		STATUS: s.stBase + uint64(s.g.Ptr[v]),
+	}
+}
+
+func TestEngineMatchesSoftwareAggregation(t *testing.T) {
+	s := newAggSetup(t, 120, 48)
+	eng := NewEngine(DefaultEngineConfig())
+	for v := 0; v < s.g.NumVertices(); v++ {
+		d := s.descriptorFor(v)
+		if err := eng.Execute(&d, &s.mem); err != nil {
+			t.Fatalf("vertex %d: %v", v, err)
+		}
+	}
+	want := tensor.NewMatrix(s.g.NumVertices(), s.h.Cols)
+	sparse.SpMM(want, s.g, s.factors, s.h, 1)
+	for v := 0; v < s.g.NumVertices(); v++ {
+		for j := 0; j < s.h.Cols; j++ {
+			got := s.out[v*s.h.Stride+j]
+			if math.Abs(float64(got-want.At(v, j))) > 1e-4 {
+				t.Fatalf("vertex %d col %d: %g vs %g", v, j, got, want.At(v, j))
+			}
+		}
+	}
+	for _, st := range s.status {
+		if Status(st) != StatusOK {
+			t.Fatal("completion record not OK")
+		}
+	}
+}
+
+func TestEngineSplitDescriptorsMatch(t *testing.T) {
+	s := newAggSetup(t, 40, 100) // 100 elements split at 64
+	eng := NewEngine(DefaultEngineConfig())
+	for v := 0; v < s.g.NumVertices(); v++ {
+		d := s.descriptorFor(v)
+		for _, part := range d.Split(64) {
+			if err := eng.Execute(&part, &s.mem); err != nil {
+				t.Fatalf("vertex %d: %v", v, err)
+			}
+		}
+	}
+	want := tensor.NewMatrix(s.g.NumVertices(), s.h.Cols)
+	sparse.SpMM(want, s.g, s.factors, s.h, 1)
+	for v := 0; v < s.g.NumVertices(); v++ {
+		for j := 0; j < s.h.Cols; j++ {
+			got := s.out[v*s.h.Stride+j]
+			if math.Abs(float64(got-want.At(v, j))) > 1e-4 {
+				t.Fatalf("vertex %d col %d: %g vs %g", v, j, got, want.At(v, j))
+			}
+		}
+	}
+}
+
+func TestEngineMaxMinReductions(t *testing.T) {
+	var mem SliceMemory
+	in := []float32{1, 5, -2, 8, 0, 3, -7, 2} // two blocks of 4
+	out := make([]float32, 4)
+	idx := []int32{0, 1}
+	status := make([]uint8, 2)
+	if err := mem.MapF32(0x1000, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.MapF32(0x2000, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.MapI32(0x3000, idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.MapU8(0x4000, status); err != nil {
+		t.Fatal(err)
+	}
+	d := Descriptor{Red: RedMax, Bin: BinNone, E: 4, S: 16, N: 2,
+		IDX: 0x3000, IN: 0x1000, OUT: 0x2000, STATUS: 0x4000}
+	eng := NewEngine(DefaultEngineConfig())
+	if err := eng.Execute(&d, &mem); err != nil {
+		t.Fatal(err)
+	}
+	wantMax := []float32{1, 5, -2, 8}
+	for j, w := range wantMax {
+		if out[j] != w {
+			t.Fatalf("max[%d]=%g want %g", j, out[j], w)
+		}
+	}
+	d.Red = RedMin
+	if err := eng.Execute(&d, &mem); err != nil {
+		t.Fatal(err)
+	}
+	wantMin := []float32{0, 3, -7, 2}
+	for j, w := range wantMin {
+		if out[j] != w {
+			t.Fatalf("min[%d]=%g want %g", j, out[j], w)
+		}
+	}
+}
+
+func TestEngineFaultAbortsAndRecordsStatus(t *testing.T) {
+	var mem SliceMemory
+	in := make([]float32, 8)
+	out := make([]float32, 4)
+	idx := []int32{0, 500, 1} // block 1 points out of bounds
+	status := make([]uint8, 3)
+	for _, err := range []error{
+		mem.MapF32(0x1000, in), mem.MapF32(0x2000, out),
+		mem.MapI32(0x3000, idx), mem.MapU8(0x4000, status),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := Descriptor{Red: RedSum, E: 4, S: 16, N: 3,
+		IDX: 0x3000, IN: 0x1000, OUT: 0x2000, STATUS: 0x4000}
+	eng := NewEngine(DefaultEngineConfig())
+	err := eng.Execute(&d, &mem)
+	if err == nil {
+		t.Fatal("out-of-bounds gather succeeded")
+	}
+	if !strings.Contains(err.Error(), "block 1") {
+		t.Fatalf("error does not name the faulting block: %v", err)
+	}
+	if Status(status[0]) != StatusOK || Status(status[1]) != StatusFault || Status(status[2]) != StatusPending {
+		t.Fatalf("status record %v, want [OK Fault Pending]", status)
+	}
+}
+
+func TestEngineConfigStorage(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	// §6: "The DMA engine's storage is 4.5KB."
+	if got := cfg.StorageBytes(); got < 4300 || got > 4900 {
+		t.Fatalf("engine storage %dB, want ≈4.5KB", got)
+	}
+}
+
+func TestTimedEngineTrackingTableScaling(t *testing.T) {
+	// Fig. 16: more tracking-table entries → faster DMA aggregation, with
+	// diminishing returns. A single engine can consume a large share of
+	// the chip's pin bandwidth, so simulate on the full-width machine.
+	run := func(entries int) int64 {
+		m := memsim.NewMachine(memsim.DefaultConfig(8))
+		cfg := DefaultEngineConfig()
+		cfg.TrackingEntries = entries
+		e := NewTimedEngine(m, 0, cfg)
+		var last int64
+		for v := 0; v < 200; v++ {
+			job := &Job{
+				Ready: e.Cycle(),
+				Idx:   []Span{{First: int64(1_000_000 + v), Count: 1}},
+				Inputs: []Span{
+					{First: int64(2_000_000 + v*97), Count: 4},
+					{First: int64(4_000_000 + v*89), Count: 4},
+					{First: int64(6_000_000 + v*83), Count: 4},
+					{First: int64(12_000_000 + v*79), Count: 4},
+				},
+				InputGate: []int{0, 0, 0, 0},
+				Output:    Span{First: int64(8_000_000 + v*4), Count: 4},
+				Elems:     64,
+			}
+			last = e.Run(job)
+		}
+		return last
+	}
+	t8, t16, t32 := run(8), run(16), run(32)
+	if !(t8 > t16 && t16 > t32) {
+		t.Fatalf("tracking table scaling broken: 8→%d 16→%d 32→%d", t8, t16, t32)
+	}
+	t.Logf("tracking table sweep: 8→%d 16→%d 32→%d (normalized %.2f/%.2f/%.2f)",
+		t8, t16, t32, 1.0, float64(t16)/float64(t8), float64(t32)/float64(t8))
+}
+
+func TestTimedEngineWritesOutputToL2(t *testing.T) {
+	m := memsim.NewMachine(memsim.DefaultConfig(1))
+	e := NewTimedEngine(m, 0, DefaultEngineConfig())
+	job := &Job{
+		Idx:       []Span{{First: 100, Count: 1}},
+		Inputs:    []Span{{First: 200, Count: 2}},
+		InputGate: []int{0},
+		Output:    Span{First: 300, Count: 2},
+		Elems:     32,
+	}
+	done := e.Run(job)
+	if done <= 0 {
+		t.Fatal("no completion time")
+	}
+	// The core should now hit L2 on the output lines.
+	m.Read(0, 300)
+	m.Drain(0)
+	if m.Stats().L2Misses > m.Stats().L2Accesses {
+		t.Fatal("stat bookkeeping broken")
+	}
+	if got := m.Cycle(0); got >= m.Config().L3Lat {
+		t.Fatalf("core read of DMA output took %d cycles, should hit L2", got)
+	}
+	// Private caches saw no engine input traffic.
+	if m.Stats().L1Misses != 1 {
+		t.Fatalf("L1 misses %d, want only the core's own read", m.Stats().L1Misses)
+	}
+	if e.JobsDone != 1 || e.LinesFetched != 3 {
+		t.Fatalf("engine stats: jobs %d lines %d", e.JobsDone, e.LinesFetched)
+	}
+}

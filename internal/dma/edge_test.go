@@ -1,0 +1,135 @@
+package dma
+
+import (
+	"testing"
+
+	"graphite/internal/memsim"
+)
+
+// TestEngineZeroInputsFlushesZeros covers an isolated vertex: a descriptor
+// with N=0 must still write the (zero) reduction result.
+func TestEngineZeroInputsFlushesZeros(t *testing.T) {
+	var mem SliceMemory
+	out := []float32{9, 9, 9, 9}
+	if err := mem.MapF32(0x1000, out); err != nil {
+		t.Fatal(err)
+	}
+	d := Descriptor{Red: RedSum, E: 4, S: 16, N: 0, OUT: 0x1000}
+	eng := NewEngine(DefaultEngineConfig())
+	if err := eng.Execute(&d, &mem); err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range out {
+		if v != 0 {
+			t.Fatalf("out[%d]=%g, want 0 for N=0", j, v)
+		}
+	}
+}
+
+func TestEngineNegativeIndexFaults(t *testing.T) {
+	var mem SliceMemory
+	in := make([]float32, 8)
+	out := make([]float32, 4)
+	status := make([]uint8, 1)
+	for _, err := range []error{
+		mem.MapF32(0x1000, in), mem.MapF32(0x2000, out),
+		mem.MapI32(0x3000, []int32{-5}), mem.MapU8(0x4000, status),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := Descriptor{Red: RedSum, E: 4, S: 16, N: 1, IDX: 0x3000, IN: 0x1000, OUT: 0x2000, STATUS: 0x4000}
+	eng := NewEngine(DefaultEngineConfig())
+	if err := eng.Execute(&d, &mem); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if Status(status[0]) != StatusFault {
+		t.Fatalf("status %d, want fault", status[0])
+	}
+}
+
+func TestEngineBinAdd(t *testing.T) {
+	var mem SliceMemory
+	in := []float32{1, 2, 3, 4}
+	out := make([]float32, 4)
+	factors := []float32{10}
+	status := make([]uint8, 1)
+	for _, err := range []error{
+		mem.MapF32(0x1000, in), mem.MapF32(0x2000, out),
+		mem.MapI32(0x3000, []int32{0}), mem.MapF32(0x5000, factors), mem.MapU8(0x4000, status),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := Descriptor{Red: RedSum, Bin: BinAdd, E: 4, S: 16, N: 1,
+		IDX: 0x3000, IN: 0x1000, OUT: 0x2000, FACTOR: 0x5000, STATUS: 0x4000}
+	eng := NewEngine(DefaultEngineConfig())
+	if err := eng.Execute(&d, &mem); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{11, 12, 13, 14}
+	for j, w := range want {
+		if out[j] != w {
+			t.Fatalf("out[%d]=%g want %g", j, out[j], w)
+		}
+	}
+}
+
+func TestEngineIdx64(t *testing.T) {
+	var mem SliceMemory
+	in := []float32{0, 0, 0, 0, 5, 6, 7, 8} // block 1 at offset 16 bytes
+	out := make([]float32, 4)
+	status := make([]uint8, 1)
+	for _, err := range []error{
+		mem.MapF32(0x1000, in), mem.MapF32(0x2000, out),
+		mem.MapI64(0x3000, []int64{1}), mem.MapU8(0x4000, status),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := Descriptor{Red: RedSum, IdxT: Idx64, E: 4, S: 16, N: 1,
+		IDX: 0x3000, IN: 0x1000, OUT: 0x2000, STATUS: 0x4000}
+	eng := NewEngine(DefaultEngineConfig())
+	if err := eng.Execute(&d, &mem); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 5 || out[3] != 8 {
+		t.Fatalf("Idx64 gather wrong: %v", out)
+	}
+}
+
+func TestTimedEngineJobWithNoInputs(t *testing.T) {
+	m := memsim.NewMachine(memsim.DefaultConfig(1))
+	e := NewTimedEngine(m, 0, DefaultEngineConfig())
+	job := &Job{Output: Span{First: 10, Count: 1}, Elems: 16}
+	done := e.Run(job)
+	if done <= 0 {
+		t.Fatal("no completion for inputless job")
+	}
+	if e.JobsDone != 1 {
+		t.Fatal("job not counted")
+	}
+}
+
+func TestTimedEngineCompletionMonotone(t *testing.T) {
+	m := memsim.NewMachine(memsim.DefaultConfig(2))
+	e := NewTimedEngine(m, 0, DefaultEngineConfig())
+	prev := int64(-1)
+	for v := 0; v < 50; v++ {
+		job := &Job{
+			Idx:       []Span{{First: int64(100 + v), Count: 1}},
+			Inputs:    []Span{{First: int64(10_000 + v*13), Count: 2}},
+			InputGate: []int{0},
+			Output:    Span{First: int64(90_000 + v), Count: 1},
+			Elems:     32,
+		}
+		done := e.Run(job)
+		if done < prev {
+			t.Fatalf("job %d completed at %d before previous %d", v, done, prev)
+		}
+		prev = done
+	}
+}

@@ -1,0 +1,149 @@
+package dma
+
+import (
+	"fmt"
+	"math"
+)
+
+// EngineConfig sizes the engine's storage, defaulting to the paper's
+// configuration (§6): 2KB output buffer, 2KB input buffer, 128B factor
+// buffer, 128B index buffer, 32-entry memory request tracking table, and a
+// 32-entry descriptor queue — 4.5KB of storage total.
+type EngineConfig struct {
+	OutputBufferBytes int
+	InputBufferBytes  int
+	FactorBufferBytes int
+	IndexBufferBytes  int
+	TrackingEntries   int
+	DescQueueEntries  int
+	VectorLanes       int
+}
+
+// DefaultEngineConfig returns the §6 configuration.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		OutputBufferBytes: 2048,
+		InputBufferBytes:  2048,
+		FactorBufferBytes: 128,
+		IndexBufferBytes:  128,
+		TrackingEntries:   32,
+		DescQueueEntries:  32,
+		VectorLanes:       4,
+	}
+}
+
+// StorageBytes totals the engine's SRAM (the paper reports 4.5KB).
+func (c EngineConfig) StorageBytes() int {
+	return c.OutputBufferBytes + c.InputBufferBytes + c.FactorBufferBytes + c.IndexBufferBytes +
+		c.TrackingEntries*8 + c.DescQueueEntries*DescriptorBytes/8
+}
+
+// Engine executes aggregation descriptors functionally (Algorithm 4). One
+// engine sits next to each core's L2 (Fig. 7a); the functional model here
+// is shared by the correctness tests and by the end-to-end DMA examples,
+// while timing.go models the cycle behaviour.
+type Engine struct {
+	cfg EngineConfig
+	buf []float32
+}
+
+// NewEngine builds an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.OutputBufferBytes <= 0 || cfg.VectorLanes <= 0 {
+		panic("dma: engine needs an output buffer and vector lanes")
+	}
+	return &Engine{cfg: cfg, buf: make([]float32, cfg.OutputBufferBytes/4)}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// Execute runs Algorithm 4 for one descriptor against mem. Each input
+// block's completion status is written to the STATUS record; on a memory
+// fault the faulting block's status is StatusFault and the remaining
+// operation is aborted (§5.2: "If the status indicates a failure, the
+// remaining operations are aborted"). The error return mirrors the fault
+// for the software driver.
+func (e *Engine) Execute(d *Descriptor, mem Memory) error {
+	if err := d.Validate(e.cfg.OutputBufferBytes); err != nil {
+		return err
+	}
+	elems := int(d.E)
+	buf := e.buf[:elems]
+	switch d.Red {
+	case RedMax:
+		for j := range buf {
+			buf[j] = float32(math.Inf(-1))
+		}
+	case RedMin:
+		for j := range buf {
+			buf[j] = float32(math.Inf(1))
+		}
+	default:
+		clear(buf)
+	}
+	valSz := uint64(d.ValT.Size())
+	for i := uint64(0); i < uint64(d.N); i++ {
+		if err := e.executeBlock(d, mem, i, buf); err != nil {
+			if serr := mem.StoreStatus(d.STATUS+i, StatusFault); serr != nil {
+				return fmt.Errorf("dma: fault (%v) and status store failed: %w", err, serr)
+			}
+			return fmt.Errorf("dma: input block %d: %w", i, err)
+		}
+		if err := mem.StoreStatus(d.STATUS+i, StatusOK); err != nil {
+			return fmt.Errorf("dma: status store for block %d: %w", i, err)
+		}
+	}
+	// Flush the output buffer (Lines 8-9 of Algorithm 4).
+	for j := 0; j < elems; j++ {
+		if err := mem.StoreVal(d.OUT+uint64(j)*valSz, d.ValT, buf[j]); err != nil {
+			return fmt.Errorf("dma: output flush element %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) executeBlock(d *Descriptor, mem Memory, i uint64, buf []float32) error {
+	idxSz := uint64(d.IdxT.Size())
+	valSz := uint64(d.ValT.Size())
+	idx, err := mem.LoadIdx(d.IDX+i*idxSz, d.IdxT)
+	if err != nil {
+		return err
+	}
+	if idx < 0 {
+		return fmt.Errorf("negative block index %d", idx)
+	}
+	var factor float32
+	if d.Bin != BinNone {
+		factor, err = mem.LoadVal(d.FACTOR+i*valSz, d.ValT)
+		if err != nil {
+			return err
+		}
+	}
+	base := d.IN + uint64(idx)*uint64(d.S)
+	for j := 0; j < len(buf); j++ {
+		v, err := mem.LoadVal(base+uint64(j)*valSz, d.ValT)
+		if err != nil {
+			return err
+		}
+		switch d.Bin {
+		case BinMul:
+			v *= factor
+		case BinAdd:
+			v += factor
+		}
+		switch d.Red {
+		case RedSum:
+			buf[j] += v
+		case RedMax:
+			if v > buf[j] {
+				buf[j] = v
+			}
+		case RedMin:
+			if v < buf[j] {
+				buf[j] = v
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package dma
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory is the engine's view of virtual memory. The engine works in user
+// space with virtual addresses (§5: it translates through the STLB); this
+// interface is the functional analogue, with errors standing in for
+// translation faults reported through the completion record.
+type Memory interface {
+	// LoadIdx reads one index element of the given type at a byte address.
+	LoadIdx(addr uint64, t IdxType) (int64, error)
+	// LoadVal reads one value element at a byte address.
+	LoadVal(addr uint64, t ValType) (float32, error)
+	// StoreVal writes one value element at a byte address.
+	StoreVal(addr uint64, t ValType, v float32) error
+	// StoreStatus writes one completion-record byte.
+	StoreStatus(addr uint64, s Status) error
+}
+
+// Status is a completion record entry (§5.1's STATUS array).
+type Status uint8
+
+// Completion states.
+const (
+	StatusPending Status = iota
+	StatusOK
+	StatusFault
+)
+
+// segKind discriminates the backing slice type of a segment.
+type segKind uint8
+
+const (
+	segF32 segKind = iota
+	segI32
+	segI64
+	segU8
+)
+
+type segment struct {
+	base uint64
+	size uint64
+	kind segKind
+	f32  []float32
+	i32  []int32
+	i64  []int64
+	u8   []uint8
+}
+
+// SliceMemory is a Memory backed by registered typed Go slices, each
+// mapped at a chosen virtual base address. It performs the bounds and
+// alignment checks a real engine's address unit would fault on.
+type SliceMemory struct {
+	segs []segment
+}
+
+func (m *SliceMemory) add(s segment) error {
+	for _, o := range m.segs {
+		if s.base < o.base+o.size && o.base < s.base+s.size {
+			return fmt.Errorf("dma: segment [%#x,%#x) overlaps [%#x,%#x)", s.base, s.base+s.size, o.base, o.base+o.size)
+		}
+	}
+	m.segs = append(m.segs, s)
+	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].base < m.segs[j].base })
+	return nil
+}
+
+// MapF32 maps a float32 slice at base.
+func (m *SliceMemory) MapF32(base uint64, data []float32) error {
+	return m.add(segment{base: base, size: uint64(len(data)) * 4, kind: segF32, f32: data})
+}
+
+// MapI32 maps an int32 slice at base.
+func (m *SliceMemory) MapI32(base uint64, data []int32) error {
+	return m.add(segment{base: base, size: uint64(len(data)) * 4, kind: segI32, i32: data})
+}
+
+// MapI64 maps an int64 slice at base.
+func (m *SliceMemory) MapI64(base uint64, data []int64) error {
+	return m.add(segment{base: base, size: uint64(len(data)) * 8, kind: segI64, i64: data})
+}
+
+// MapU8 maps a byte slice at base (completion records).
+func (m *SliceMemory) MapU8(base uint64, data []uint8) error {
+	return m.add(segment{base: base, size: uint64(len(data)), kind: segU8, u8: data})
+}
+
+func (m *SliceMemory) find(addr uint64, size uint64) (*segment, uint64, error) {
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].base+m.segs[i].size > addr })
+	if i == len(m.segs) || addr < m.segs[i].base || addr+size > m.segs[i].base+m.segs[i].size {
+		return nil, 0, fmt.Errorf("dma: address %#x (+%d) unmapped", addr, size)
+	}
+	return &m.segs[i], addr - m.segs[i].base, nil
+}
+
+// LoadIdx implements Memory.
+func (m *SliceMemory) LoadIdx(addr uint64, t IdxType) (int64, error) {
+	sz := uint64(t.Size())
+	seg, off, err := m.find(addr, sz)
+	if err != nil {
+		return 0, err
+	}
+	if off%sz != 0 {
+		return 0, fmt.Errorf("dma: misaligned index load at %#x", addr)
+	}
+	switch {
+	case t == Idx32 && seg.kind == segI32:
+		return int64(seg.i32[off/4]), nil
+	case t == Idx64 && seg.kind == segI64:
+		return seg.i64[off/8], nil
+	}
+	return 0, fmt.Errorf("dma: index load type mismatch at %#x", addr)
+}
+
+// LoadVal implements Memory.
+func (m *SliceMemory) LoadVal(addr uint64, t ValType) (float32, error) {
+	sz := uint64(t.Size())
+	seg, off, err := m.find(addr, sz)
+	if err != nil {
+		return 0, err
+	}
+	if off%sz != 0 {
+		return 0, fmt.Errorf("dma: misaligned value load at %#x", addr)
+	}
+	if seg.kind != segF32 {
+		return 0, fmt.Errorf("dma: value load type mismatch at %#x", addr)
+	}
+	return seg.f32[off/4], nil
+}
+
+// StoreVal implements Memory.
+func (m *SliceMemory) StoreVal(addr uint64, t ValType, v float32) error {
+	sz := uint64(t.Size())
+	seg, off, err := m.find(addr, sz)
+	if err != nil {
+		return err
+	}
+	if off%sz != 0 {
+		return fmt.Errorf("dma: misaligned value store at %#x", addr)
+	}
+	if seg.kind != segF32 {
+		return fmt.Errorf("dma: value store type mismatch at %#x", addr)
+	}
+	seg.f32[off/4] = v
+	return nil
+}
+
+// StoreStatus implements Memory.
+func (m *SliceMemory) StoreStatus(addr uint64, s Status) error {
+	seg, off, err := m.find(addr, 1)
+	if err != nil {
+		return err
+	}
+	if seg.kind != segU8 {
+		return fmt.Errorf("dma: status store type mismatch at %#x", addr)
+	}
+	seg.u8[off] = uint8(s)
+	return nil
+}

@@ -1,0 +1,205 @@
+package dma
+
+import (
+	"graphite/internal/memsim"
+)
+
+// Span is a contiguous run of cache lines.
+type Span struct {
+	First int64
+	Count int64
+}
+
+// Job is one aggregation descriptor prepared for timing simulation: the
+// line addresses the engine will fetch, with the dependency structure of
+// Fig. 10 (an input block's fetch is gated by the arrival of the index
+// line that names it).
+type Job struct {
+	// Ready is the cycle the core enqueued the descriptor.
+	Ready int64
+	// Idx are the index-array line spans, fetched with priority.
+	Idx []Span
+	// Factor are the factor-array line spans (fetched like indices).
+	Factor []Span
+	// Inputs holds one line span per gathered data block.
+	Inputs []Span
+	// InputGate[i] is the ordinal (within the flattened Idx spans) of the
+	// index line that must arrive before Inputs[i] can be fetched.
+	InputGate []int
+	// Output is the result's line span, written to the core's L2.
+	Output Span
+	// Elems is E, the reduced vector length, for compute-time modelling.
+	Elems int
+}
+
+// TimedEngine is the cycle model of one enhanced DMA engine attached to a
+// core's L2 (Fig. 7). Its fetches bypass the private caches (inputs are
+// read-only by design, so no coherence hazard, §5.2), go through the shared
+// L3/DRAM path, and are limited by the memory-request tracking table; the
+// output buffer is flushed to the attached core's L2.
+type TimedEngine struct {
+	m    *memsim.Machine
+	core int
+	cfg  EngineConfig
+
+	cycle        int64   // fetch-issue frontier
+	computeFree  int64   // when the vector unit finishes its current backlog
+	lastComplete int64   // in-order job completion horizon
+	lastLine     int64   // previous fetched line, for stream detection
+	outstanding  []int64 // tracking-table entries: completion times, sorted
+
+	// Stats.
+	LinesFetched int64
+	QueueDelay   int64
+	JobsDone     int64
+	TrackStall   int64
+}
+
+// NewTimedEngine attaches an engine model to core `core` of machine m.
+func NewTimedEngine(m *memsim.Machine, core int, cfg EngineConfig) *TimedEngine {
+	if cfg.TrackingEntries <= 0 {
+		panic("dma: engine needs tracking-table entries")
+	}
+	if cfg.VectorLanes <= 0 {
+		panic("dma: engine needs vector lanes")
+	}
+	return &TimedEngine{m: m, core: core, cfg: cfg}
+}
+
+// Cycle returns the engine clock.
+func (e *TimedEngine) Cycle() int64 { return e.cycle }
+
+func (e *TimedEngine) retire(now int64) {
+	i := 0
+	for i < len(e.outstanding) && e.outstanding[i] <= now {
+		i++
+	}
+	if i > 0 {
+		e.outstanding = e.outstanding[i:]
+	}
+}
+
+// issue books one line fetch no earlier than `earliest` (its dependency
+// gate), obeying the issue bandwidth (one request per cycle from the
+// control unit) and the tracking table. Requests issue out of order with
+// respect to each other — a gated input waiting for its index does not
+// block an independent later request — which is exactly what lets the
+// engine give "priority to indices to make progress" (Fig. 10). When the
+// table is full the whole frontier stalls until the oldest entry frees.
+// Consecutive lines (the body of a feature-vector span) are detected as a
+// stream, matching the core path. Returns the completion time of this
+// fetch.
+func (e *TimedEngine) issue(line int64, earliest int64) int64 {
+	// Consume one issue slot of control-unit bandwidth.
+	slot := e.cycle
+	e.cycle++
+	at := slot
+	if earliest > at {
+		at = earliest
+	}
+	e.retire(at)
+	if len(e.outstanding) >= e.cfg.TrackingEntries {
+		wait := e.outstanding[0] - at
+		if wait > 0 {
+			e.TrackStall += wait
+			at = e.outstanding[0]
+		}
+		e.retire(at)
+		// A full table blocks the issue frontier too.
+		if at > e.cycle {
+			e.cycle = at
+		}
+	}
+	// The engine translates through the attached core's STLB (§5).
+	at += e.m.Translate(e.core, line)
+	complete, queued := e.m.L3Read(line, at, line == e.lastLine+1)
+	e.lastLine = line
+	e.QueueDelay += queued
+	e.LinesFetched++
+	// Insert sorted (table is small).
+	idx := len(e.outstanding)
+	for idx > 0 && e.outstanding[idx-1] > complete {
+		idx--
+	}
+	e.outstanding = append(e.outstanding, 0)
+	copy(e.outstanding[idx+1:], e.outstanding[idx:])
+	e.outstanding[idx] = complete
+	return complete
+}
+
+// Run simulates one job and returns its completion cycle. Index lines are
+// fetched first (the tracking table "gives priority to indices to make
+// progress", Fig. 10); input blocks issue once their gating index line has
+// arrived; the 4-lane vector unit reduces each block after its data lands,
+// pipelined with the fetches; finally the output buffer flushes to L2.
+//
+// The engine clock tracks the *fetch frontier*, not job completion: while a
+// job's last loads are in flight the engine already fetches for the next
+// descriptor ("rather than underutilizing the memory bandwidth, the DMA
+// engine simultaneously processes a second descriptor", §5.2). Jobs
+// complete in order; the returned completion time is monotone.
+func (e *TimedEngine) Run(job *Job) int64 {
+	ready := job.Ready
+	if e.cycle > ready {
+		ready = e.cycle
+	} else {
+		e.cycle = ready
+	}
+	// Phase 1: index (and factor) fetches with priority (no gate).
+	idxDone := make([]int64, 0, 4)
+	for _, sp := range job.Idx {
+		for l := int64(0); l < sp.Count; l++ {
+			idxDone = append(idxDone, e.issue(sp.First+l, ready))
+		}
+	}
+	for _, sp := range job.Factor {
+		for l := int64(0); l < sp.Count; l++ {
+			e.issue(sp.First+l, ready)
+		}
+	}
+	// Phase 2: gated input fetches, reduction pipelined behind them. The
+	// vector unit is busy from the end of the previous job's reduction.
+	computeEnd := e.computeFree
+	lanes := int64(e.cfg.VectorLanes)
+	for i, sp := range job.Inputs {
+		gate := ready
+		if len(idxDone) > 0 {
+			g := 0
+			if i < len(job.InputGate) {
+				g = job.InputGate[i]
+			}
+			if g >= len(idxDone) {
+				g = len(idxDone) - 1
+			}
+			if idxDone[g] > gate {
+				gate = idxDone[g]
+			}
+		}
+		blockDone := gate
+		for l := int64(0); l < sp.Count; l++ {
+			done := e.issue(sp.First+l, gate)
+			if done > blockDone {
+				blockDone = done
+			}
+		}
+		if blockDone > computeEnd {
+			computeEnd = blockDone
+		}
+		computeEnd += int64(job.Elems) / lanes
+	}
+	// Phase 3: flush the output buffer to the attached L2 (§5.2: the
+	// results are placed in L2 so the core's update phase hits).
+	for l := int64(0); l < job.Output.Count; l++ {
+		e.m.L2WriteFromDMA(e.core, job.Output.First+l)
+		computeEnd++
+	}
+	// Fetch frontier moves on; the reduction pipeline stays busy until
+	// computeEnd; completion is in order.
+	e.computeFree = computeEnd
+	if computeEnd < e.lastComplete {
+		computeEnd = e.lastComplete
+	}
+	e.lastComplete = computeEnd
+	e.JobsDone++
+	return computeEnd
+}

@@ -1,0 +1,92 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"graphite/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of the logits
+// against integer labels and the gradient with respect to the logits
+// (softmax(x) - onehot, scaled by 1/count). Vertices with label < 0 are
+// unlabeled and contribute neither loss nor gradient, supporting the
+// semi-supervised node-classification setting GCN was introduced for.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32) (float64, *tensor.Matrix, error) {
+	if len(labels) != logits.Rows {
+		return 0, nil, fmt.Errorf("gnn: %d labels for %d logit rows", len(labels), logits.Rows)
+	}
+	grad := tensor.NewMatrix(logits.Rows, logits.Cols)
+	count := 0
+	for _, lb := range labels {
+		if lb >= 0 {
+			if int(lb) >= logits.Cols {
+				return 0, nil, fmt.Errorf("gnn: label %d out of range [0,%d)", lb, logits.Cols)
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, grad, nil
+	}
+	var loss float64
+	inv := float32(1.0 / float64(count))
+	for i := 0; i < logits.Rows; i++ {
+		lb := labels[i]
+		if lb < 0 {
+			continue
+		}
+		row := logits.Row(i)
+		g := grad.Row(i)
+		// Numerically stable softmax.
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			g[j] = float32(e)
+			sum += e
+		}
+		invSum := float32(1 / sum)
+		for j := range g {
+			g[j] *= invSum
+		}
+		loss -= math.Log(math.Max(float64(g[lb]), 1e-30))
+		g[lb] -= 1
+		for j := range g {
+			g[j] *= inv
+		}
+	}
+	return loss / float64(count), grad, nil
+}
+
+// Accuracy returns the fraction of labeled vertices whose argmax logit
+// matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int32) float64 {
+	correct, count := 0, 0
+	for i := 0; i < logits.Rows; i++ {
+		lb := labels[i]
+		if lb < 0 {
+			continue
+		}
+		count++
+		row := logits.Row(i)
+		best := 0
+		for j := 1; j < len(row); j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == lb {
+			correct++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(correct) / float64(count)
+}

@@ -1,0 +1,160 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphite/internal/graph"
+	"graphite/internal/tensor"
+)
+
+func TestSampleBlocksStructure(t *testing.T) {
+	g, err := graph.GenerateProfile(graph.Products, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	batch := []int32{3, 50, 99, 120}
+	blocks, err := SampleBlocks(g, SAGE, batch, []int{5, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	// Last block's destinations are the batch.
+	last := blocks[1]
+	if last.NumDst != len(batch) {
+		t.Fatalf("last block has %d dsts, want %d", last.NumDst, len(batch))
+	}
+	for i, v := range batch {
+		if last.SrcIDs[i] != v {
+			t.Fatalf("dst prefix violated at %d", i)
+		}
+	}
+	// Chain invariant: block k's sources are block k+1's... destinations
+	// of block 0 equal sources of block... blocks[0].NumDst == len(blocks[1].SrcIDs).
+	if blocks[0].NumDst != len(blocks[1].SrcIDs) {
+		t.Fatalf("chain broken: block0 dst %d vs block1 src %d", blocks[0].NumDst, len(blocks[1].SrcIDs))
+	}
+	// Fanout respected: each dst row has at most fanout+1 edges (self).
+	for i := 0; i < last.NumDst; i++ {
+		deg := int(last.SubG.Ptr[i+1] - last.SubG.Ptr[i])
+		if deg > 3+1 {
+			t.Fatalf("dst %d has %d sampled edges, fanout 3", i, deg)
+		}
+		if deg < 1 {
+			t.Fatalf("dst %d lost its self edge", i)
+		}
+	}
+	// Column indices are source-local and in range.
+	for _, c := range last.SubG.Col {
+		if c < 0 || int(c) >= len(last.SrcIDs) {
+			t.Fatalf("column %d out of source range %d", c, len(last.SrcIDs))
+		}
+	}
+}
+
+func TestSampleBlocksNoSamplingTakesFullNeighborhood(t *testing.T) {
+	g, err := graph.Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := SampleBlocks(g, SAGE, []int32{0}, []int{0}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := blocks[0]
+	// Hub gathers from itself + all 9 spokes.
+	if got := int(blk.SubG.Ptr[1] - blk.SubG.Ptr[0]); got != 10 {
+		t.Fatalf("hub row has %d edges, want 10", got)
+	}
+}
+
+func TestSampleBlocksErrors(t *testing.T) {
+	g, _ := graph.Star(5)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := SampleBlocks(g, SAGE, nil, []int{3}, rng); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := SampleBlocks(g, SAGE, []int32{99}, []int{3}, rng); err == nil {
+		t.Fatal("out-of-range batch vertex accepted")
+	}
+}
+
+func TestSampledForwardMatchesFullBatchWithoutSampling(t *testing.T) {
+	// With fanout=0 (full neighbourhoods) and a batch of all vertices, the
+	// sampled path must reproduce the full-batch forward (mean aggregator:
+	// block factors are exact for SAGE).
+	n := 80
+	g, err := graph.GenerateProfile(graph.Wikipedia, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrix(n, 12)
+	x.FillRandom(rand.New(rand.NewSource(4)), 1)
+	net := testNet(t, SAGE, []int{12, 8, 4})
+	w, err := NewWorkload(g, SAGE, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Forward(net, w, RunOptions{Impl: ImplBasic, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]int32, n)
+	for i := range batch {
+		batch[i] = int32(i)
+	}
+	blocks, err := SampleBlocks(g, SAGE, batch, []int{0, 0}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := GatherRows(x, blocks[0].SrcIDs, 2)
+	logits, err := SampledForward(net, blocks, feats, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i of logits corresponds to batch[i] == vertex i.
+	if d := tensor.MaxAbsDiff(logits, full.Logits()); d > 2e-3 {
+		t.Fatalf("sampled(full-neighbourhood) differs from full batch by %g", d)
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	x := tensor.NewMatrix(5, 3)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, float32(10*i+j))
+		}
+	}
+	out := GatherRows(x, []int32{4, 0, 2}, 2)
+	if out.At(0, 1) != 41 || out.At(1, 0) != 0 || out.At(2, 2) != 22 {
+		t.Fatalf("gather wrong: %v %v %v", out.Row(0), out.Row(1), out.Row(2))
+	}
+}
+
+func TestRunSampledEpochBreakdown(t *testing.T) {
+	n := 300
+	g, err := graph.GenerateProfile(graph.Products, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrix(n, 16)
+	x.FillRandom(rand.New(rand.NewSource(6)), 1)
+	net := testNet(t, SAGE, []int{16, 8, 4})
+	bd, err := RunSampledEpoch(net, g, x, 64, []int{10, 5}, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatches := (n + 63) / 64
+	if bd.Batches != wantBatches {
+		t.Fatalf("batches %d, want %d", bd.Batches, wantBatches)
+	}
+	if bd.Sampling <= 0 || bd.GNNLayers <= 0 {
+		t.Fatalf("timings not recorded: %+v", bd)
+	}
+	if _, err := RunSampledEpoch(net, g, x, 0, []int{3, 3}, 1, 1, 1); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package gnn
+
+import (
+	"fmt"
+)
+
+// EpochResult reports one training epoch.
+type EpochResult struct {
+	Loss     float64
+	Accuracy float64
+	Timings  Timings
+}
+
+// Trainer drives full-batch training: forward, loss, backward, parameter
+// update, per epoch. The paper's headline result is that CPUs make this
+// full-batch loop practical on large graphs (no sampling, no
+// mini-batching) once the memory bottleneck is treated.
+type Trainer struct {
+	Net  *Network
+	W    *Workload
+	Opts RunOptions
+	// LR is the SGD learning rate used when Adam is nil.
+	LR float32
+	// Adam, when set, replaces plain SGD.
+	Adam *Adam
+
+	grads *Gradients
+	epoch int
+}
+
+// NewTrainer wires a trainer; opts.Train is forced on.
+func NewTrainer(net *Network, w *Workload, opts RunOptions, lr float32) (*Trainer, error) {
+	if w.Labels == nil {
+		return nil, fmt.Errorf("gnn: training workload needs labels")
+	}
+	opts.Train = true
+	return &Trainer{Net: net, W: w, Opts: opts, LR: lr, grads: NewGradients(net)}, nil
+}
+
+// Epoch runs one full-batch training epoch and returns loss/accuracy
+// (computed on the pre-update logits) plus the phase timings.
+func (t *Trainer) Epoch() (EpochResult, error) {
+	opts := t.Opts
+	opts.DropoutSeed = int64(t.epoch) * 1_000_003
+	t.epoch++
+	st, err := Forward(t.Net, t.W, opts)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	loss, dLogits, err := SoftmaxCrossEntropy(st.Logits(), t.W.Labels)
+	if err != nil {
+		return EpochResult{}, err
+	}
+	if st.Logits().HasNaN() {
+		return EpochResult{}, fmt.Errorf("gnn: logits diverged to NaN/Inf at epoch %d", t.epoch)
+	}
+	acc := Accuracy(st.Logits(), t.W.Labels)
+	if err := Backward(t.Net, t.W, st, dLogits, t.grads, opts); err != nil {
+		return EpochResult{}, err
+	}
+	if t.Adam != nil {
+		t.Adam.Step(t.Net, t.grads)
+	} else {
+		SGD(t.Net, t.grads, t.LR)
+	}
+	return EpochResult{Loss: loss, Accuracy: acc, Timings: st.Timings}, nil
+}
+
+// Train runs epochs and returns the per-epoch results.
+func (t *Trainer) Train(epochs int) ([]EpochResult, error) {
+	results := make([]EpochResult, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		r, err := t.Epoch()
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// Infer runs an inference-only forward pass and returns the logits state.
+func Infer(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) {
+	opts.Train = false
+	return Forward(net, w, opts)
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := GenerateProfile(Twitter, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatal("size changed")
+	}
+	for i := range g.Col {
+		if g.Col[i] != back.Col[i] {
+			t.Fatalf("column %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	g, err := FromEdges(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 0 {
+		t.Fatal("empty graph changed")
+	}
+}
+
+func TestReadBinaryRejectsCorruption(t *testing.T) {
+	g, _ := FromEdges(3, []int32{0, 1}, []int32{1, 2})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF // magic
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[4] = 99 // version
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+
+	// Truncated payload.
+	if _, err := ReadBinary(bytes.NewReader(good[:len(good)-2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	// Corrupt a column index out of range.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-4] = 0x7F
+	bad[len(bad)-3] = 0x7F
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}

@@ -1,0 +1,269 @@
+// Package graph provides the graph substrate: compressed sparse row (CSR)
+// adjacency storage, graph builders, synthetic generators mirroring the
+// paper's dataset corpus (Table 3), degree statistics, and edge-list IO.
+//
+// The paper stores the adjacency matrix A in CSR because real graphs are
+// >99% sparse (§2.2): the footprint is O(|E|+|V|) instead of O(|V|²), and
+// the row pointers directly give the per-vertex gather lists used by the
+// aggregation phase and by the DMA descriptors (Fig. 9b).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a directed graph in compressed sparse row form. Row u's neighbours
+// are Col[Ptr[u]:Ptr[u+1]]; these are the vertices u aggregates FROM (its
+// in-neighbourhood N(v) in the paper's notation, since aggregation gathers
+// neighbour features into v).
+type CSR struct {
+	// Ptr has length NumVertices+1; Ptr[0] == 0 and Ptr is non-decreasing.
+	Ptr []int32
+	// Col holds the neighbour indices of every vertex, row by row.
+	Col []int32
+}
+
+// NumVertices returns |V|.
+func (g *CSR) NumVertices() int {
+	if len(g.Ptr) == 0 {
+		return 0
+	}
+	return len(g.Ptr) - 1
+}
+
+// NumEdges returns |E| (directed edge count).
+func (g *CSR) NumEdges() int { return len(g.Col) }
+
+// Degree returns the number of neighbours of vertex v (the paper's D_v).
+func (g *CSR) Degree(v int) int { return int(g.Ptr[v+1] - g.Ptr[v]) }
+
+// Neighbors returns the neighbour slice of vertex v. The slice aliases the
+// graph's storage and must be treated as read-only.
+func (g *CSR) Neighbors(v int) []int32 { return g.Col[g.Ptr[v]:g.Ptr[v+1]] }
+
+// Validate checks the CSR invariants: monotone row pointers covering Col,
+// and neighbour indices within range. Kernels rely on these holding, so the
+// loaders and generators all call Validate before returning a graph.
+func (g *CSR) Validate() error {
+	if len(g.Ptr) == 0 {
+		if len(g.Col) != 0 {
+			return errors.New("graph: empty Ptr with non-empty Col")
+		}
+		return nil
+	}
+	if g.Ptr[0] != 0 {
+		return fmt.Errorf("graph: Ptr[0] = %d, want 0", g.Ptr[0])
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.Ptr[v+1] < g.Ptr[v] {
+			return fmt.Errorf("graph: Ptr not monotone at vertex %d (%d > %d)", v, g.Ptr[v], g.Ptr[v+1])
+		}
+	}
+	if int(g.Ptr[n]) != len(g.Col) {
+		return fmt.Errorf("graph: Ptr[n] = %d, want len(Col) = %d", g.Ptr[n], len(g.Col))
+	}
+	for i, c := range g.Col {
+		if c < 0 || int(c) >= n {
+			return fmt.Errorf("graph: Col[%d] = %d out of range [0,%d)", i, c, n)
+		}
+	}
+	return nil
+}
+
+// FromEdges builds a CSR graph with n vertices from (src, dst) pairs, where
+// each edge means "src aggregates from dst" (dst ∈ N(src)). Duplicate edges
+// are kept; neighbour lists are sorted for deterministic iteration.
+func FromEdges(n int, src, dst []int32) (*CSR, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: %d sources but %d destinations", len(src), len(dst))
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	ptr := make([]int32, n+1)
+	for i, s := range src {
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("graph: edge %d source %d out of range [0,%d)", i, s, n)
+		}
+		if dst[i] < 0 || int(dst[i]) >= n {
+			return nil, fmt.Errorf("graph: edge %d destination %d out of range [0,%d)", i, dst[i], n)
+		}
+		ptr[s+1]++
+	}
+	for v := 0; v < n; v++ {
+		ptr[v+1] += ptr[v]
+	}
+	col := make([]int32, len(src))
+	fill := make([]int32, n)
+	for i, s := range src {
+		col[ptr[s]+fill[s]] = dst[i]
+		fill[s]++
+	}
+	g := &CSR{Ptr: ptr, Col: col}
+	g.SortNeighbors()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SortNeighbors sorts each vertex's neighbour list ascending in place.
+func (g *CSR) SortNeighbors() {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		row := g.Col[g.Ptr[v]:g.Ptr[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+}
+
+// Transpose returns the reverse graph: edge (u,v) becomes (v,u). Training
+// back-propagates gradients through the aggregation, which requires
+// aggregating along reversed edges (the adjacency transpose).
+func (g *CSR) Transpose() *CSR {
+	n := g.NumVertices()
+	ptr := make([]int32, n+1)
+	for _, c := range g.Col {
+		ptr[c+1]++
+	}
+	for v := 0; v < n; v++ {
+		ptr[v+1] += ptr[v]
+	}
+	col := make([]int32, len(g.Col))
+	fill := make([]int32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			col[ptr[v]+fill[v]] = int32(u)
+			fill[v]++
+		}
+	}
+	t := &CSR{Ptr: ptr, Col: col}
+	t.SortNeighbors()
+	return t
+}
+
+// AddSelfLoops returns a copy of g where every vertex has itself in its
+// neighbour list exactly once. Both GCN and GraphSAGE aggregate over
+// N(v) ∪ {v} (Table 2); materialising the self edge lets all kernels and
+// the DMA descriptors treat the aggregation as a plain gather over the row.
+func (g *CSR) AddSelfLoops() *CSR {
+	n := g.NumVertices()
+	ptr := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		row := g.Neighbors(v)
+		extra := int32(1)
+		for _, u := range row {
+			if int(u) == v {
+				extra = 0
+				break
+			}
+		}
+		ptr[v+1] = ptr[v] + int32(len(row)) + extra
+	}
+	col := make([]int32, ptr[n])
+	for v := 0; v < n; v++ {
+		out := col[ptr[v]:ptr[v+1]]
+		row := g.Neighbors(v)
+		if len(out) == len(row) {
+			copy(out, row)
+			continue
+		}
+		// Insert v keeping the row sorted.
+		i := 0
+		for i < len(row) && int(row[i]) < v {
+			out[i] = row[i]
+			i++
+		}
+		out[i] = int32(v)
+		copy(out[i+1:], row[i:])
+	}
+	return &CSR{Ptr: ptr, Col: col}
+}
+
+// HasSelfLoops reports whether every vertex appears in its own row.
+func (g *CSR) HasSelfLoops() bool {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		found := false
+		for _, u := range g.Neighbors(v) {
+			if int(u) == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return n > 0
+}
+
+// Permute relabels vertices so that new vertex i is old vertex order[i].
+// order must be a permutation of [0, n). The locality optimization (§4.4)
+// is applied by permuting the processing order; Permute materialises a
+// relabelled graph for experiments that need the storage order changed too.
+func (g *CSR) Permute(order []int32) (*CSR, error) {
+	n := g.NumVertices()
+	if len(order) != n {
+		return nil, fmt.Errorf("graph: permutation length %d, want %d", len(order), n)
+	}
+	inv := make([]int32, n)
+	seen := make([]bool, n)
+	for newID, oldID := range order {
+		if oldID < 0 || int(oldID) >= n {
+			return nil, fmt.Errorf("graph: permutation entry %d out of range", oldID)
+		}
+		if seen[oldID] {
+			return nil, fmt.Errorf("graph: vertex %d appears twice in permutation", oldID)
+		}
+		seen[oldID] = true
+		inv[oldID] = int32(newID)
+	}
+	ptr := make([]int32, n+1)
+	for newID := 0; newID < n; newID++ {
+		ptr[newID+1] = ptr[newID] + int32(g.Degree(int(order[newID])))
+	}
+	col := make([]int32, len(g.Col))
+	for newID := 0; newID < n; newID++ {
+		out := col[ptr[newID]:ptr[newID+1]]
+		for i, u := range g.Neighbors(int(order[newID])) {
+			out[i] = inv[u]
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return &CSR{Ptr: ptr, Col: col}, nil
+}
+
+// DegreeStats summarises a degree distribution the way Table 3 reports it.
+type DegreeStats struct {
+	Mean     float64
+	Max      int
+	Variance float64
+}
+
+// Stats computes the Table 3 degree statistics of g.
+func (g *CSR) Stats() DegreeStats {
+	n := g.NumVertices()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	var sum, sumSq float64
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := sum / float64(n)
+	return DegreeStats{
+		Mean:     mean,
+		Max:      maxDeg,
+		Variance: math.Max(0, sumSq/float64(n)-mean*mean),
+	}
+}

@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustFromEdges(t *testing.T, n int, src, dst []int32) *CSR {
+	t.Helper()
+	g, err := FromEdges(n, src, dst)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := mustFromEdges(t, 4,
+		[]int32{1, 1, 1, 0, 0, 3},
+		[]int32{0, 2, 3, 2, 0, 1})
+	if g.NumVertices() != 4 || g.NumEdges() != 6 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(1) != 3 {
+		t.Fatalf("degree(1)=%d, want 3", g.Degree(1))
+	}
+	nbr := g.Neighbors(1)
+	want := []int32{0, 2, 3}
+	for i := range want {
+		if nbr[i] != want[i] {
+			t.Fatalf("neighbors(1)=%v, want %v", nbr, want)
+		}
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("degree(2)=%d, want 0", g.Degree(2))
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(2, []int32{0}, []int32{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := FromEdges(2, []int32{0}, []int32{5}); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if _, err := FromEdges(2, []int32{-1}, []int32{0}); err == nil {
+		t.Fatal("negative source accepted")
+	}
+	if _, err := FromEdges(-1, nil, nil); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustFromEdges(t, 0, nil, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph invalid: %v", err)
+	}
+	s := g.Stats()
+	if s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty graph stats %+v", s)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := mustFromEdges(t, 3, []int32{0, 1}, []int32{1, 2})
+	g.Col[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	g = mustFromEdges(t, 3, []int32{0, 1}, []int32{1, 2})
+	g.Ptr[1] = 5
+	if err := g.Validate(); err == nil {
+		t.Fatal("broken row pointers accepted")
+	}
+	bad := &CSR{Ptr: nil, Col: []int32{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty Ptr with Col accepted")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		e := rng.Intn(100)
+		src := make([]int32, e)
+		dst := make([]int32, e)
+		for i := range src {
+			src[i] = int32(rng.Intn(n))
+			dst[i] = int32(rng.Intn(n))
+		}
+		g, err := FromEdges(n, src, dst)
+		if err != nil {
+			return false
+		}
+		tt := g.Transpose().Transpose()
+		if tt.NumVertices() != g.NumVertices() || tt.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, b := g.Neighbors(v), tt.Neighbors(v)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeEdgeReversal(t *testing.T) {
+	g := mustFromEdges(t, 3, []int32{0, 0, 2}, []int32{1, 2, 1})
+	tr := g.Transpose()
+	if tr.Degree(1) != 2 || tr.Degree(2) != 1 || tr.Degree(0) != 0 {
+		t.Fatalf("transpose degrees wrong: %d %d %d", tr.Degree(0), tr.Degree(1), tr.Degree(2))
+	}
+}
+
+func TestAddSelfLoops(t *testing.T) {
+	g := mustFromEdges(t, 4, []int32{0, 1, 2}, []int32{1, 1, 3})
+	if g.HasSelfLoops() {
+		t.Fatal("graph without self loops reports having them")
+	}
+	sl := g.AddSelfLoops()
+	if !sl.HasSelfLoops() {
+		t.Fatal("AddSelfLoops missing a loop")
+	}
+	// Vertex 1 already had the self edge 1->1: no duplicate added.
+	if sl.Degree(1) != 1 {
+		t.Fatalf("degree(1)=%d after self loops, want 1 (1->1 already present)", sl.Degree(1))
+	}
+	// Vertex 0 had only 0->1: gains the self loop.
+	if sl.Degree(0) != 2 {
+		t.Fatalf("degree(0)=%d after self loops, want 2", sl.Degree(0))
+	}
+	// Idempotent.
+	sl2 := sl.AddSelfLoops()
+	if sl2.NumEdges() != sl.NumEdges() {
+		t.Fatalf("AddSelfLoops not idempotent: %d vs %d edges", sl2.NumEdges(), sl.NumEdges())
+	}
+	// Rows remain sorted.
+	if err := sl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < sl.NumVertices(); v++ {
+		row := sl.Neighbors(v)
+		for i := 1; i < len(row); i++ {
+			if row[i-1] >= row[i] {
+				t.Fatalf("row %d not strictly sorted: %v", v, row)
+			}
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	g, err := GenerateProfile(Products, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	order := rand.New(rand.NewSource(7)).Perm(n)
+	o32 := make([]int32, n)
+	for i, v := range order {
+		o32[i] = int32(v)
+	}
+	p, err := g.Permute(o32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Inverse permutation restores the original.
+	inv := make([]int32, n)
+	for newID, oldID := range o32 {
+		inv[oldID] = int32(newID)
+	}
+	back, err := p.Permute(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		a, b := g.Neighbors(v), back.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d row changed: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestPermuteRejectsBadInput(t *testing.T) {
+	g := mustFromEdges(t, 3, []int32{0}, []int32{1})
+	if _, err := g.Permute([]int32{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := g.Permute([]int32{0, 1, 1}); err == nil {
+		t.Fatal("duplicate entry accepted")
+	}
+	if _, err := g.Permute([]int32{0, 1, 5}); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := mustFromEdges(t, 3, []int32{0, 0, 1}, []int32{1, 2, 2})
+	s := g.Stats()
+	if s.Mean != 1 || s.Max != 2 {
+		t.Fatalf("stats %+v, want mean 1 max 2", s)
+	}
+	// degrees 2,1,0: variance = (4+1+0)/3 - 1 = 2/3
+	if s.Variance < 0.66 || s.Variance > 0.67 {
+		t.Fatalf("variance %g, want 2/3", s.Variance)
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateProfilesMatchShape(t *testing.T) {
+	const n = 4000
+	for _, p := range Profiles() {
+		g, err := GenerateProfile(p, n)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		got := g.Stats()
+		_, _, want := p.PaperStats()
+		if math.Abs(got.Mean-want.Mean) > want.Mean*0.25 {
+			t.Errorf("%s: mean degree %.1f, want within 25%% of %.1f", p, got.Mean, want.Mean)
+		}
+		// The tail ordering must match the paper: twitter has by far the
+		// largest variance relative to its mean.
+		t.Logf("%s: mean=%.1f max=%d var=%.0f", p, got.Mean, got.Max, got.Variance)
+	}
+}
+
+func TestGenerateTwitterHasHeaviestTail(t *testing.T) {
+	const n = 4000
+	varOverMean := map[Profile]float64{}
+	for _, p := range Profiles() {
+		g, err := GenerateProfile(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.Stats()
+		varOverMean[p] = s.Variance / s.Mean
+	}
+	for _, p := range []Profile{Wikipedia, Papers} {
+		if varOverMean[Twitter] <= varOverMean[p] {
+			t.Errorf("twitter tail (var/mean %.1f) not heavier than %s (%.1f)",
+				varOverMean[Twitter], p, varOverMean[p])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{NumVertices: 500, AvgDegree: 8, Alpha: 2.2, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("nondeterministic edge count: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatalf("nondeterministic at column %d", i)
+		}
+	}
+}
+
+func TestGenerateNoSelfOrDuplicateEdges(t *testing.T) {
+	g, err := Generate(Config{NumVertices: 300, AvgDegree: 20, Alpha: 2.0, HubZipfS: 1.3, LocalityProb: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		row := g.Neighbors(v)
+		for i, u := range row {
+			if int(u) == v {
+				t.Fatalf("vertex %d has a self edge", v)
+			}
+			if i > 0 && row[i-1] == u {
+				t.Fatalf("vertex %d has duplicate neighbour %d", v, u)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{NumVertices: 0, AvgDegree: 5}); err == nil {
+		t.Fatal("zero vertices accepted")
+	}
+	if _, err := Generate(Config{NumVertices: 10, AvgDegree: 0}); err == nil {
+		t.Fatal("zero degree accepted")
+	}
+}
+
+func TestGenerateDenseSmallGraphTerminates(t *testing.T) {
+	// Degree close to n-1 forces the duplicate-avoidance fallback path.
+	g, err := Generate(Config{NumVertices: 8, AvgDegree: 7, Alpha: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := Grid2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Fatalf("vertices %d, want 12", g.NumVertices())
+	}
+	// Interior vertex (1,1) = id 5 has 4 neighbours.
+	if g.Degree(5) != 4 {
+		t.Fatalf("interior degree %d, want 4", g.Degree(5))
+	}
+	// Corner has 2.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree %d, want 2", g.Degree(0))
+	}
+	if _, err := Grid2D(0, 4); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 9 {
+		t.Fatalf("hub degree %d, want 9", g.Degree(0))
+	}
+	for v := 1; v < 10; v++ {
+		if g.Degree(v) != 1 || g.Neighbors(v)[0] != 0 {
+			t.Fatalf("spoke %d wrong: deg=%d", v, g.Degree(v))
+		}
+	}
+	if _, err := Star(1); err == nil {
+		t.Fatal("one-vertex star accepted")
+	}
+}
+
+func TestProfileInputFeatureLens(t *testing.T) {
+	want := map[Profile]int{Products: 100, Wikipedia: 128, Papers: 256, Twitter: 256}
+	for p, f := range want {
+		if got := p.InputFeatureLen(); got != f {
+			t.Errorf("%s input feature len %d, want %d", p, got, f)
+		}
+	}
+}

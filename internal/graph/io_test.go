@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := GenerateProfile(Wikipedia, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), back.Neighbors(v)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d differs after round trip", v)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListInfersVertexCount(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 3\n3 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("inferred %d vertices, want 4", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListHeaderExtendsVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# vertices 10\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("got %d vertices, want 10 (isolated tail vertices kept)", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# SNAP-style comment\n\n0 1\n# another\n1 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("got %d edges, want 2", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"0 1 2\n",             // three fields
+		"a b\n",               // not numbers
+		"0 -1\n",              // negative id
+		"# vertices 1\n0 3\n", // header smaller than max id
+		"0\n",                 // one field
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

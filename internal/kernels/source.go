@@ -1,0 +1,152 @@
+// Package kernels implements the aggregation-phase kernels: the paper's
+// parallel vectorized aggregation (§4.1, Algorithm 1), the block helpers the
+// fused drivers build on (§4.2, Algorithm 2), and the DistGNN-style baseline
+// aggregation the evaluation compares against (§6).
+//
+// All kernels are output-parallel: each task owns disjoint rows of the
+// aggregation matrix and every other operand is read-only, so no
+// synchronization is needed (§4.1).
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"graphite/internal/compress"
+	"graphite/internal/tensor"
+)
+
+// Source abstracts where the input feature rows come from: a dense
+// tensor.Matrix or a compressed compress.Matrix (§4.3). The kernels only
+// ever accumulate rows (gather + ψ + reduce in one pass) and touch rows for
+// prefetching, so the interface stays minimal and the per-row cost
+// amortises the dynamic dispatch.
+type Source interface {
+	// Cols is the feature vector length F.
+	Cols() int
+	// Rows is the number of feature vectors.
+	Rows() int
+	// AXPYRow accumulates dst += alpha · row(i).
+	AXPYRow(dst []float32, i int, alpha float32)
+	// Touch reads the first cache lines of row i and returns a value
+	// derived from them, emulating the paper's software prefetch of "only
+	// the first two cache lines of each feature vector" (§4.1). The
+	// caller folds the return value into a live sink so the loads are not
+	// dead-code eliminated.
+	Touch(i int) float32
+}
+
+// DenseSource adapts a tensor.Matrix. The AXPY inner loop is specialised at
+// construction time for the row width — the substitute for the paper's JIT
+// assembler, which generates a kernel "tailored to each layer's
+// specification" once per session (§4.1): the specialised closure has a
+// fixed trip count and no tail handling.
+type DenseSource struct {
+	m    *tensor.Matrix
+	axpy func(dst, src []float32, alpha float32)
+}
+
+// NewDenseSource wraps m.
+func NewDenseSource(m *tensor.Matrix) *DenseSource {
+	return &DenseSource{m: m, axpy: MakeAXPY(m.Cols)}
+}
+
+// Cols implements Source.
+func (s *DenseSource) Cols() int { return s.m.Cols }
+
+// Rows implements Source.
+func (s *DenseSource) Rows() int { return s.m.Rows }
+
+// AXPYRow implements Source.
+func (s *DenseSource) AXPYRow(dst []float32, i int, alpha float32) {
+	s.axpy(dst, s.m.Row(i), alpha)
+}
+
+// Touch implements Source.
+func (s *DenseSource) Touch(i int) float32 {
+	row := s.m.RowPadded(i)
+	v := row[0]
+	if len(row) > tensor.LineFloats {
+		v += row[tensor.LineFloats]
+	}
+	return v
+}
+
+// CompressedSource adapts a compress.Matrix.
+type CompressedSource struct {
+	m *compress.Matrix
+}
+
+// NewCompressedSource wraps m.
+func NewCompressedSource(m *compress.Matrix) *CompressedSource {
+	return &CompressedSource{m: m}
+}
+
+// Cols implements Source.
+func (s *CompressedSource) Cols() int { return s.m.Cols }
+
+// Rows implements Source.
+func (s *CompressedSource) Rows() int { return s.m.Rows }
+
+// AXPYRow implements Source. Decompression happens on the fly against the
+// mask (Fig. 6c) fused with the reduction, so the dense row is never
+// materialised.
+func (s *CompressedSource) AXPYRow(dst []float32, i int, alpha float32) {
+	s.m.AXPYRow(dst, i, alpha)
+}
+
+// Touch implements Source.
+func (s *CompressedSource) Touch(i int) float32 {
+	mask := s.m.Mask(i)
+	return float32(mask[0] & 1)
+}
+
+// MakeAXPY returns an axpy specialised for the given vector width. Widths
+// that are a multiple of 16 (one cache line of floats — the common case for
+// the paper's 256-wide hidden features) get a tail-free 8-way-unrolled
+// loop; other widths get the generic version.
+func MakeAXPY(cols int) func(dst, src []float32, alpha float32) {
+	if cols >= 16 && cols%16 == 0 {
+		return func(dst, src []float32, alpha float32) {
+			_ = dst[cols-1]
+			_ = src[cols-1]
+			for j := 0; j < cols; j += 8 {
+				dst[j] += alpha * src[j]
+				dst[j+1] += alpha * src[j+1]
+				dst[j+2] += alpha * src[j+2]
+				dst[j+3] += alpha * src[j+3]
+				dst[j+4] += alpha * src[j+4]
+				dst[j+5] += alpha * src[j+5]
+				dst[j+6] += alpha * src[j+6]
+				dst[j+7] += alpha * src[j+7]
+			}
+		}
+	}
+	return func(dst, src []float32, alpha float32) {
+		tensor.AXPY(dst[:cols], src[:cols], alpha)
+	}
+}
+
+// checkAggArgs validates the common kernel preconditions.
+func checkAggArgs(out *tensor.Matrix, numVertices, numEdges int, factors []float32, src Source) {
+	if out.Rows != numVertices {
+		panic(fmt.Sprintf("kernels: output rows %d, want %d", out.Rows, numVertices))
+	}
+	if src.Rows() != numVertices {
+		panic(fmt.Sprintf("kernels: source rows %d, want %d", src.Rows(), numVertices))
+	}
+	if out.Cols != src.Cols() {
+		panic(fmt.Sprintf("kernels: output cols %d, source cols %d", out.Cols, src.Cols()))
+	}
+	if len(factors) != numEdges {
+		panic(fmt.Sprintf("kernels: factor array length %d, want %d", len(factors), numEdges))
+	}
+}
+
+// foldSink keeps prefetch-touch loads alive without a data race: the
+// comparison consumes the value, and no real feature equals MaxFloat32.
+func foldSink(sink float32) {
+	if sink == math.MaxFloat32 {
+		panic("kernels: prefetch sink observed sentinel value")
+	}
+}

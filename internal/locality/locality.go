@@ -1,0 +1,137 @@
+// Package locality implements the paper's temporal-locality optimization
+// (§4.4, Algorithm 3): a vertex processing order that shrinks the reuse
+// distance of feature vectors during aggregation, plus the randomized
+// orders used as the "average locality" control in Fig. 15, and an LRU
+// reuse estimator used to validate that the reorder actually helps.
+package locality
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+
+	"graphite/internal/graph"
+)
+
+// Reorder computes the Algorithm 3 processing order M. Each vertex v is
+// assigned to the group L[u'] of the highest-degree vertex u' among
+// N(v) ∪ {v} (ties keep the first maximum encountered, matching the
+// strict '>' comparison in the paper's pseudo-code); the order is then the
+// concatenation of the groups in vertex-id order. Vertices placed in L[u]
+// all read u's feature vector, so processing them back to back gives that
+// hub's features a short reuse distance — high-degree vertices are
+// prioritised because their features are read D_v+1 times.
+//
+// Runs in O(|E|+|V|) and allocates two int32 arrays, so the cost is
+// amortised over the training iterations that reuse it (§4.4 applies it to
+// training only).
+func Reorder(g *graph.CSR) []int32 {
+	n := g.NumVertices()
+	// groupOf[v] = u' — the group vertex v lands in.
+	groupOf := make([]int32, n)
+	counts := make([]int32, n)
+	for v := 0; v < n; v++ {
+		best := int32(v)
+		bestDeg := g.Degree(v)
+		for _, u := range g.Neighbors(v) {
+			if d := g.Degree(int(u)); d > bestDeg {
+				bestDeg = d
+				best = u
+			}
+		}
+		groupOf[v] = best
+		counts[best]++
+	}
+	// Bucket the vertices by group with a counting sort: offsets then fill.
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + counts[v]
+	}
+	order := make([]int32, n)
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for v := 0; v < n; v++ {
+		u := groupOf[v]
+		order[fill[u]] = int32(v)
+		fill[u]++
+	}
+	return order
+}
+
+// Identity returns the natural order 0..n-1 (the graph's stored order,
+// which for some corpora "already embed[s] locality optimization from their
+// sources", §7.2.4).
+func Identity(n int) []int32 {
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	return order
+}
+
+// Randomized returns a uniformly random processing order. Fig. 15 averages
+// five of these to estimate the "average locality" performance of a graph.
+func Randomized(n int, seed int64) []int32 {
+	order := Identity(n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// IsPermutation reports whether order is a permutation of [0, n).
+func IsPermutation(order []int32, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// HitRate estimates the cache hit rate of feature-vector reads during an
+// aggregation that processes vertices in the given order, using a fully
+// associative LRU cache holding capacity feature vectors. One "access" is
+// one whole neighbour feature-vector read (u ∈ N(v) ∪ {v}). It is the
+// reuse-distance oracle the tests and the Fig. 15 harness use to connect
+// an ordering to its expected memory behaviour.
+func HitRate(g *graph.CSR, order []int32, capacity int) (float64, error) {
+	n := g.NumVertices()
+	if !IsPermutation(order, n) {
+		return 0, fmt.Errorf("locality: order is not a permutation of [0,%d)", n)
+	}
+	if capacity <= 0 {
+		return 0, fmt.Errorf("locality: capacity must be positive, got %d", capacity)
+	}
+	lru := list.New()
+	pos := make(map[int32]*list.Element, capacity+1)
+	hits, total := 0, 0
+	touch := func(u int32) {
+		total++
+		if el, ok := pos[u]; ok {
+			hits++
+			lru.MoveToFront(el)
+			return
+		}
+		pos[u] = lru.PushFront(u)
+		if lru.Len() > capacity {
+			back := lru.Back()
+			lru.Remove(back)
+			delete(pos, back.Value.(int32))
+		}
+	}
+	for _, v := range order {
+		touch(v) // each vertex also reads its own features
+		for _, u := range g.Neighbors(int(v)) {
+			touch(u)
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(hits) / float64(total), nil
+}

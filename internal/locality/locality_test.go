@@ -1,0 +1,185 @@
+package locality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphite/internal/graph"
+)
+
+func TestReorderIsPermutation(t *testing.T) {
+	for _, p := range graph.Profiles() {
+		g, err := graph.GenerateProfile(p, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := Reorder(g)
+		if !IsPermutation(order, g.NumVertices()) {
+			t.Fatalf("%s: Reorder output is not a permutation", p)
+		}
+	}
+}
+
+func TestReorderPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		e := rng.Intn(200)
+		src := make([]int32, e)
+		dst := make([]int32, e)
+		for i := range src {
+			src[i] = int32(rng.Intn(n))
+			dst[i] = int32(rng.Intn(n))
+		}
+		g, err := graph.FromEdges(n, src, dst)
+		if err != nil {
+			return false
+		}
+		return IsPermutation(Reorder(g), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderGroupsSpokesWithHub(t *testing.T) {
+	// In a star, every spoke's highest-degree neighbour is the hub, and the
+	// hub's own highest-degree neighbour is itself — so the order is the
+	// hub's group containing all vertices, i.e. identity-like grouping.
+	g, err := graph.Star(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := Reorder(g)
+	if !IsPermutation(order, 8) {
+		t.Fatal("not a permutation")
+	}
+	// All vertices map to group 0, so they appear in id order.
+	for i, v := range order {
+		if int(v) != i {
+			t.Fatalf("star order[%d]=%d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestReorderEmptyAndSingleton(t *testing.T) {
+	g, err := graph.FromEdges(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Reorder(g)) != 0 {
+		t.Fatal("empty graph order not empty")
+	}
+	g1, err := graph.FromEdges(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Reorder(g1)
+	if len(o) != 1 || o[0] != 0 {
+		t.Fatalf("singleton order %v", o)
+	}
+}
+
+func TestRandomizedIsPermutationAndSeeded(t *testing.T) {
+	a := Randomized(100, 1)
+	b := Randomized(100, 1)
+	c := Randomized(100, 2)
+	if !IsPermutation(a, 100) {
+		t.Fatal("not a permutation")
+	}
+	same := true
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different orders")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical orders")
+	}
+}
+
+func TestIsPermutationRejects(t *testing.T) {
+	if IsPermutation([]int32{0, 1}, 3) {
+		t.Fatal("short slice accepted")
+	}
+	if IsPermutation([]int32{0, 0, 1}, 3) {
+		t.Fatal("duplicate accepted")
+	}
+	if IsPermutation([]int32{0, 1, 3}, 3) {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestHitRateImprovesWithReorderOnHubGraph(t *testing.T) {
+	// A hub-heavy profile: many vertices share high-degree neighbours, so
+	// grouping by hub should beat a random order under a small cache.
+	g, err := graph.GenerateProfile(graph.Products, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := 64
+	reordered, err := HitRate(g, Reorder(g), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randomSum float64
+	for seed := int64(0); seed < 3; seed++ {
+		r, err := HitRate(g, Randomized(g.NumVertices(), seed), capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomSum += r
+	}
+	random := randomSum / 3
+	t.Logf("hit rate: reordered %.3f vs randomized %.3f", reordered, random)
+	if reordered <= random {
+		t.Fatalf("reorder hit rate %.3f did not beat randomized %.3f", reordered, random)
+	}
+}
+
+func TestHitRateBoundsAndErrors(t *testing.T) {
+	g, err := graph.Grid2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := HitRate(g, Identity(16), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %g out of (0,1) for an oversized cache", hr)
+	}
+	if _, err := HitRate(g, Identity(5), 10); err == nil {
+		t.Fatal("bad order accepted")
+	}
+	if _, err := HitRate(g, Identity(16), 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestHitRateMonotoneInCapacity(t *testing.T) {
+	g, err := graph.GenerateProfile(graph.Wikipedia, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := Identity(g.NumVertices())
+	prev := -1.0
+	for _, c := range []int{8, 32, 128, 512} {
+		hr, err := HitRate(g, order, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hr < prev {
+			t.Fatalf("hit rate decreased from %.3f to %.3f as capacity grew to %d", prev, hr, c)
+		}
+		prev = hr
+	}
+}

@@ -1,0 +1,159 @@
+// Package memsim is a trace-driven, cycle-approximate multi-core memory
+// hierarchy simulator — the stand-in for the Sniper simulator and VTune
+// counters the paper uses for its hardware evaluation (§6) and memory
+// characterization (§3, §7.2.1, §7.3).
+//
+// The model: per-core in-order issue with a limited number of L1 fill
+// buffers (MSHRs) gating outstanding misses, private set-associative
+// write-back L1/L2, a shared L3, and a DRAM model with a fixed service
+// latency plus a global bandwidth regulator that creates queuing delay when
+// cores collectively exceed the pin bandwidth. Workload drivers replay the
+// kernels' memory access patterns against a Machine and read the resulting
+// counters; the perf package maps those counters onto the paper's top-down
+// pipeline-slot metrics.
+package memsim
+
+import "fmt"
+
+// LineBytes is the cache line size.
+const LineBytes = 64
+
+// Cache is a set-associative write-back cache with LRU replacement,
+// addressed by line number.
+type Cache struct {
+	sets     int
+	ways     int
+	lines    []int64 // sets*ways entries; -1 = invalid
+	dirty    []bool
+	lruClock []uint64 // per-entry last-use stamp
+	clock    uint64
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache of the given total size and associativity.
+func NewCache(sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("memsim: bad cache geometry %dB/%d-way", sizeBytes, ways))
+	}
+	lines := sizeBytes / LineBytes
+	if lines < ways {
+		ways = lines
+	}
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{sets: sets, ways: ways}
+	c.lines = make([]int64, sets*ways)
+	c.dirty = make([]bool, sets*ways)
+	c.lruClock = make([]uint64, sets*ways)
+	for i := range c.lines {
+		c.lines[i] = -1
+	}
+	return c
+}
+
+func (c *Cache) setOf(line int64) int {
+	s := int(line % int64(c.sets))
+	if s < 0 {
+		s += c.sets
+	}
+	return s
+}
+
+// Lookup probes for the line without counting an access (used by tests and
+// by the DMA output-prefetch check).
+func (c *Cache) Lookup(line int64) bool {
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access probes for the line, counting the access, updating LRU on a hit,
+// and optionally marking it dirty.
+func (c *Cache) Access(line int64, write bool) bool {
+	c.Accesses++
+	c.clock++
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			c.lruClock[base+w] = c.clock
+			if write {
+				c.dirty[base+w] = true
+			}
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Evicted describes a line displaced by Install.
+type Evicted struct {
+	Line  int64
+	Dirty bool
+	Valid bool
+}
+
+// Install places the line (after a miss was serviced), returning any
+// displaced victim so the caller can propagate the write-back.
+func (c *Cache) Install(line int64, dirty bool) Evicted {
+	c.clock++
+	base := c.setOf(line) * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.lines[i] == line {
+			// Already present (racing installs): just update state.
+			c.lruClock[i] = c.clock
+			if dirty {
+				c.dirty[i] = true
+			}
+			return Evicted{}
+		}
+		if c.lines[i] == -1 {
+			victim = i
+			break
+		}
+		if c.lruClock[i] < c.lruClock[victim] {
+			victim = i
+		}
+	}
+	ev := Evicted{}
+	if c.lines[victim] != -1 {
+		ev = Evicted{Line: c.lines[victim], Dirty: c.dirty[victim], Valid: true}
+	}
+	c.lines[victim] = line
+	c.dirty[victim] = dirty
+	c.lruClock[victim] = c.clock
+	return ev
+}
+
+// Invalidate drops the line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(line int64) (wasDirty, present bool) {
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.lines[i] == line {
+			d := c.dirty[i]
+			c.lines[i] = -1
+			c.dirty[i] = false
+			return d, true
+		}
+	}
+	return false, false
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

@@ -1,0 +1,565 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// storeBufferEntries is the per-core store-buffer depth gating in-flight
+// store misses.
+const storeBufferEntries = 32
+
+// Config describes the simulated machine. DefaultConfig mirrors the
+// paper's evaluation platform (§6): a Cascade Lake server with 32KB 8-way
+// L1D, 1MB 16-way L2, 1.375MB of shared L3 per core, and 140.8GB/s of DRAM
+// bandwidth at a fixed 2.7GHz — which works out to ≈52 bytes/cycle across
+// 28 cores, i.e. ≈1.86 bytes/cycle/core, the figure we scale by the
+// simulated core count.
+type Config struct {
+	Cores             int
+	L1Bytes, L1Ways   int
+	L2Bytes, L2Ways   int
+	L3Bytes, L3Ways   int
+	L1Lat             int64 // load-to-use, hidden when pipelined
+	L2Lat             int64
+	L3Lat             int64
+	DRAMLat           int64   // service latency once issued to DRAM
+	MSHRs             int     // per-core L1 fill buffers (§3: 10-12 on Skylake-family cores)
+	DRAMBytesPerCycle float64 // shared pin bandwidth
+
+	// STLBEntries enables the second-level TLB model when > 0: each core
+	// (and its DMA engine, which "accesses the STLB for address
+	// translation", §5) translates through a per-core fully-associative
+	// LRU TLB over 4KB pages, paying STLBMissLat cycles per walk. Off by
+	// default; the experiment harness leaves translation out of the
+	// calibration, but graphite-sim exposes it for what-if runs.
+	STLBEntries int
+	// STLBMissLat is the page-walk penalty in cycles (default 60 when the
+	// TLB is enabled).
+	STLBMissLat int64
+}
+
+// DefaultConfig returns the §6 machine scaled to the given core count.
+func DefaultConfig(cores int) Config {
+	if cores <= 0 {
+		cores = 8
+	}
+	return Config{
+		Cores:   cores,
+		L1Bytes: 32 << 10, L1Ways: 8,
+		L2Bytes: 1 << 20, L2Ways: 16,
+		L3Bytes: cores * 1408 << 10, L3Ways: 11,
+		L1Lat: 4, L2Lat: 14, L3Lat: 44,
+		DRAMLat:           240,
+		MSHRs:             10,
+		DRAMBytesPerCycle: 1.86 * float64(cores),
+	}
+}
+
+// core is one simulated core's execution state.
+type core struct {
+	cycle         int64
+	outstanding   []int64 // completion times of in-flight demand misses, sorted
+	outstandingPf []int64 // completion times of in-flight prefetches, sorted
+	outstandingSt []int64 // completion times of in-flight store misses, sorted
+	lastMissLine  int64   // previous missed line, for stream detection
+
+	computeCycles  int64
+	fillFullStall  int64 // cycles stalled because all fill buffers were busy
+	drainStall     int64 // cycles stalled waiting for issued loads to land
+	l1Hits, l1Miss int64
+	l2Hits, l2Miss int64
+	l3Hits, l3Miss int64
+	dramQueue      int64 // cumulative DRAM queuing delay observed
+	dramReads      int64
+	tlbWalks       int64
+}
+
+// Machine is the simulated multi-core memory system. It is not safe for
+// concurrent use: the workload drivers interleave agents explicitly (by
+// advancing whichever agent has the smallest clock), which is what makes
+// multi-core contention deterministic.
+type Machine struct {
+	cfg   Config
+	cores []core
+	l1    []*Cache
+	l2    []*Cache
+	l3    *Cache
+
+	tlbs []*Cache // per-core STLB (nil when disabled)
+
+	dramFree      int64 // cycle at which DRAM can accept the next line
+	lineCycles    float64
+	dramFracAccum float64
+	dramWrites    int64
+}
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("memsim: config needs at least one core")
+	}
+	if cfg.MSHRs <= 0 {
+		panic("memsim: config needs at least one fill buffer")
+	}
+	if cfg.DRAMBytesPerCycle <= 0 {
+		panic("memsim: config needs DRAM bandwidth")
+	}
+	if cfg.STLBEntries > 0 && cfg.STLBMissLat <= 0 {
+		cfg.STLBMissLat = 60
+	}
+	m := &Machine{cfg: cfg, lineCycles: float64(LineBytes) / cfg.DRAMBytesPerCycle}
+	m.cores = make([]core, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		m.l1 = append(m.l1, NewCache(cfg.L1Bytes, cfg.L1Ways))
+		m.l2 = append(m.l2, NewCache(cfg.L2Bytes, cfg.L2Ways))
+		if cfg.STLBEntries > 0 {
+			m.tlbs = append(m.tlbs, NewCache(cfg.STLBEntries*LineBytes, cfg.STLBEntries))
+		}
+	}
+	m.l3 = NewCache(cfg.L3Bytes, cfg.L3Ways)
+	return m
+}
+
+// linesPerPage converts line numbers to 4KB page numbers.
+const linesPerPage = 4096 / LineBytes
+
+// translate charges core c for the address translation of `line` when the
+// TLB model is enabled, returning the walk penalty (0 on a TLB hit). The
+// TLB reuses the Cache structure keyed by page number.
+func (m *Machine) translate(c int, line int64) int64 {
+	if m.tlbs == nil {
+		return 0
+	}
+	page := line / linesPerPage
+	tlb := m.tlbs[c]
+	if tlb.Access(page, false) {
+		return 0
+	}
+	tlb.Install(page, false)
+	m.cores[c].tlbWalks++
+	return m.cfg.STLBMissLat
+}
+
+// Translate exposes the TLB charge for agents that share a core's STLB —
+// the DMA engine "accesses the STLB for address translation" (§5). Returns
+// the walk penalty in cycles without advancing the core clock.
+func (m *Machine) Translate(c int, line int64) int64 { return m.translate(c, line) }
+
+// TLBWalks returns the total page walks across cores (0 with the model
+// disabled).
+func (m *Machine) TLBWalks() int64 {
+	var sum int64
+	for i := range m.cores {
+		sum += m.cores[i].tlbWalks
+	}
+	return sum
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cycle returns core c's current clock.
+func (m *Machine) Cycle(c int) int64 { return m.cores[c].cycle }
+
+// AdvanceTo moves core c's clock forward to at least cycle (used by agents
+// synchronising on each other, e.g. Algorithm 5's WAIT on the DMA engine).
+// The skipped time is accounted as drain (memory) stall when stall is true.
+func (m *Machine) AdvanceTo(c int, cycle int64, stall bool) {
+	co := &m.cores[c]
+	if cycle > co.cycle {
+		if stall {
+			co.drainStall += cycle - co.cycle
+		}
+		co.cycle = cycle
+	}
+}
+
+// Compute consumes n execution cycles on core c.
+func (m *Machine) Compute(c int, n int64) {
+	if n <= 0 {
+		return
+	}
+	co := &m.cores[c]
+	co.cycle += n
+	co.computeCycles += n
+}
+
+// dramService books one line transfer starting no earlier than at,
+// returning (completionTime, queuingDelay).
+func (m *Machine) dramService(at int64) (int64, int64) {
+	start := at
+	if m.dramFree > start {
+		start = m.dramFree
+	}
+	m.dramFracAccum += m.lineCycles
+	whole := int64(m.dramFracAccum)
+	m.dramFracAccum -= float64(whole)
+	m.dramFree = start + whole
+	return start + m.cfg.DRAMLat, start - at
+}
+
+// missPath services an L1 miss of core c issued at time t, touching L2, L3
+// and DRAM as needed and installing the line on the way back. Returns the
+// completion time.
+func (m *Machine) missPath(c int, line int64, t int64, write bool) int64 {
+	co := &m.cores[c]
+	var complete int64
+	switch {
+	case m.l2[c].Access(line, false):
+		co.l2Hits++
+		complete = t + m.cfg.L2Lat
+	case m.l3.Access(line, false):
+		co.l2Miss++
+		co.l3Hits++
+		complete = t + m.cfg.L3Lat
+		m.installL2(c, line)
+	default:
+		co.l2Miss++
+		co.l3Miss++
+		// Stream detection: a read continuing the previous miss's line
+		// run has already been requested by the L2 hardware prefetcher,
+		// so it pays queueing and a short residual latency instead of the
+		// full DRAM round trip. Feature rows span many consecutive lines,
+		// and this is what lets one aggregating core pull more than its
+		// fair bandwidth share (and lets fusion hide the update phase).
+		lat := m.cfg.DRAMLat
+		if line == co.lastMissLine+1 {
+			lat = m.cfg.DRAMLat / 6
+		}
+		start := t + m.cfg.L3Lat
+		if m.dramFree > start {
+			start = m.dramFree
+		}
+		m.dramFracAccum += m.lineCycles
+		whole := int64(m.dramFracAccum)
+		m.dramFracAccum -= float64(whole)
+		m.dramFree = start + whole
+		co.dramQueue += start - (t + m.cfg.L3Lat)
+		co.dramReads++
+		complete = start + lat
+		m.installL3(line)
+		m.installL2(c, line)
+	}
+	co.lastMissLine = line
+	if ev := m.l1[c].Install(line, write); ev.Valid && ev.Dirty {
+		m.installL2Dirty(c, ev.Line)
+	}
+	return complete
+}
+
+func (m *Machine) installL2(c int, line int64) {
+	if ev := m.l2[c].Install(line, false); ev.Valid && ev.Dirty {
+		m.installL3Dirty(ev.Line)
+	}
+}
+
+func (m *Machine) installL2Dirty(c int, line int64) {
+	if ev := m.l2[c].Install(line, true); ev.Valid && ev.Dirty {
+		m.installL3Dirty(ev.Line)
+	}
+}
+
+func (m *Machine) installL3(line int64) {
+	if ev := m.l3.Install(line, false); ev.Valid && ev.Dirty {
+		m.dramWriteBack()
+	}
+}
+
+func (m *Machine) installL3Dirty(line int64) {
+	if ev := m.l3.Install(line, true); ev.Valid && ev.Dirty {
+		m.dramWriteBack()
+	}
+}
+
+func (m *Machine) dramWriteBack() {
+	// Write-backs consume bandwidth in the background; no core waits.
+	m.dramFracAccum += m.lineCycles
+	whole := int64(m.dramFracAccum)
+	m.dramFracAccum -= float64(whole)
+	m.dramFree += whole
+	m.dramWrites++
+}
+
+// retire frees fill-buffer entries whose loads completed by cycle `now`.
+func (co *core) retire(now int64) {
+	i := 0
+	for i < len(co.outstanding) && co.outstanding[i] <= now {
+		i++
+	}
+	if i > 0 {
+		co.outstanding = co.outstanding[i:]
+	}
+	i = 0
+	for i < len(co.outstandingPf) && co.outstandingPf[i] <= now {
+		i++
+	}
+	if i > 0 {
+		co.outstandingPf = co.outstandingPf[i:]
+	}
+	i = 0
+	for i < len(co.outstandingSt) && co.outstandingSt[i] <= now {
+		i++
+	}
+	if i > 0 {
+		co.outstandingSt = co.outstandingSt[i:]
+	}
+}
+
+func (co *core) occupancy() int { return len(co.outstanding) + len(co.outstandingPf) }
+
+// earliestOutstanding returns the earliest completion among all in-flight
+// fill-buffer entries; callers must ensure occupancy() > 0.
+func (co *core) earliestOutstanding() int64 {
+	switch {
+	case len(co.outstanding) == 0:
+		return co.outstandingPf[0]
+	case len(co.outstandingPf) == 0:
+		return co.outstanding[0]
+	case co.outstanding[0] < co.outstandingPf[0]:
+		return co.outstanding[0]
+	default:
+		return co.outstandingPf[0]
+	}
+}
+
+// access is the common load/store/prefetch path.
+func (m *Machine) access(c int, line int64, write, prefetch bool) {
+	co := &m.cores[c]
+	co.cycle++ // issue slot
+	co.cycle += m.translate(c, line)
+	if m.l1[c].Access(line, write) {
+		co.l1Hits++
+		// The stream detector follows accesses, not misses: a hit on
+		// line N (e.g. a software-prefetched row head) still primes the
+		// prefetcher for line N+1.
+		co.lastMissLine = line
+		return
+	}
+	co.l1Miss++
+	co.retire(co.cycle)
+	if write {
+		// Store misses drain through a dedicated store buffer: they do
+		// not compete with demand loads for the L1 fill buffers, and only
+		// a full store buffer stalls the core.
+		if len(co.outstandingSt) >= storeBufferEntries {
+			earliest := co.outstandingSt[0]
+			if wait := earliest - co.cycle; wait > 0 {
+				co.fillFullStall += wait
+				co.cycle = earliest
+			}
+			co.retire(co.cycle)
+		}
+	} else if co.occupancy() >= m.cfg.MSHRs {
+		if prefetch {
+			// Hardware drops software prefetches when no fill buffer is
+			// free — the reason the paper limits prefetching to the first
+			// two lines of each feature vector (§4.1).
+			return
+		}
+		// All fill buffers busy: the symptom §3 flags ("the L1 data cache
+		// line fill buffer is full almost 100% of the time").
+		earliest := co.earliestOutstanding()
+		if wait := earliest - co.cycle; wait > 0 {
+			co.fillFullStall += wait
+			co.cycle = earliest
+		}
+		co.retire(co.cycle)
+	}
+	complete := m.missPath(c, line, co.cycle, write)
+	list := &co.outstanding
+	switch {
+	case write:
+		list = &co.outstandingSt
+	case prefetch:
+		// Prefetches occupy fill buffers but are not waited on by a
+		// Drain: they have no consumer.
+		list = &co.outstandingPf
+	}
+	// Insert keeping completion times sorted (bounded by MSHR count).
+	idx := sort.Search(len(*list), func(i int) bool { return (*list)[i] >= complete })
+	*list = append(*list, 0)
+	copy((*list)[idx+1:], (*list)[idx:])
+	(*list)[idx] = complete
+}
+
+// Read issues a load of the line on core c.
+func (m *Machine) Read(c int, line int64) { m.access(c, line, false, false) }
+
+// Write issues a store to the line on core c (write-allocate, write-back).
+func (m *Machine) Write(c int, line int64) { m.access(c, line, true, false) }
+
+// Prefetch issues a software prefetch of the line on core c: it occupies a
+// fill buffer like a demand miss (adding "excessive software prefetch can
+// instead degrade the performance" when the buffers are full, §4.1) but a
+// Drain does not wait for it.
+func (m *Machine) Prefetch(c int, line int64) { m.access(c, line, false, true) }
+
+// Drain stalls core c until every outstanding demand load has completed —
+// the data dependency at the end of a reduction block. In-flight
+// prefetches keep their fill buffers but are not waited on.
+func (m *Machine) Drain(c int) {
+	co := &m.cores[c]
+	if n := len(co.outstanding); n > 0 {
+		last := co.outstanding[n-1]
+		if last > co.cycle {
+			co.drainStall += last - co.cycle
+			co.cycle = last
+		}
+		co.outstanding = co.outstanding[:0]
+	}
+	co.retire(co.cycle)
+}
+
+// L3Read issues a private-cache-bypassing load at time `at` (the DMA
+// engine's input path, §5: gathered inputs never enter L1/L2). streamed
+// marks a line continuing a sequential run (a DRAM row-buffer hit /
+// prefetched stream), which pays a reduced residual latency like the core
+// path's stream detection. Returns the completion time and the DRAM
+// queuing delay (0 on an L3 hit).
+func (m *Machine) L3Read(line int64, at int64, streamed bool) (complete, queued int64) {
+	if m.l3.Access(line, false) {
+		return at + m.cfg.L3Lat, 0
+	}
+	lat := m.cfg.DRAMLat
+	if streamed {
+		lat = m.cfg.DRAMLat / 6
+	}
+	start := at + m.cfg.L3Lat
+	if m.dramFree > start {
+		start = m.dramFree
+	}
+	m.dramFracAccum += m.lineCycles
+	whole := int64(m.dramFracAccum)
+	m.dramFracAccum -= float64(whole)
+	m.dramFree = start + whole
+	m.installL3(line)
+	return start + lat, start - (at + m.cfg.L3Lat)
+}
+
+// L2WriteFromDMA installs a line dirty into core c's L2 at no core cost:
+// the DMA engine flushing its output buffer to L2 so the subsequent update
+// phase hits (§5.2). Counts as an L2 access.
+func (m *Machine) L2WriteFromDMA(c int, line int64) {
+	if !m.l2[c].Access(line, true) {
+		m.installL2Dirty(c, line)
+	}
+}
+
+// Stats aggregates the machine's counters.
+type Stats struct {
+	Cores          int
+	MaxCycles      int64 // makespan across cores
+	TotalCycles    int64 // sum over cores
+	ComputeCycles  int64
+	FillFullStall  int64
+	DrainStall     int64
+	DRAMQueueDelay int64
+	L1Accesses     int64
+	L1Misses       int64
+	L2Accesses     int64
+	L2Misses       int64
+	L3Accesses     int64
+	L3Misses       int64
+	DRAMReadLines  int64
+	DRAMWriteLines int64
+}
+
+// MemStall returns the cycles attributed to memory stalls.
+func (s Stats) MemStall() int64 { return s.FillFullStall + s.DrainStall }
+
+// DRAMReadBytes returns total bytes read from DRAM.
+func (s Stats) DRAMReadBytes() int64 { return s.DRAMReadLines * LineBytes }
+
+// DRAMWriteBytes returns total bytes written to DRAM.
+func (s Stats) DRAMWriteBytes() int64 { return s.DRAMWriteLines * LineBytes }
+
+// L1MissRate returns the aggregate L1 miss rate.
+func (s Stats) L1MissRate() float64 {
+	if s.L1Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(s.L1Accesses)
+}
+
+// L2MissRate returns the aggregate L2 miss rate.
+func (s Stats) L2MissRate() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Misses) / float64(s.L2Accesses)
+}
+
+// Stats snapshots the counters.
+func (m *Machine) Stats() Stats {
+	s := Stats{Cores: m.cfg.Cores, DRAMWriteLines: m.dramWrites}
+	for i := range m.cores {
+		co := &m.cores[i]
+		if co.cycle > s.MaxCycles {
+			s.MaxCycles = co.cycle
+		}
+		s.TotalCycles += co.cycle
+		s.ComputeCycles += co.computeCycles
+		s.FillFullStall += co.fillFullStall
+		s.DrainStall += co.drainStall
+		s.DRAMQueueDelay += co.dramQueue
+		s.DRAMReadLines += co.dramReads
+	}
+	for i := range m.l1 {
+		s.L1Accesses += m.l1[i].Accesses
+		s.L1Misses += m.l1[i].Misses
+		s.L2Accesses += m.l2[i].Accesses
+		s.L2Misses += m.l2[i].Misses
+	}
+	s.L3Accesses = m.l3.Accesses
+	s.L3Misses = m.l3.Misses
+	return s
+}
+
+// AddressRegion hands out non-overlapping address ranges for the synthetic
+// address map workload drivers use.
+type AddressRegion struct {
+	Base   int64
+	Stride int64 // bytes per row
+}
+
+// RowLine returns the line number of byte `off` within row `row`.
+func (r AddressRegion) RowLine(row int, off int64) int64 {
+	return (r.Base + int64(row)*r.Stride + off) / LineBytes
+}
+
+// RowLines returns the [first, last] line span of a row prefix of the given
+// byte length.
+func (r AddressRegion) RowLines(row int, bytes int64) (first, count int64) {
+	if bytes <= 0 {
+		return 0, 0
+	}
+	start := r.Base + int64(row)*r.Stride
+	first = start / LineBytes
+	last := (start + bytes - 1) / LineBytes
+	return first, last - first + 1
+}
+
+// AddressMap allocates regions sequentially with gap padding so regions
+// never share a line.
+type AddressMap struct {
+	next int64
+}
+
+// NewAddressMap starts allocating at a non-zero base.
+func NewAddressMap() *AddressMap { return &AddressMap{next: 1 << 20} }
+
+// Alloc reserves rows×stride bytes and returns the region.
+func (am *AddressMap) Alloc(rows int, strideBytes int64) AddressRegion {
+	if strideBytes%LineBytes != 0 {
+		strideBytes = (strideBytes/LineBytes + 1) * LineBytes
+	}
+	r := AddressRegion{Base: am.next, Stride: strideBytes}
+	am.next += int64(rows)*strideBytes + LineBytes
+	return r
+}
+
+// String implements fmt.Stringer for debugging.
+func (r AddressRegion) String() string {
+	return fmt.Sprintf("region@%#x stride %d", r.Base, r.Stride)
+}

@@ -1,0 +1,258 @@
+package memsim
+
+import (
+	"testing"
+)
+
+func TestCacheBasicHitMiss(t *testing.T) {
+	c := NewCache(1024, 2) // 16 lines, 2-way, 8 sets
+	if c.Access(1, false) {
+		t.Fatal("cold access hit")
+	}
+	c.Install(1, false)
+	if !c.Access(1, false) {
+		t.Fatal("installed line missed")
+	}
+	if c.Accesses != 2 || c.Misses != 1 {
+		t.Fatalf("accesses=%d misses=%d", c.Accesses, c.Misses)
+	}
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate %g", c.MissRate())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2*LineBytes*4, 2) // 8 lines, 2-way, 4 sets
+	// Lines 0, 4, 8 map to set 0 (4 sets).
+	c.Install(0, false)
+	c.Install(4, false)
+	c.Access(0, false) // 0 is now MRU
+	ev := c.Install(8, false)
+	if !ev.Valid || ev.Line != 4 {
+		t.Fatalf("evicted %+v, want line 4 (LRU)", ev)
+	}
+	if !c.Lookup(0) || !c.Lookup(8) || c.Lookup(4) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := NewCache(LineBytes*2, 2) // one set, 2 ways
+	c.Install(1, true)
+	c.Install(2, false)
+	ev := c.Install(3, false)
+	if !ev.Valid || !ev.Dirty || ev.Line != 1 {
+		t.Fatalf("evicted %+v, want dirty line 1", ev)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(1024, 2)
+	c.Install(5, true)
+	d, p := c.Invalidate(5)
+	if !p || !d {
+		t.Fatal("invalidate missed dirty line")
+	}
+	if _, p := c.Invalidate(5); p {
+		t.Fatal("double invalidate found line")
+	}
+}
+
+func TestCacheInstallIdempotent(t *testing.T) {
+	c := NewCache(1024, 2)
+	c.Install(7, false)
+	ev := c.Install(7, true)
+	if ev.Valid {
+		t.Fatal("re-install evicted something")
+	}
+	d, _ := c.Invalidate(7)
+	if !d {
+		t.Fatal("dirty upgrade lost")
+	}
+}
+
+func TestMachineL1HitIsCheap(t *testing.T) {
+	m := NewMachine(DefaultConfig(1))
+	m.Read(0, 100)
+	m.Drain(0)
+	first := m.Cycle(0)
+	m.Read(0, 100) // now an L1 hit
+	if got := m.Cycle(0) - first; got != 1 {
+		t.Fatalf("L1 hit cost %d cycles, want 1 (pipelined)", got)
+	}
+	s := m.Stats()
+	if s.L1Misses != 1 || s.L1Accesses != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestMachineMissHierarchy(t *testing.T) {
+	m := NewMachine(DefaultConfig(1))
+	m.Read(0, 500)
+	m.Drain(0)
+	s := m.Stats()
+	if s.L3Misses != 1 || s.DRAMReadLines != 1 {
+		t.Fatalf("cold miss did not reach DRAM: %+v", s)
+	}
+	// The drain should have cost at least the DRAM latency.
+	if m.Cycle(0) < DefaultConfig(1).DRAMLat {
+		t.Fatalf("cycle %d below DRAM latency", m.Cycle(0))
+	}
+}
+
+func TestMachineFillBufferStall(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MSHRs = 2
+	m := NewMachine(cfg)
+	for i := int64(0); i < 8; i++ {
+		m.Read(0, 1000+i)
+	}
+	s := m.Stats()
+	if s.FillFullStall == 0 {
+		t.Fatal("eight parallel misses with 2 MSHRs did not stall")
+	}
+}
+
+func TestMachineMoreMSHRsRunFaster(t *testing.T) {
+	run := func(mshrs int) int64 {
+		cfg := DefaultConfig(1)
+		cfg.MSHRs = mshrs
+		m := NewMachine(cfg)
+		for i := int64(0); i < 256; i++ {
+			m.Read(0, 10_000+i*7)
+		}
+		m.Drain(0)
+		return m.Cycle(0)
+	}
+	t8, t32 := run(8), run(32)
+	if t32 >= t8 {
+		t.Fatalf("32 MSHRs (%d cycles) not faster than 8 (%d)", t32, t8)
+	}
+}
+
+func TestDRAMBandwidthContention(t *testing.T) {
+	// Many cores streaming concurrently must observe queuing delay.
+	cfg := DefaultConfig(8)
+	m := NewMachine(cfg)
+	for round := 0; round < 64; round++ {
+		for c := 0; c < 8; c++ {
+			m.Read(c, int64(1_000_000+c*100_000+round))
+		}
+	}
+	for c := 0; c < 8; c++ {
+		m.Drain(c)
+	}
+	s := m.Stats()
+	if s.DRAMQueueDelay == 0 {
+		t.Fatal("no DRAM queuing under 8-core streaming")
+	}
+}
+
+func TestWriteAllocatesAndWritesBack(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.L1Bytes = 2 * LineBytes
+	cfg.L1Ways = 1
+	cfg.L2Bytes = 4 * LineBytes
+	cfg.L2Ways = 1
+	cfg.L3Bytes = 8 * LineBytes
+	cfg.L3Ways = 1
+	m := NewMachine(cfg)
+	// Write lines that collide in every level so dirty lines cascade out.
+	for i := int64(0); i < 64; i++ {
+		m.Write(0, i*8)
+	}
+	m.Drain(0)
+	s := m.Stats()
+	if s.DRAMWriteLines == 0 {
+		t.Fatal("no write-backs reached DRAM")
+	}
+}
+
+func TestL3ReadBypassesPrivate(t *testing.T) {
+	m := NewMachine(DefaultConfig(2))
+	complete, queued := m.L3Read(4242, 100, false)
+	if complete <= 100 {
+		t.Fatalf("completion %d not after issue", complete)
+	}
+	if queued < 0 {
+		t.Fatal("negative queuing")
+	}
+	s := m.Stats()
+	if s.L1Accesses != 0 || s.L2Accesses != 0 {
+		t.Fatal("L3Read touched private caches")
+	}
+	// Second read hits L3.
+	c2, q2 := m.L3Read(4242, 200, false)
+	if q2 != 0 || c2 != 200+m.Config().L3Lat {
+		t.Fatalf("second read not an L3 hit: complete=%d queued=%d", c2, q2)
+	}
+}
+
+func TestL2WriteFromDMAMakesCoreHit(t *testing.T) {
+	m := NewMachine(DefaultConfig(1))
+	m.L2WriteFromDMA(0, 9000)
+	before := m.Stats().L2Misses // the DMA's own fill counts as one miss
+	m.Read(0, 9000)
+	m.Drain(0)
+	s := m.Stats()
+	if s.L2Misses != before {
+		t.Fatalf("core read after DMA L2 fill missed L2: %+v", s)
+	}
+	if m.Cycle(0) >= DefaultConfig(1).L3Lat {
+		t.Fatalf("core read took %d cycles; should be an L2 hit", m.Cycle(0))
+	}
+}
+
+func TestComputeAndAdvance(t *testing.T) {
+	m := NewMachine(DefaultConfig(2))
+	m.Compute(0, 50)
+	if m.Cycle(0) != 50 {
+		t.Fatalf("cycle %d", m.Cycle(0))
+	}
+	m.AdvanceTo(0, 40, true) // backwards: no-op
+	if m.Cycle(0) != 50 {
+		t.Fatal("AdvanceTo moved backwards")
+	}
+	m.AdvanceTo(0, 80, true)
+	s := m.Stats()
+	if m.Cycle(0) != 80 || s.DrainStall != 30 {
+		t.Fatalf("cycle %d stall %d", m.Cycle(0), s.DrainStall)
+	}
+	if s.ComputeCycles != 50 {
+		t.Fatalf("compute cycles %d", s.ComputeCycles)
+	}
+}
+
+func TestAddressMapRegionsDisjoint(t *testing.T) {
+	am := NewAddressMap()
+	a := am.Alloc(100, 256)
+	b := am.Alloc(50, 128)
+	aEnd := a.Base + 100*a.Stride
+	if b.Base < aEnd {
+		t.Fatalf("regions overlap: a ends %#x, b starts %#x", aEnd, b.Base)
+	}
+	first, count := a.RowLines(3, 256)
+	if count != 4 {
+		t.Fatalf("256B row spans %d lines, want 4", count)
+	}
+	if first != (a.Base+3*256)/LineBytes {
+		t.Fatal("wrong first line")
+	}
+	if _, count := a.RowLines(0, 0); count != 0 {
+		t.Fatal("zero-byte span not empty")
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{L1Accesses: 10, L1Misses: 2, L2Accesses: 4, L2Misses: 1, DRAMReadLines: 3, DRAMWriteLines: 2}
+	if s.L1MissRate() != 0.2 || s.L2MissRate() != 0.25 {
+		t.Fatal("miss rates wrong")
+	}
+	if s.DRAMReadBytes() != 192 || s.DRAMWriteBytes() != 128 {
+		t.Fatal("byte accounting wrong")
+	}
+	var zero Stats
+	if zero.L1MissRate() != 0 || zero.L2MissRate() != 0 {
+		t.Fatal("zero-stats division")
+	}
+}

@@ -1,0 +1,92 @@
+package memsim
+
+import "testing"
+
+func TestPrefetchMakesLaterReadHit(t *testing.T) {
+	m := NewMachine(DefaultConfig(1))
+	m.Prefetch(0, 777)
+	m.Drain(0) // drain ignores prefetches but time passes via later ops
+	m.Compute(0, 10_000)
+	m.Read(0, 777)
+	s := m.Stats()
+	// The demand read found the line in L1: one miss total (the prefetch).
+	if s.L1Misses != 1 {
+		t.Fatalf("L1 misses %d, want 1 (prefetch only)", s.L1Misses)
+	}
+}
+
+func TestDrainIgnoresPrefetches(t *testing.T) {
+	m := NewMachine(DefaultConfig(1))
+	m.Prefetch(0, 1000)
+	before := m.Cycle(0)
+	m.Drain(0)
+	if m.Cycle(0) != before {
+		t.Fatalf("drain waited %d cycles for a prefetch", m.Cycle(0)-before)
+	}
+}
+
+func TestPrefetchDroppedWhenFillBuffersFull(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MSHRs = 2
+	m := NewMachine(cfg)
+	m.Read(0, 1)
+	m.Read(0, 100)
+	// Buffers now full: the prefetch must be dropped, not stall the core.
+	before := m.Cycle(0)
+	m.Prefetch(0, 200)
+	if got := m.Cycle(0) - before; got != 1 {
+		t.Fatalf("dropped prefetch cost %d cycles, want 1 (issue slot only)", got)
+	}
+	// A later read of the dropped line must miss (it was never fetched).
+	m.Drain(0)
+	missesBefore := m.Stats().L1Misses
+	m.Read(0, 200)
+	if m.Stats().L1Misses != missesBefore+1 {
+		t.Fatal("dropped prefetch still installed the line")
+	}
+}
+
+func TestStoreMissesDoNotBlockLoads(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MSHRs = 2
+	m := NewMachine(cfg)
+	// Fill the store buffer path with write misses...
+	for i := int64(0); i < 10; i++ {
+		m.Write(0, 5000+i*100)
+	}
+	// ...then issue two loads: they must claim demand fill buffers without
+	// waiting for the stores.
+	c0 := m.Cycle(0)
+	m.Read(0, 9000)
+	m.Read(0, 9100)
+	if got := m.Cycle(0) - c0; got != 2 {
+		t.Fatalf("loads behind store misses cost %d issue cycles, want 2", got)
+	}
+}
+
+func TestStoreBufferFullStalls(t *testing.T) {
+	cfg := DefaultConfig(1)
+	m := NewMachine(cfg)
+	for i := int64(0); i < 3*storeBufferEntries; i++ {
+		m.Write(0, 50_000+i*100)
+	}
+	if m.Stats().FillFullStall == 0 {
+		t.Fatal("store flood never stalled")
+	}
+}
+
+func TestStreamDetectionShortensLatency(t *testing.T) {
+	run := func(stride int64) int64 {
+		m := NewMachine(DefaultConfig(1))
+		for i := int64(0); i < 64; i++ {
+			m.Read(0, 10_000+i*stride)
+			m.Drain(0) // expose each load's full latency
+		}
+		return m.Cycle(0)
+	}
+	sequential := run(1)
+	scattered := run(97)
+	if sequential >= scattered {
+		t.Fatalf("sequential stream (%d cycles) not faster than scattered (%d)", sequential, scattered)
+	}
+}

@@ -1,0 +1,77 @@
+package memsim
+
+import "testing"
+
+func tlbConfig(entries int) Config {
+	cfg := DefaultConfig(1)
+	cfg.STLBEntries = entries
+	return cfg
+}
+
+func TestTLBDisabledByDefault(t *testing.T) {
+	m := NewMachine(DefaultConfig(1))
+	m.Read(0, 100)
+	if m.TLBWalks() != 0 {
+		t.Fatal("walks counted with TLB disabled")
+	}
+	if m.Translate(0, 100) != 0 {
+		t.Fatal("translate charged with TLB disabled")
+	}
+}
+
+func TestTLBMissThenHit(t *testing.T) {
+	m := NewMachine(tlbConfig(16))
+	m.Read(0, 100) // page 1: walk
+	m.Drain(0)
+	walks := m.TLBWalks()
+	if walks != 1 {
+		t.Fatalf("walks %d, want 1", walks)
+	}
+	m.Read(0, 101) // same page: no walk
+	if m.TLBWalks() != 1 {
+		t.Fatal("same-page access walked again")
+	}
+	m.Read(0, 100+linesPerPage) // next page: walk
+	if m.TLBWalks() != 2 {
+		t.Fatal("new page did not walk")
+	}
+}
+
+func TestTLBWalkCostsCycles(t *testing.T) {
+	withTLB := NewMachine(tlbConfig(16))
+	without := NewMachine(DefaultConfig(1))
+	for _, m := range []*Machine{withTLB, without} {
+		for i := int64(0); i < 32; i++ {
+			m.Read(0, i*linesPerPage) // one page per access
+		}
+		m.Drain(0)
+	}
+	if withTLB.Cycle(0) <= without.Cycle(0) {
+		t.Fatalf("TLB walks free: %d vs %d cycles", withTLB.Cycle(0), without.Cycle(0))
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	m := NewMachine(tlbConfig(4))
+	// Touch 8 distinct pages, then revisit the first: it must have been
+	// evicted and walk again.
+	for p := int64(0); p < 8; p++ {
+		m.Read(0, p*linesPerPage)
+	}
+	w := m.TLBWalks()
+	m.Read(0, 0)
+	if m.TLBWalks() != w+1 {
+		t.Fatal("evicted page did not re-walk")
+	}
+}
+
+func TestTLBDefaultWalkLatency(t *testing.T) {
+	cfg := tlbConfig(8)
+	if cfg.STLBMissLat != 0 {
+		t.Fatal("precondition: latency unset")
+	}
+	m := NewMachine(cfg)
+	if m.Config().STLBMissLat != 60 {
+		t.Fatalf("default walk latency %d, want 60", m.Config().STLBMissLat)
+	}
+}

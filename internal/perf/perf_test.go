@@ -1,0 +1,92 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"graphite/internal/graph"
+	"graphite/internal/memsim"
+	"graphite/internal/simgnn"
+)
+
+func TestFromStatsZero(t *testing.T) {
+	td := FromStats(memsim.Stats{})
+	if td.Retiring != 0 || td.MemoryBound != 0 {
+		t.Fatalf("zero stats gave %+v", td)
+	}
+}
+
+func TestFromStatsFractionsSumToOne(t *testing.T) {
+	s := memsim.Stats{
+		Cores: 4, TotalCycles: 1000, ComputeCycles: 200, L1Accesses: 100,
+		FillFullStall: 400, DrainStall: 100,
+		L1Misses: 50, L2Misses: 40, L3Misses: 30,
+		DRAMQueueDelay: 5000, DRAMReadLines: 30,
+	}
+	td := FromStats(s)
+	sum := td.Retiring + td.FrontendBound + td.CoreBound + td.MemoryBound
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("fractions sum to %g: %+v", sum, td)
+	}
+	memSum := td.L2Bound + td.L3Bound + td.DRAMBandwidth + td.DRAMLatency
+	if memSum < td.MemoryBound-1e-9 || memSum > td.MemoryBound+1e-9 {
+		t.Fatalf("memory attribution %g != memory bound %g", memSum, td.MemoryBound)
+	}
+	if td.FillBufferFull <= 0 || td.FillBufferFull > 1 {
+		t.Fatalf("fill buffer full %g", td.FillBufferFull)
+	}
+}
+
+func TestClampWhenOverCounted(t *testing.T) {
+	s := memsim.Stats{Cores: 1, TotalCycles: 100, ComputeCycles: 90, L1Accesses: 50, FillFullStall: 40}
+	td := FromStats(s)
+	if td.Retiring+td.MemoryBound > 1.001 {
+		t.Fatalf("not clamped: %+v", td)
+	}
+	if td.Retiring < 0 {
+		t.Fatal("negative retiring")
+	}
+}
+
+// TestBaselineIsMemoryBound reproduces the Fig. 3 qualitative claim on the
+// simulated baseline: a small retiring share and a dominant memory-bound
+// share during full-batch training.
+func TestBaselineIsMemoryBound(t *testing.T) {
+	g, err := graph.GenerateProfile(graph.Products, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.AddSelfLoops()
+	// Scale the caches down with the graph so the footprint dwarfs them,
+	// as on the paper's machine (see bench.simOptions).
+	mc := memsim.DefaultConfig(4)
+	mc.L1Bytes = 8 << 10
+	mc.L2Bytes = 128 << 10
+	mc.L3Bytes = 4 * 176 << 10
+	r, err := simgnn.SimulateTraining(g, []simgnn.Layer{{Fin: 64, Fout: 64}, {Fin: 64, Fout: 64}},
+		simgnn.VarDistGNN, simgnn.Options{Cores: 4, Machine: mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := FromStats(r.Stats)
+	t.Logf("baseline training: %s", td)
+	if td.MemoryBound < 0.3 {
+		t.Errorf("baseline memory-bound %.2f, expected the dominant share (paper: 0.62)", td.MemoryBound)
+	}
+	if td.Retiring > 0.5 {
+		t.Errorf("baseline retiring %.2f, expected small (paper: 0.10)", td.Retiring)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	out := Table([]string{"DistGNN", "combined"}, []TopDown{{Retiring: 0.1, MemoryBound: 0.6}, {Retiring: 0.3}})
+	if !strings.Contains(out, "DistGNN") || !strings.Contains(out, "combined") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, "60.0%") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+	if TopDown.String(TopDown{Retiring: 0.5}) == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,161 @@
+// Package sched provides the parallel work scheduling substrate used by the
+// aggregation and update kernels.
+//
+// The paper schedules aggregation tasks with OpenMP's dynamic scheduler
+// because vertex degrees can follow a power-law distribution and static
+// partitioning leaves threads idle (§4.1). This package reproduces that
+// behaviour: Dynamic hands out fixed-size chunks from an atomic cursor so
+// that fast threads keep pulling work, while Static pre-partitions the
+// iteration space (used as an ablation baseline).
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads returns the degree of parallelism used when a caller passes
+// threads <= 0. It honours GOMAXPROCS so tests can pin parallelism.
+func DefaultThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Dynamic runs body(start, end) over [0, n) in chunks of the given size,
+// distributing chunks dynamically over the worker threads. It mirrors
+// OpenMP's schedule(dynamic, chunk): each worker atomically claims the next
+// chunk when it finishes its current one, which balances power-law degree
+// skew across threads. body must be safe to call concurrently on disjoint
+// ranges.
+func Dynamic(n, chunk, threads int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads == 1 {
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			body(start, end)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				body(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Static runs body(start, end) over [0, n) with a contiguous block per
+// thread, mirroring OpenMP's schedule(static). The DistGNN-style baseline
+// kernel uses this; the paper's optimized kernels use Dynamic.
+func Static(n, threads int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	per := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		start := t * per
+		end := start + per
+		if end > n {
+			end = n
+		}
+		go func(s, e int) {
+			defer wg.Done()
+			if s < e {
+				body(s, e)
+			}
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForEachThread runs body(threadID) once on each of the given number of
+// worker threads and waits for all of them. Kernels that keep per-thread
+// state (e.g. the ping-pong descriptor batches in the DMA driver, Alg. 5)
+// use this to own their thread loop while still claiming tasks dynamically
+// through a Cursor.
+func ForEachThread(threads int, body func(thread int)) {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Cursor is a dynamic task cursor shared by worker threads. Next returns
+// half-open chunk bounds until the iteration space is exhausted.
+type Cursor struct {
+	n     int
+	chunk int
+	pos   atomic.Int64
+}
+
+// NewCursor returns a cursor over [0, n) handing out chunks of the given
+// size (minimum 1).
+func NewCursor(n, chunk int) *Cursor {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &Cursor{n: n, chunk: chunk}
+}
+
+// Next claims the next chunk. It returns ok=false when the space is
+// exhausted.
+func (c *Cursor) Next() (start, end int, ok bool) {
+	s := int(c.pos.Add(int64(c.chunk))) - c.chunk
+	if s >= c.n {
+		return 0, 0, false
+	}
+	e := s + c.chunk
+	if e > c.n {
+		e = c.n
+	}
+	return s, e, true
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func covered(n, chunk, threads int, run func(n, chunk, threads int, body func(int, int))) ([]int32, bool) {
+	counts := make([]int32, n)
+	ordered := true
+	var mu sync.Mutex
+	run(n, chunk, threads, func(start, end int) {
+		if start >= end {
+			mu.Lock()
+			ordered = false
+			mu.Unlock()
+		}
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&counts[i], 1)
+		}
+	})
+	return counts, ordered
+}
+
+func TestDynamicCoversAllExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, chunk, threads int }{
+		{0, 4, 2}, {1, 1, 1}, {7, 3, 2}, {100, 7, 4}, {100, 1000, 4}, {64, 8, 8}, {5, 0, 0},
+	} {
+		counts, ordered := covered(tc.n, tc.chunk, tc.threads, Dynamic)
+		if !ordered {
+			t.Fatalf("n=%d chunk=%d threads=%d: empty range delivered", tc.n, tc.chunk, tc.threads)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d chunk=%d threads=%d: index %d visited %d times", tc.n, tc.chunk, tc.threads, i, c)
+			}
+		}
+	}
+}
+
+func TestStaticCoversAllExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, threads int }{
+		{0, 2}, {1, 1}, {7, 2}, {100, 4}, {3, 8}, {64, 8}, {5, 0},
+	} {
+		counts, _ := covered(tc.n, 0, tc.threads, func(n, _, threads int, body func(int, int)) {
+			Static(n, threads, body)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d threads=%d: index %d visited %d times", tc.n, tc.threads, i, c)
+			}
+		}
+	}
+}
+
+func TestDynamicPropertyCoverage(t *testing.T) {
+	f := func(n8, chunk8, threads8 uint8) bool {
+		n := int(n8)
+		chunk := int(chunk8)%16 + 1
+		threads := int(threads8)%8 + 1
+		counts, _ := covered(n, chunk, threads, Dynamic)
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachThreadRunsEachIDOnce(t *testing.T) {
+	for _, threads := range []int{1, 2, 7} {
+		seen := make([]int32, threads)
+		ForEachThread(threads, func(id int) {
+			atomic.AddInt32(&seen[id], 1)
+		})
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("threads=%d: id %d ran %d times", threads, id, c)
+			}
+		}
+	}
+}
+
+func TestCursorExhaustsSpace(t *testing.T) {
+	cur := NewCursor(10, 3)
+	var got []int
+	for {
+		s, e, ok := cur.Next()
+		if !ok {
+			break
+		}
+		for i := s; i < e; i++ {
+			got = append(got, i)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("covered %d of 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("index %d got %d", i, v)
+		}
+	}
+	if _, _, ok := cur.Next(); ok {
+		t.Fatal("cursor returned work after exhaustion")
+	}
+}
+
+func TestCursorConcurrentDisjoint(t *testing.T) {
+	const n = 1000
+	cur := NewCursor(n, 7)
+	counts := make([]int32, n)
+	ForEachThread(8, func(int) {
+		for {
+			s, e, ok := cur.Next()
+			if !ok {
+				return
+			}
+			for i := s; i < e; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		}
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestDynamicZeroAndNegativeN(t *testing.T) {
+	ran := false
+	Dynamic(-5, 4, 2, func(int, int) { ran = true })
+	Dynamic(0, 4, 2, func(int, int) { ran = true })
+	Static(0, 2, func(int, int) { ran = true })
+	if ran {
+		t.Fatal("body ran for empty iteration space")
+	}
+}
+
+func BenchmarkDynamicOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Dynamic(1024, 16, 4, func(start, end int) {})
+	}
+}

@@ -1,0 +1,237 @@
+package simgnn
+
+import (
+	"graphite/internal/dma"
+	"graphite/internal/memsim"
+	"graphite/internal/sched"
+)
+
+// descBuildCycles is the core-side cost of building and enqueuing one
+// aggregation descriptor (fill 64 bytes, one enqueue instruction).
+const descBuildCycles = 12
+
+// buildJob translates one vertex's aggregation into a timing job for the
+// engine: index/factor line spans from the CSR arrays, one input span per
+// neighbour row, gated by the index line that names it (Fig. 10), and the
+// output row span.
+func (s *sim) buildJob(ge aggGeom, dst aggDest, pos int, ready int64) *dma.Job {
+	v := s.vertexAt(pos)
+	deg := int64(ge.g.Degree(v))
+	off := int64(ge.g.Ptr[v]) * 4
+	idxFirst, idxCount := spanLines(ge.col, off, deg*4)
+	facFirst, facCount := spanLines(ge.factor, off, deg*4)
+	job := &dma.Job{
+		Ready: ready,
+		Idx:   []dma.Span{{First: idxFirst, Count: idxCount}},
+		Elems: ge.cols,
+	}
+	if facCount > 0 {
+		job.Factor = []dma.Span{{First: facFirst, Count: facCount}}
+	}
+	nbr := ge.g.Neighbors(v)
+	job.Inputs = make([]dma.Span, len(nbr))
+	job.InputGate = make([]int, len(nbr))
+	rowLines := rowStrideBytes(ge.cols) / memsim.LineBytes
+	idxLine0 := off / memsim.LineBytes
+	for i, u := range nbr {
+		first := (ge.inputReg.Base + int64(u)*ge.inputReg.Stride) / memsim.LineBytes
+		job.Inputs[i] = dma.Span{First: first, Count: rowLines}
+		job.InputGate[i] = int((off+int64(i)*4)/memsim.LineBytes - idxLine0)
+	}
+	outRow := dst.rowFor(pos, v)
+	outFirst, outCount := spanLines(dst.reg, int64(outRow)*dst.reg.Stride, int64(ge.cols)*4)
+	job.Output = dma.Span{First: outFirst, Count: outCount}
+	return job
+}
+
+// batch is one block of vertices whose aggregation was offloaded.
+type batch struct {
+	start, end int // vertex positions
+	lastJob    int // index of the batch's final job in the core's queue
+}
+
+// dmaCoreState tracks one core's Algorithm 5 pipeline.
+type dmaCoreState struct {
+	jobs        []*dma.Job
+	nextRun     int
+	completions []int64
+
+	prev      *batch // issued, not yet updated (the "other" ping-pong batch)
+	built     *batch // freshly issued this iteration
+	exhausted bool
+
+	updating bool // mid-way through updating prev, one vertex per step
+	updPos   int
+}
+
+// batchComplete reports whether (and when) the batch's jobs all finished.
+func (st *dmaCoreState) batchComplete(b *batch) (int64, bool) {
+	if b.lastJob < len(st.completions) {
+		return st.completions[b.lastJob], true
+	}
+	return 0, false
+}
+
+// dmaRun interleaves cores and their engines in global cycle order until
+// coreStep reports every core finished. coreStep returns (progress,
+// finished): progress=false means the core is blocked waiting for its
+// engine.
+func (s *sim) dmaRun(states []*dmaCoreState, coreStep func(c int) (bool, bool)) {
+	finished := make([]bool, s.opt.Cores)
+	remaining := s.opt.Cores
+	for remaining > 0 {
+		bestCore, bestEng := -1, -1
+		for c := 0; c < s.opt.Cores; c++ {
+			if !finished[c] {
+				if bestCore < 0 || s.m.Cycle(c) < s.m.Cycle(bestCore) {
+					bestCore = c
+				}
+			}
+			if states[c].nextRun < len(states[c].jobs) {
+				if bestEng < 0 || s.engs[c].Cycle() < s.engs[bestEng].Cycle() {
+					bestEng = c
+				}
+			}
+		}
+		if bestCore < 0 && bestEng < 0 {
+			return
+		}
+		runEngine := bestEng >= 0 && (bestCore < 0 || s.engs[bestEng].Cycle() < s.m.Cycle(bestCore))
+		// A blocked core forces its engine to run regardless of clocks.
+		if bestCore >= 0 && !runEngine {
+			progress, done := coreStep(bestCore)
+			if done {
+				finished[bestCore] = true
+				remaining--
+				continue
+			}
+			if progress {
+				continue
+			}
+			// Core is blocked on its engine; run that engine if it has
+			// work, otherwise any engine.
+			if states[bestCore].nextRun < len(states[bestCore].jobs) {
+				bestEng = bestCore
+			}
+			if bestEng < 0 {
+				return // defensive: nothing can make progress
+			}
+		}
+		st := states[bestEng]
+		done := s.engs[bestEng].Run(st.jobs[st.nextRun])
+		st.completions = append(st.completions, done)
+		st.nextRun++
+	}
+}
+
+// dmaFusedLayer replays Algorithm 5: per j-iteration a core builds and
+// issues the descriptors for one block (Lines 5-7), waits for the previous
+// block's aggregations (Lines 9-10), and updates that block while its
+// results sit in L2 (Lines 11-13); trailing updates drain the pipeline
+// (Lines 15-20).
+func (s *sim) dmaFusedLayer(layerIdx int, train bool) {
+	s.needEngines()
+	l := s.layers[layerIdx]
+	ge := aggGeom{g: s.g, col: s.col, factor: s.factor, inputReg: s.h[layerIdx], cols: l.Fin}
+	n := s.g.NumVertices()
+	blockSz := s.opt.BlockSize
+	cur := sched.NewCursor(n, blockSz)
+	states := make([]*dmaCoreState, s.opt.Cores)
+	for c := range states {
+		states[c] = &dmaCoreState{}
+	}
+	dst := func(core int) aggDest {
+		if train {
+			return aggDest{reg: s.a[layerIdx], rowFor: func(pos, v int) int { return v }}
+		}
+		return aggDest{reg: s.bufs[core], rowFor: func(pos, v int) int { return pos % blockSz }}
+	}
+	s.dmaRun(states, func(c int) (bool, bool) {
+		st := states[c]
+		// Phase 1 of the j-iteration: build and issue the next block.
+		if st.built == nil && !st.exhausted && !st.updating {
+			if start, end, ok := cur.Next(); ok {
+				d := dst(c)
+				for pos := start; pos < end; pos++ {
+					s.m.Compute(c, descBuildCycles)
+					s.m.Write(c, s.descs[c].RowLine(len(st.jobs)%64, 0))
+					st.jobs = append(st.jobs, s.buildJob(ge, d, pos, s.m.Cycle(c)))
+				}
+				st.built = &batch{start: start, end: end, lastJob: len(st.jobs) - 1}
+				if st.prev == nil {
+					// First iteration on this thread: nothing to update
+					// yet (Q'_t == -1 in Algorithm 5).
+					st.prev, st.built = st.built, nil
+				}
+				return true, false
+			}
+			st.exhausted = true
+		}
+		// Phase 2: wait for the previous block and update it, one vertex
+		// per step so cross-core contention interleaves finely.
+		if st.prev != nil {
+			if !st.updating {
+				completion, ok := st.batchComplete(st.prev)
+				if !ok {
+					return false, false // blocked on the engine
+				}
+				// Check the completion records (an L1 access, Alg. 5 WAIT).
+				s.m.Read(c, s.descs[c].RowLine(st.prev.lastJob%64, 0))
+				s.m.AdvanceTo(c, completion, true)
+				st.updating = true
+				st.updPos = st.prev.start
+				return true, false
+			}
+			d := dst(c)
+			v := s.vertexAt(st.updPos)
+			s.updateVertex(c, layerIdx, v, d.reg, d.rowFor(st.updPos, v), false, false)
+			st.updPos++
+			if st.updPos == st.prev.end {
+				s.m.Drain(c)
+				st.updating = false
+				st.prev, st.built = st.built, nil
+				return true, st.prev == nil && st.exhausted
+			}
+			return true, false
+		}
+		return true, st.exhausted
+	})
+	s.barrier()
+}
+
+// dmaAggregationOnly offloads a whole aggregation phase to the engines:
+// cores only build descriptors and wait for the final completion. Used for
+// the aggregation-only rows of Table 5, the Fig. 16 sweep, and the DMA
+// variant's backward aggregation.
+func (s *sim) dmaAggregationOnly(ge aggGeom, dst aggDest) {
+	s.needEngines()
+	n := ge.g.NumVertices()
+	cur := sched.NewCursor(n, s.opt.BlockSize)
+	states := make([]*dmaCoreState, s.opt.Cores)
+	for c := range states {
+		states[c] = &dmaCoreState{}
+	}
+	s.dmaRun(states, func(c int) (bool, bool) {
+		st := states[c]
+		if !st.exhausted {
+			if start, end, ok := cur.Next(); ok {
+				for pos := start; pos < end; pos++ {
+					s.m.Compute(c, descBuildCycles)
+					s.m.Write(c, s.descs[c].RowLine(len(st.jobs)%64, 0))
+					st.jobs = append(st.jobs, s.buildJob(ge, dst, pos, s.m.Cycle(c)))
+				}
+				return true, false
+			}
+			st.exhausted = true
+		}
+		// Wait for the engine to drain this core's queue.
+		if st.nextRun < len(st.jobs) {
+			return false, false
+		}
+		if nc := len(st.completions); nc > 0 {
+			s.m.AdvanceTo(c, st.completions[nc-1], true)
+		}
+		return true, true
+	})
+	s.barrier()
+}

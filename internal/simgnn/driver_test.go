@@ -1,0 +1,121 @@
+package simgnn
+
+import (
+	"testing"
+
+	"graphite/internal/graph"
+	"graphite/internal/locality"
+	"graphite/internal/sched"
+)
+
+func TestChunkIterCoversSpace(t *testing.T) {
+	cur := sched.NewCursor(25, 4)
+	a := chunkIter{cur: cur}
+	b := chunkIter{cur: cur}
+	seen := make([]int, 25)
+	turn := 0
+	for {
+		it := &a
+		if turn%2 == 1 {
+			it = &b
+		}
+		turn++
+		pos, ok := it.next()
+		if !ok {
+			if _, ok2 := a.next(); ok2 {
+				continue
+			}
+			if _, ok2 := b.next(); ok2 {
+				continue
+			}
+			break
+		}
+		seen[pos]++
+	}
+	for pos, c := range seen {
+		if c != 1 {
+			t.Fatalf("position %d visited %d times", pos, c)
+		}
+	}
+}
+
+func TestRowReadLinesCompressionBounds(t *testing.T) {
+	s := newSim(mustGraph(t), []Layer{{Fin: 128, Fout: 128}}, Options{Sparsity: 0.5})
+	dense := s.rowReadLines(128, false)
+	comp := s.rowReadLines(128, true)
+	if dense != 8 {
+		t.Fatalf("dense 128-float row spans %d lines, want 8", dense)
+	}
+	if comp >= dense {
+		t.Fatalf("compressed row (%d lines) not below dense (%d)", comp, dense)
+	}
+	// Near-zero sparsity: compression may cost up to one extra mask line
+	// but never more.
+	s.opt.Sparsity = 0.01
+	if got := s.rowReadLines(128, true); got > dense+1 {
+		t.Fatalf("compressed row at 1%% sparsity spans %d lines, cap is dense+1 = %d", got, dense+1)
+	}
+}
+
+func TestAggComputeCyclesOrdering(t *testing.T) {
+	s := newSim(mustGraph(t), []Layer{{Fin: 128, Fout: 128}}, Options{Sparsity: 0.5})
+	fast := s.aggComputeCycles(128, false, false)
+	slow := s.aggComputeCycles(128, false, true)
+	if slow <= fast {
+		t.Fatalf("baseline kernel (%d cycles) not slower than specialised (%d)", slow, fast)
+	}
+}
+
+func mustGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := graph.GenerateProfile(graph.Wikipedia, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.AddSelfLoops()
+}
+
+func TestSimulateAggregationDeterministic(t *testing.T) {
+	g := mustGraph(t)
+	opt := Options{Cores: 2}
+	a, err := SimulateAggregation(g, 32, VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAggregation(g, 32, VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stats.L1Accesses != b.Stats.L1Accesses {
+		t.Fatalf("nondeterministic simulation: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+func TestSimulateWithOrderSameWorkDifferentTiming(t *testing.T) {
+	// Disable prefetch: dropped prefetches vary with the order, but the
+	// demand work must be identical.
+	g := mustGraph(t)
+	base, err := SimulateAggregation(g, 32, VarBasic, Options{Cores: 2, PrefetchDistance: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := SimulateAggregation(g, 32, VarBasic,
+		Options{Cores: 2, PrefetchDistance: -1, Order: locality.Reorder(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.L1Accesses != ord.Stats.L1Accesses {
+		t.Fatalf("order changed demand access count: %d vs %d", base.Stats.L1Accesses, ord.Stats.L1Accesses)
+	}
+}
+
+func TestDMAFusedCoversAllVertices(t *testing.T) {
+	g := mustGraph(t)
+	r, err := SimulateInference(g, []Layer{{Fin: 32, Fout: 32}}, VarFusedDMA, Options{Cores: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EngineJobs != int64(g.NumVertices()) {
+		t.Fatalf("engines ran %d jobs for %d vertices", r.EngineJobs, g.NumVertices())
+	}
+}

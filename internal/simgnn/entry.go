@@ -1,0 +1,70 @@
+package simgnn
+
+import (
+	"fmt"
+
+	"graphite/internal/graph"
+)
+
+func validate(g *graph.CSR, layers []Layer) error {
+	if g == nil || g.NumVertices() == 0 {
+		return fmt.Errorf("simgnn: empty graph")
+	}
+	if len(layers) == 0 {
+		return fmt.Errorf("simgnn: no layers")
+	}
+	for i, l := range layers {
+		if l.Fin <= 0 || l.Fout <= 0 {
+			return fmt.Errorf("simgnn: layer %d has non-positive dims %dx%d", i, l.Fin, l.Fout)
+		}
+	}
+	return nil
+}
+
+// SimulateAggregation replays a single aggregation phase (no update) with
+// the given variant. The graph must already include self loops.
+func SimulateAggregation(g *graph.CSR, fin int, variant Variant, opt Options) (Result, error) {
+	if err := validate(g, []Layer{{Fin: fin, Fout: fin}}); err != nil {
+		return Result{}, err
+	}
+	s := newSim(g, []Layer{{Fin: fin, Fout: fin}}, opt)
+	ge := aggGeom{g: s.g, col: s.col, factor: s.factor, inputReg: s.h[0], cols: fin,
+		comp: variant.compressed(), slow: variant == VarDistGNN}
+	dst := aggDest{reg: s.a[0], rowFor: func(pos, v int) int { return v }}
+	if variant.dma() {
+		s.dmaAggregationOnly(ge, dst)
+	} else {
+		s.aggregationPass(variant, ge, dst)
+	}
+	s.barrier()
+	return s.result(), nil
+}
+
+// SimulateInference replays a full forward pass (inference mode: fused
+// variants reuse the per-core a buffer).
+func SimulateInference(g *graph.CSR, layers []Layer, variant Variant, opt Options) (Result, error) {
+	if err := validate(g, layers); err != nil {
+		return Result{}, err
+	}
+	s := newSim(g, layers, opt)
+	for k := range layers {
+		s.forwardLayer(k, false, variant)
+	}
+	return s.result(), nil
+}
+
+// SimulateTraining replays one training iteration: forward in train mode
+// (aggregation matrices written globally) followed by the backward pass.
+func SimulateTraining(g *graph.CSR, layers []Layer, variant Variant, opt Options) (Result, error) {
+	if err := validate(g, layers); err != nil {
+		return Result{}, err
+	}
+	s := newSim(g, layers, opt)
+	for k := range layers {
+		s.forwardLayer(k, true, variant)
+	}
+	for k := len(layers) - 1; k >= 0; k-- {
+		s.backwardLayer(k, variant)
+	}
+	return s.result(), nil
+}

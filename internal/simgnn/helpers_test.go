@@ -1,0 +1,22 @@
+package simgnn
+
+import (
+	"graphite/internal/graph"
+	"graphite/internal/locality"
+	"graphite/internal/memsim"
+)
+
+// localityOrder is a test helper bridging to the locality package.
+func localityOrder(g *graph.CSR) []int32 {
+	return locality.Reorder(g)
+}
+
+// scaledMachine shrinks the caches so test-sized graphs dwarf them the way
+// the paper's graphs dwarf a real 38.5MB L3.
+func scaledMachine(cores int) memsim.Config {
+	mc := memsim.DefaultConfig(cores)
+	mc.L1Bytes = 8 << 10
+	mc.L2Bytes = 128 << 10
+	mc.L3Bytes = cores * 176 << 10
+	return mc
+}

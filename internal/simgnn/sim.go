@@ -1,0 +1,282 @@
+// Package simgnn replays the memory-access patterns of the GNN layer
+// implementations on the memsim machine — the hardware-evaluation harness
+// standing in for the paper's Sniper runs (§6). It drives the software
+// variants (DistGNN baseline, basic, fused, compressed, combined) and the
+// DMA-assisted variant (§5.3, Algorithm 5) over synthetic address maps
+// derived from real graphs, producing the counters behind Fig. 3, Fig. 12,
+// Fig. 16, Table 4 and Table 5.
+//
+// The replay is timing-only: numerical results are validated against the
+// real kernels elsewhere (internal/kernels, internal/dma); here only the
+// addresses, dependency structure, and compute densities matter. Two
+// deliberate approximations, documented in DESIGN.md: weight-matrix reads
+// in the update phase are sampled (one representative panel per vertex)
+// because they are cache-resident after warm-up, and compressed-row sizes
+// use the expected non-zero count at the configured sparsity instead of
+// per-row actuals.
+package simgnn
+
+import (
+	"fmt"
+
+	"graphite/internal/dma"
+	"graphite/internal/graph"
+	"graphite/internal/memsim"
+)
+
+// Variant selects the simulated implementation.
+type Variant int
+
+// Simulated variants (paper labels in §7.1).
+const (
+	VarDistGNN Variant = iota
+	VarBasic
+	VarCompressed
+	VarFused
+	VarCombined
+	VarFusedDMA
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VarDistGNN:
+		return "DistGNN"
+	case VarBasic:
+		return "basic"
+	case VarCompressed:
+		return "compression"
+	case VarFused:
+		return "fusion"
+	case VarCombined:
+		return "combined"
+	case VarFusedDMA:
+		return "fusion+DMA"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+func (v Variant) compressed() bool { return v == VarCompressed || v == VarCombined }
+func (v Variant) fused() bool      { return v == VarFused || v == VarCombined || v == VarFusedDMA }
+func (v Variant) dma() bool        { return v == VarFusedDMA }
+
+// Layer is one GNN layer's shape.
+type Layer struct {
+	Fin, Fout int
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Cores is the simulated core count (default 8).
+	Cores int
+	// Machine overrides the memsim config (zero value → DefaultConfig).
+	Machine memsim.Config
+	// Engine overrides the DMA engine config (zero value → default).
+	Engine dma.EngineConfig
+	// TaskSize is the dynamic-scheduling chunk (default 16 vertices).
+	TaskSize int
+	// BlockSize is the fused block B (default 32).
+	BlockSize int
+	// VecElems is the core SIMD throughput in elements/cycle (default 16,
+	// one AVX-512 FMA per cycle).
+	VecElems int64
+	// PrefetchDistance is Algorithm 1's D (default 4; negative disables).
+	PrefetchDistance int
+	// Order is the vertex processing order (§4.4).
+	Order []int32
+	// Sparsity is the hidden-feature sparsity assumed by the compressed
+	// variants (default 0.5, the paper's conservative setting).
+	Sparsity float64
+}
+
+func (o *Options) fill() {
+	if o.Cores <= 0 {
+		o.Cores = 8
+	}
+	if o.Machine.Cores == 0 {
+		o.Machine = memsim.DefaultConfig(o.Cores)
+	}
+	if o.Engine.TrackingEntries == 0 {
+		o.Engine = dma.DefaultEngineConfig()
+	}
+	if o.TaskSize <= 0 {
+		o.TaskSize = 16
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 32
+	}
+	if o.VecElems <= 0 {
+		o.VecElems = 16
+	}
+	switch {
+	case o.PrefetchDistance < 0:
+		o.PrefetchDistance = 0
+	case o.PrefetchDistance == 0:
+		o.PrefetchDistance = 4
+	}
+	if o.Sparsity <= 0 {
+		o.Sparsity = 0.5
+	}
+}
+
+// Result carries the machine counters of one simulated execution.
+type Result struct {
+	Stats  memsim.Stats
+	Cycles int64 // makespan
+	// Engine aggregates (DMA variant only).
+	EngineLines int64
+	EngineJobs  int64
+}
+
+// sim is one run's context.
+type sim struct {
+	opt  Options
+	m    *memsim.Machine
+	g    *graph.CSR
+	gT   *graph.CSR
+	engs []*dma.TimedEngine
+
+	col, colT       memsim.AddressRegion // CSR column arrays (byte-addressed)
+	factor, factorT memsim.AddressRegion
+	h               []memsim.AddressRegion // h^0 .. h^K feature matrices
+	a               []memsim.AddressRegion // per layer aggregation matrices
+	grad            []memsim.AddressRegion // per boundary gradient matrices
+	weights         []memsim.AddressRegion
+	bufs            []memsim.AddressRegion // per-core fused inference a-buffers
+	descs           []memsim.AddressRegion // per-core descriptor queues (ring)
+
+	layers []Layer
+}
+
+func newSim(g *graph.CSR, layers []Layer, opt Options) *sim {
+	opt.fill()
+	s := &sim{opt: opt, g: g, layers: layers}
+	s.m = memsim.NewMachine(opt.Machine)
+	am := memsim.NewAddressMap()
+	n := g.NumVertices()
+	e := g.NumEdges()
+	s.col = am.Alloc(1, int64(e)*4)
+	s.factor = am.Alloc(1, int64(e)*4)
+	dims := make([]int, 0, len(layers)+1)
+	dims = append(dims, layers[0].Fin)
+	for _, l := range layers {
+		dims = append(dims, l.Fout)
+	}
+	for _, d := range dims {
+		s.h = append(s.h, am.Alloc(n, rowStrideBytes(d)))
+		s.grad = append(s.grad, am.Alloc(n, rowStrideBytes(d)))
+	}
+	for _, l := range layers {
+		s.a = append(s.a, am.Alloc(n, rowStrideBytes(l.Fin)))
+		s.weights = append(s.weights, am.Alloc(l.Fin, rowStrideBytes(l.Fout)))
+	}
+	for c := 0; c < opt.Cores; c++ {
+		s.bufs = append(s.bufs, am.Alloc(opt.BlockSize, rowStrideBytes(maxFin(layers))))
+		s.descs = append(s.descs, am.Alloc(64, memsim.LineBytes))
+	}
+	return s
+}
+
+func (s *sim) needTranspose() {
+	if s.gT != nil {
+		return
+	}
+	s.gT = s.g.Transpose()
+	am := memsim.NewAddressMap()
+	am.Alloc(1, 1<<30) // keep transpose regions clear of the forward map
+	s.colT = am.Alloc(1, int64(s.gT.NumEdges())*4)
+	s.factorT = am.Alloc(1, int64(s.gT.NumEdges())*4)
+}
+
+func (s *sim) needEngines() {
+	if s.engs != nil {
+		return
+	}
+	for c := 0; c < s.opt.Cores; c++ {
+		s.engs = append(s.engs, dma.NewTimedEngine(s.m, c, s.opt.Engine))
+	}
+}
+
+func rowStrideBytes(cols int) int64 {
+	const line = memsim.LineBytes
+	b := int64(cols) * 4
+	return (b + line - 1) / line * line
+}
+
+func maxFin(layers []Layer) int {
+	m := 0
+	for _, l := range layers {
+		if l.Fin > m {
+			m = l.Fin
+		}
+	}
+	return m
+}
+
+// vertexAt maps a processing position to a vertex id.
+func (s *sim) vertexAt(pos int) int {
+	if s.opt.Order == nil {
+		return pos
+	}
+	return int(s.opt.Order[pos])
+}
+
+// rowReadLines returns how many lines a read of one input-feature row
+// costs: the full padded row when dense, or mask+packed lines when the
+// variant reads compressed features (§4.3 traffic model).
+func (s *sim) rowReadLines(cols int, compressed bool) int64 {
+	if !compressed {
+		return rowStrideBytes(cols) / memsim.LineBytes
+	}
+	maskBytes := int64((cols+63)/64) * 8
+	nnz := int64(float64(cols) * (1 - s.opt.Sparsity))
+	valBytes := nnz * 4
+	lines := (maskBytes + memsim.LineBytes - 1) / memsim.LineBytes
+	lines += (valBytes + memsim.LineBytes - 1) / memsim.LineBytes
+	full := rowStrideBytes(cols) / memsim.LineBytes
+	if lines > full+1 {
+		lines = full + 1
+	}
+	return lines
+}
+
+// aggComputeCycles is the reduction cost of one gathered row. The slow
+// (baseline) kernel pays 25% extra: it is not width-specialised — the
+// paper's JIT kernels "use registers more efficiently" and "avoid overhead
+// such as unnecessary boundary checking" (§4.1).
+func (s *sim) aggComputeCycles(cols int, compressed, slowKernel bool) int64 {
+	if !compressed {
+		c := int64(cols)/s.opt.VecElems + 1
+		if slowKernel {
+			c += c / 4
+		}
+		return c
+	}
+	nnz := int64(float64(cols) * (1 - s.opt.Sparsity))
+	// Expand-and-accumulate runs at roughly half the dense rate but only
+	// touches the non-zeros.
+	return nnz/(s.opt.VecElems/2) + 2
+}
+
+// barrier advances every core to the slowest core's cycle (phase sync).
+func (s *sim) barrier() {
+	var maxC int64
+	for c := 0; c < s.opt.Cores; c++ {
+		if cy := s.m.Cycle(c); cy > maxC {
+			maxC = cy
+		}
+	}
+	for c := 0; c < s.opt.Cores; c++ {
+		s.m.AdvanceTo(c, maxC, false)
+	}
+}
+
+func (s *sim) result() Result {
+	st := s.m.Stats()
+	r := Result{Stats: st, Cycles: st.MaxCycles}
+	for _, e := range s.engs {
+		r.EngineLines += e.LinesFetched
+		r.EngineJobs += e.JobsDone
+	}
+	return r
+}

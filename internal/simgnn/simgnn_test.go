@@ -1,0 +1,227 @@
+package simgnn
+
+import (
+	"testing"
+
+	"graphite/internal/graph"
+	"graphite/internal/memsim"
+)
+
+func simGraph(t testing.TB, p graph.Profile, n int) *graph.CSR {
+	t.Helper()
+	g, err := graph.GenerateProfile(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.AddSelfLoops()
+}
+
+func layers2(f int) []Layer { return []Layer{{Fin: f, Fout: f}, {Fin: f, Fout: f}} }
+
+func TestVariantStrings(t *testing.T) {
+	for _, v := range []Variant{VarDistGNN, VarBasic, VarCompressed, VarFused, VarCombined, VarFusedDMA} {
+		if v.String() == "" {
+			t.Fatal("empty variant name")
+		}
+	}
+	if !VarFusedDMA.dma() || !VarFusedDMA.fused() || VarFusedDMA.compressed() {
+		t.Fatal("VarFusedDMA flags wrong")
+	}
+	if !VarCombined.compressed() || !VarCombined.fused() {
+		t.Fatal("VarCombined flags wrong")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := simGraph(t, graph.Wikipedia, 100)
+	if _, err := SimulateAggregation(nil, 32, VarBasic, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := SimulateInference(g, nil, VarBasic, Options{}); err == nil {
+		t.Fatal("no layers accepted")
+	}
+	if _, err := SimulateInference(g, []Layer{{Fin: 0, Fout: 4}}, VarBasic, Options{}); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+}
+
+func TestAggregationVariantOrdering(t *testing.T) {
+	// The paper's core result at aggregation level: basic beats DistGNN
+	// (dynamic scheduling + specialised kernels, most visible on the
+	// heavy-tailed twitter profile), compression beats basic at 50%
+	// sparsity, DMA beats everything (lower cycles are better).
+	g := simGraph(t, graph.Twitter, 3000)
+	opt := Options{Cores: 4, Machine: scaledMachine(4)}
+	cycles := map[Variant]int64{}
+	for _, v := range []Variant{VarDistGNN, VarBasic, VarCompressed, VarFusedDMA} {
+		r, err := SimulateAggregation(g, 64, v, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[v] = r.Cycles
+		t.Logf("%v: %d cycles (%.2fx over DistGNN)", v, r.Cycles,
+			float64(cycles[VarDistGNN])/float64(r.Cycles))
+	}
+	// basic-vs-DistGNN is a second-order effect (the paper measures
+	// 1.02-1.13x, from JIT kernel quality and OpenMP scheduling detail);
+	// our model resolves it only to parity, so assert basic is not
+	// materially worse.
+	if float64(cycles[VarBasic]) > 1.03*float64(cycles[VarDistGNN]) {
+		t.Errorf("basic (%d) materially slower than DistGNN (%d)", cycles[VarBasic], cycles[VarDistGNN])
+	}
+	if cycles[VarCompressed] >= cycles[VarBasic] {
+		t.Errorf("compression@50%% (%d) not faster than basic (%d)", cycles[VarCompressed], cycles[VarBasic])
+	}
+	// Standalone DMA aggregation trades the cores' private-cache reuse
+	// for bypass + higher MLP; the paper's DMA speedups come from the
+	// fused offload overlap (§5.3, asserted in
+	// TestDMAFusionBeatsSoftwareFusion), so here we only require the
+	// engine path to stay in the same ballpark as the software kernel.
+	gw := simGraph(t, graph.Wikipedia, 3000)
+	sw, err := SimulateAggregation(gw, 64, VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := SimulateAggregation(gw, 64, VarFusedDMA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wikipedia agg-only: basic %d, DMA %d (%.2fx)", sw.Cycles, hw.Cycles, float64(sw.Cycles)/float64(hw.Cycles))
+	if float64(hw.Cycles) > 1.4*float64(sw.Cycles) {
+		t.Errorf("DMA aggregation (%d) far slower than basic (%d) on wikipedia", hw.Cycles, sw.Cycles)
+	}
+}
+
+func TestDMAReducesPrivateCacheAccesses(t *testing.T) {
+	// Table 5: aggregation-only, the DMA cuts L1-D accesses by >90%.
+	g := simGraph(t, graph.Products, 2000)
+	opt := Options{Cores: 4}
+	sw, err := SimulateAggregation(g, 64, VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := SimulateAggregation(g, 64, VarFusedDMA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redL1 := 1 - float64(hw.Stats.L1Accesses)/float64(sw.Stats.L1Accesses)
+	t.Logf("L1 access reduction: %.1f%% (sw %d, dma %d)", redL1*100, sw.Stats.L1Accesses, hw.Stats.L1Accesses)
+	if redL1 < 0.80 {
+		t.Errorf("DMA only cut L1 accesses by %.1f%%, paper reports ≈97-98%%", redL1*100)
+	}
+	if hw.EngineJobs != int64(g.NumVertices()) {
+		t.Errorf("engine ran %d jobs for %d vertices", hw.EngineJobs, g.NumVertices())
+	}
+}
+
+func TestInferenceVariantsComplete(t *testing.T) {
+	g := simGraph(t, graph.Wikipedia, 1000)
+	opt := Options{Cores: 2}
+	var base int64
+	for _, v := range []Variant{VarDistGNN, VarBasic, VarFused, VarCombined, VarFusedDMA} {
+		r, err := SimulateInference(g, layers2(32), v, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if r.Cycles <= 0 {
+			t.Fatalf("%v: no cycles", v)
+		}
+		if v == VarDistGNN {
+			base = r.Cycles
+		}
+		t.Logf("%v: %d cycles (%.2fx)", v, r.Cycles, float64(base)/float64(r.Cycles))
+	}
+}
+
+func TestFusionBeatsUnfusedInference(t *testing.T) {
+	g := simGraph(t, graph.Wikipedia, 2000)
+	opt := Options{Cores: 4}
+	basic, err := SimulateInference(g, layers2(64), VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := SimulateInference(g, layers2(64), VarFused, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.Cycles >= basic.Cycles {
+		t.Errorf("fusion (%d cycles) not faster than basic (%d)", fused.Cycles, basic.Cycles)
+	}
+	// Fusion also cuts DRAM traffic: the a matrix never round-trips
+	// (Fig. 5).
+	if fused.Stats.DRAMReadLines >= basic.Stats.DRAMReadLines {
+		t.Errorf("fusion DRAM reads %d not below basic %d",
+			fused.Stats.DRAMReadLines, basic.Stats.DRAMReadLines)
+	}
+}
+
+func TestDMAFusionBeatsSoftwareFusion(t *testing.T) {
+	g := simGraph(t, graph.Wikipedia, 2000)
+	opt := Options{Cores: 4}
+	sw, err := SimulateInference(g, layers2(64), VarFused, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := SimulateInference(g, layers2(64), VarFusedDMA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fusion %d cycles, fusion+DMA %d cycles (%.2fx)", sw.Cycles, hw.Cycles, float64(sw.Cycles)/float64(hw.Cycles))
+	if hw.Cycles >= sw.Cycles {
+		t.Errorf("fusion+DMA (%d) not faster than fusion (%d)", hw.Cycles, sw.Cycles)
+	}
+}
+
+func TestTrainingCompletesAndCostsMoreThanInference(t *testing.T) {
+	g := simGraph(t, graph.Products, 800)
+	opt := Options{Cores: 2}
+	inf, err := SimulateInference(g, layers2(32), VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := SimulateTraining(g, layers2(32), VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cycles <= inf.Cycles {
+		t.Errorf("training (%d) not more expensive than inference (%d)", tr.Cycles, inf.Cycles)
+	}
+}
+
+func TestLocalityOrderImprovesSimulatedAggregation(t *testing.T) {
+	g := simGraph(t, graph.Products, 3000)
+	// Shrink the caches so the feature matrix does not fit: reordering
+	// only matters when reuse distances exceed cache reach.
+	mc := memsim.DefaultConfig(2)
+	mc.L1Bytes = 8 << 10
+	mc.L2Bytes = 64 << 10
+	mc.L3Bytes = 256 << 10
+	opt := Options{Cores: 2, Machine: mc}
+	base, err := SimulateAggregation(g, 64, VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the locality package's order.
+	order := localityOrder(g)
+	opt.Order = order
+	reordered, err := SimulateAggregation(g, 64, VarBasic, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("natural %d cycles, reordered %d cycles", base.Cycles, reordered.Cycles)
+	if reordered.Stats.L1Misses+reordered.Stats.L2Misses >= base.Stats.L1Misses+base.Stats.L2Misses {
+		t.Errorf("reordering did not reduce private-cache misses (%d vs %d)",
+			reordered.Stats.L1Misses+reordered.Stats.L2Misses, base.Stats.L1Misses+base.Stats.L2Misses)
+	}
+}
+
+func TestDMATrainingRuns(t *testing.T) {
+	g := simGraph(t, graph.Wikipedia, 600)
+	r, err := SimulateTraining(g, layers2(32), VarFusedDMA, Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EngineJobs == 0 {
+		t.Fatal("DMA training used no engine jobs")
+	}
+}

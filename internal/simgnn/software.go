@@ -1,0 +1,359 @@
+package simgnn
+
+import (
+	"graphite/internal/graph"
+	"graphite/internal/memsim"
+	"graphite/internal/sched"
+)
+
+// spanLines returns the cache-line span of [byteOff, byteOff+bytes) within
+// a region.
+func spanLines(reg memsim.AddressRegion, byteOff, bytes int64) (first, count int64) {
+	if bytes <= 0 {
+		return 0, 0
+	}
+	start := reg.Base + byteOff
+	first = start / memsim.LineBytes
+	last := (start + bytes - 1) / memsim.LineBytes
+	return first, last - first + 1
+}
+
+func (s *sim) readSpan(core int, reg memsim.AddressRegion, byteOff, bytes int64) {
+	first, count := spanLines(reg, byteOff, bytes)
+	for l := int64(0); l < count; l++ {
+		s.m.Read(core, first+l)
+	}
+}
+
+func (s *sim) writeSpan(core int, reg memsim.AddressRegion, byteOff, bytes int64) {
+	first, count := spanLines(reg, byteOff, bytes)
+	for l := int64(0); l < count; l++ {
+		s.m.Write(core, first+l)
+	}
+}
+
+// readRow reads one feature row of the given width, dense or compressed.
+func (s *sim) readRow(core int, reg memsim.AddressRegion, row, cols int, compressed bool) {
+	lines := s.rowReadLines(cols, compressed)
+	first := (reg.Base + int64(row)*reg.Stride) / memsim.LineBytes
+	for l := int64(0); l < lines; l++ {
+		s.m.Read(core, first+l)
+	}
+}
+
+// writeRow writes one feature row.
+func (s *sim) writeRow(core int, reg memsim.AddressRegion, row, cols int, compressed bool) {
+	lines := s.rowReadLines(cols, compressed)
+	first := (reg.Base + int64(row)*reg.Stride) / memsim.LineBytes
+	for l := int64(0); l < lines; l++ {
+		s.m.Write(core, first+l)
+	}
+}
+
+// aggDest says where a vertex's aggregation result lands.
+type aggDest struct {
+	reg    memsim.AddressRegion
+	rowFor func(pos, v int) int
+}
+
+// aggGeom bundles the graph side of an aggregation pass (forward or
+// transposed).
+type aggGeom struct {
+	g        *graph.CSR
+	col      memsim.AddressRegion
+	factor   memsim.AddressRegion
+	inputReg memsim.AddressRegion
+	cols     int  // Fin
+	comp     bool // compressed input rows
+	slow     bool // baseline (non-specialised) kernel
+}
+
+// aggregateVertex replays Algorithm 1's per-vertex work: index and factor
+// reads, gather+reduce of each neighbour row, result write, and the
+// end-of-reduction drain.
+func (s *sim) aggregateVertex(core int, ge aggGeom, pos int, dst aggDest, prefetch bool) {
+	v := s.vertexAt(pos)
+	deg := int64(ge.g.Degree(v))
+	off := int64(ge.g.Ptr[v]) * 4
+	s.readSpan(core, ge.col, off, deg*4)
+	s.readSpan(core, ge.factor, off, deg*4)
+	for _, u := range ge.g.Neighbors(v) {
+		s.readRow(core, ge.inputReg, int(u), ge.cols, ge.comp)
+		s.m.Compute(core, s.aggComputeCycles(ge.cols, ge.comp, ge.slow))
+	}
+	s.writeRow(core, dst.reg, dst.rowFor(pos, v), ge.cols, false)
+	// Software prefetch for the vertex D positions ahead: the first two
+	// cache lines of each of its input rows (§4.1), issued before the
+	// drain so they overlap the dependency stall.
+	if prefetch && s.opt.PrefetchDistance > 0 {
+		fpos := pos + s.opt.PrefetchDistance
+		if fpos < ge.g.NumVertices() {
+			fv := s.vertexAt(fpos)
+			foff := int64(ge.g.Ptr[fv]) * 4
+			fdeg := int64(ge.g.Degree(fv))
+			// Prefetch the index line(s) too.
+			first, count := spanLines(ge.col, foff, fdeg*4)
+			for l := int64(0); l < count; l++ {
+				s.m.Prefetch(core, first)
+				_ = l
+				break // only the first index line; the rest follow on demand
+			}
+			for _, u := range ge.g.Neighbors(fv) {
+				base := (ge.inputReg.Base + int64(u)*ge.inputReg.Stride) / memsim.LineBytes
+				s.m.Prefetch(core, base)
+				if s.rowReadLines(ge.cols, ge.comp) > 1 {
+					s.m.Prefetch(core, base+1)
+				}
+			}
+		}
+	}
+	s.m.Drain(core)
+}
+
+// runInterleaved advances per-core unit streams in global cycle order so
+// shared-resource contention (L3, DRAM bandwidth) is modelled fairly.
+// next(core) executes one unit and reports whether the core has more work.
+func (s *sim) runInterleaved(next func(core int) bool) {
+	active := make([]bool, s.opt.Cores)
+	remaining := s.opt.Cores
+	for c := range active {
+		active[c] = true
+	}
+	for remaining > 0 {
+		best := -1
+		for c := 0; c < s.opt.Cores; c++ {
+			if active[c] && (best < 0 || s.m.Cycle(c) < s.m.Cycle(best)) {
+				best = c
+			}
+		}
+		if !next(best) {
+			active[best] = false
+			remaining--
+		}
+	}
+}
+
+// chunkIter walks one core's share of a dynamically-scheduled iteration
+// space one position at a time, claiming a fresh chunk from the shared
+// cursor whenever its current chunk runs out. The one-position granularity
+// keeps the global interleave fine enough for fair DRAM contention.
+type chunkIter struct {
+	pos, end int
+	cur      *sched.Cursor
+}
+
+func (ci *chunkIter) next() (int, bool) {
+	if ci.pos >= ci.end {
+		st, e, ok := ci.cur.Next()
+		if !ok {
+			return 0, false
+		}
+		ci.pos, ci.end = st, e
+	}
+	p := ci.pos
+	ci.pos++
+	return p, true
+}
+
+// aggregationPass replays one full (unfused) aggregation phase.
+// variant selects static vs dynamic scheduling and prefetching.
+func (s *sim) aggregationPass(variant Variant, ge aggGeom, dst aggDest) {
+	n := ge.g.NumVertices()
+	if variant == VarDistGNN {
+		// Static contiguous partitions, one vertex interleaved at a time.
+		per := (n + s.opt.Cores - 1) / s.opt.Cores
+		cursors := make([]int, s.opt.Cores)
+		ends := make([]int, s.opt.Cores)
+		for c := range cursors {
+			cursors[c] = c * per
+			ends[c] = min(n, (c+1)*per)
+		}
+		s.runInterleaved(func(core int) bool {
+			if cursors[core] >= ends[core] {
+				return false
+			}
+			s.aggregateVertex(core, ge, cursors[core], dst, false)
+			cursors[core]++
+			return true
+		})
+		return
+	}
+	// Dynamic scheduling with prefetch (Algorithm 1).
+	cur := sched.NewCursor(n, s.opt.TaskSize)
+	iters := make([]chunkIter, s.opt.Cores)
+	for c := range iters {
+		iters[c].cur = cur
+	}
+	s.runInterleaved(func(core int) bool {
+		pos, ok := iters[core].next()
+		if !ok {
+			return false
+		}
+		s.aggregateVertex(core, ge, pos, dst, true)
+		return true
+	})
+}
+
+// updateVertex replays the update phase for one vertex: read its a row,
+// stream the weight matrix row by row (W is L1/L2 resident after warm-up,
+// so these are the hits that make the update phase retire-heavy), and
+// write the output row. The GEMM's execution time is carried by the weight
+// loads themselves — an FMA-based row GEMM issues roughly one cache access
+// per vector of multiplies, so no separate compute term is added beyond
+// the epilogue (bias + activation).
+func (s *sim) updateVertex(core, layerIdx int, v int, aReg memsim.AddressRegion, aRow int, outComp bool, backward bool) {
+	l := s.layers[layerIdx]
+	s.readRow(core, aReg, aRow, l.Fin, false)
+	passes := 1
+	if backward {
+		// dW = aᵀ·dz and da = dz·Wᵀ: twice the forward GEMM work, with
+		// the dz row read happening in place of the a row read above.
+		passes = 2
+	}
+	for p := 0; p < passes; p++ {
+		for wRow := 0; wRow < l.Fin; wRow++ {
+			s.readRow(core, s.weights[layerIdx], wRow, l.Fout, false)
+		}
+	}
+	s.m.Compute(core, int64(l.Fout)/s.opt.VecElems+1) // bias + activation epilogue
+	if backward {
+		s.writeRow(core, s.a[layerIdx], v, l.Fin, false)
+	} else {
+		s.writeRow(core, s.h[layerIdx+1], v, l.Fout, outComp)
+	}
+}
+
+// updatePass replays a full (unfused) update phase over all vertices.
+func (s *sim) updatePass(layerIdx int, train bool, variant Variant, backward bool) {
+	n := s.g.NumVertices()
+	cur := sched.NewCursor(n, s.opt.TaskSize)
+	iters := make([]chunkIter, s.opt.Cores)
+	for c := range iters {
+		iters[c].cur = cur
+	}
+	outComp := variant.compressed() && layerIdx < len(s.layers)-1 && !backward
+	src := s.a[layerIdx]
+	if backward {
+		src = s.grad[layerIdx+1]
+	}
+	s.runInterleaved(func(core int) bool {
+		pos, ok := iters[core].next()
+		if !ok {
+			s.m.Drain(core)
+			return false
+		}
+		// The unfused update streams rows in storage order regardless of
+		// the aggregation's processing order (the GEMM does not care).
+		s.updateVertex(core, layerIdx, pos, src, pos, outComp, backward)
+		return true
+	})
+}
+
+// fusedLayerPass replays Algorithm 2: per block of B vertices, aggregate
+// then immediately update while the a block is cache resident. Training
+// writes a to its global rows; inference reuses a per-core buffer
+// (Fig. 5b/5c).
+func (s *sim) fusedLayerPass(layerIdx int, train bool, variant Variant) {
+	n := s.g.NumVertices()
+	l := s.layers[layerIdx]
+	ge := aggGeom{g: s.g, col: s.col, factor: s.factor, inputReg: s.h[layerIdx], cols: l.Fin,
+		comp: variant.compressed()}
+	outComp := variant.compressed() && layerIdx < len(s.layers)-1
+	blockSz := s.opt.BlockSize
+	cur := sched.NewCursor(n, blockSz)
+	type blockState struct {
+		start, end int
+		i          int
+		updating   bool
+		active     bool
+	}
+	states := make([]blockState, s.opt.Cores)
+	s.runInterleaved(func(core int) bool {
+		st := &states[core]
+		if !st.active {
+			start, end, ok := cur.Next()
+			if !ok {
+				return false
+			}
+			*st = blockState{start: start, end: end, i: start, active: true}
+		}
+		if !st.updating {
+			// Aggregation half of the j-loop iteration (one vertex).
+			dst := aggDest{reg: s.bufs[core], rowFor: func(pos, v int) int { return pos - st.start }}
+			if train {
+				dst = aggDest{reg: s.a[layerIdx], rowFor: func(pos, v int) int { return v }}
+			}
+			s.aggregateVertex(core, ge, st.i, dst, true)
+			st.i++
+			if st.i == st.end {
+				st.updating = true
+				st.i = st.start
+			}
+			return true
+		}
+		// Update half, while the a-block is cache resident (one vertex).
+		v := s.vertexAt(st.i)
+		aReg, aRow := s.bufs[core], st.i-st.start
+		if train {
+			aReg, aRow = s.a[layerIdx], v
+		}
+		s.updateVertex(core, layerIdx, v, aReg, aRow, outComp, false)
+		st.i++
+		if st.i == st.end {
+			s.m.Drain(core)
+			st.active = false
+		}
+		return true
+	})
+}
+
+// forwardLayer replays one layer with the chosen variant.
+func (s *sim) forwardLayer(layerIdx int, train bool, variant Variant) {
+	if variant.dma() {
+		s.dmaFusedLayer(layerIdx, train)
+		return
+	}
+	if variant.fused() {
+		s.fusedLayerPass(layerIdx, train, variant)
+		return
+	}
+	l := s.layers[layerIdx]
+	ge := aggGeom{g: s.g, col: s.col, factor: s.factor, inputReg: s.h[layerIdx], cols: l.Fin,
+		comp: variant.compressed(), slow: variant == VarDistGNN}
+	dst := aggDest{reg: s.a[layerIdx], rowFor: func(pos, v int) int { return v }}
+	s.aggregationPass(variant, ge, dst)
+	s.barrier()
+	s.updatePass(layerIdx, train, variant, false)
+	s.barrier()
+}
+
+// backwardLayer replays one layer of back-propagation: the dz→da GEMMs and
+// then the transposed aggregation dh = Âᵀ·da (skipped for layer 0).
+func (s *sim) backwardLayer(layerIdx int, variant Variant) {
+	s.updatePass(layerIdx, true, variant, true)
+	s.barrier()
+	if layerIdx == 0 {
+		return
+	}
+	s.needTranspose()
+	l := s.layers[layerIdx]
+	ge := aggGeom{g: s.gT, col: s.colT, factor: s.factorT, inputReg: s.a[layerIdx], cols: l.Fin, comp: false}
+	dst := aggDest{reg: s.grad[layerIdx], rowFor: func(pos, v int) int { return v }}
+	if variant.dma() {
+		s.dmaAggregationOnly(ge, dst)
+	} else {
+		av := variant
+		if av == VarCompressed || av == VarCombined {
+			av = VarBasic // gradients are dense
+		}
+		s.aggregationPass(av, ge, dst)
+	}
+	s.barrier()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

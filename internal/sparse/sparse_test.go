@@ -1,0 +1,163 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphite/internal/graph"
+	"graphite/internal/tensor"
+)
+
+func testGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	g, err := graph.GenerateProfile(graph.Wikipedia, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.AddSelfLoops()
+}
+
+func TestFactorsSum(t *testing.T) {
+	g := testGraph(t)
+	f := Factors(g, NormSum)
+	for i, v := range f {
+		if v != 1 {
+			t.Fatalf("factor %d = %g, want 1", i, v)
+		}
+	}
+}
+
+func TestFactorsMeanRowsSumToOne(t *testing.T) {
+	g := testGraph(t)
+	f := Factors(g, NormMean)
+	for v := 0; v < g.NumVertices(); v++ {
+		var sum float64
+		for e := g.Ptr[v]; e < g.Ptr[v+1]; e++ {
+			sum += float64(f[e])
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("vertex %d mean factors sum to %g, want 1", v, sum)
+		}
+	}
+}
+
+func TestFactorsGCNSymmetric(t *testing.T) {
+	g := testGraph(t)
+	f := Factors(g, NormGCN)
+	// Weight of edge (v,u) must be 1/sqrt(D_v·D_u).
+	for v := 0; v < g.NumVertices(); v++ {
+		for e := g.Ptr[v]; e < g.Ptr[v+1]; e++ {
+			u := int(g.Col[e])
+			want := 1 / math.Sqrt(float64(g.Degree(v))*float64(g.Degree(u)))
+			if math.Abs(float64(f[e])-want) > 1e-5 {
+				t.Fatalf("edge (%d,%d) factor %g, want %g", v, u, f[e], want)
+			}
+		}
+	}
+}
+
+func TestFactorsZeroDegreeVertex(t *testing.T) {
+	// Vertex 2 has no neighbours and no self loop: its factors slice is
+	// empty and nothing panics.
+	g, err := graph.FromEdges(3, []int32{0, 1}, []int32{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []Norm{NormSum, NormGCN, NormMean} {
+		f := Factors(g, n)
+		if len(f) != g.NumEdges() {
+			t.Fatalf("%v: factor length %d", n, len(f))
+		}
+	}
+}
+
+func TestSpMMIdentityGraph(t *testing.T) {
+	// A graph with only self loops aggregates to a scaled copy of h.
+	n := 10
+	src := make([]int32, n)
+	dst := make([]int32, n)
+	for i := range src {
+		src[i], dst[i] = int32(i), int32(i)
+	}
+	g, err := graph.FromEdges(n, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tensor.NewMatrix(n, 8)
+	h.FillRandom(rand.New(rand.NewSource(1)), 1)
+	out := tensor.NewMatrix(n, 8)
+	SpMM(out, g, Factors(g, NormMean), h, 2)
+	if d := tensor.MaxAbsDiff(out, h); d > 1e-6 {
+		t.Fatalf("self-loop mean aggregation differs from input by %g", d)
+	}
+}
+
+func TestSpMMMatchesDenseReference(t *testing.T) {
+	g := testGraph(t)
+	n := g.NumVertices()
+	h := tensor.NewMatrix(n, 12)
+	h.FillRandom(rand.New(rand.NewSource(2)), 1)
+	f := Factors(g, NormGCN)
+	got := tensor.NewMatrix(n, 12)
+	SpMM(got, g, f, h, 3)
+	// Dense reference: Â as a dense matrix times h, in float64.
+	for v := 0; v < n; v++ {
+		want := make([]float64, 12)
+		for e := g.Ptr[v]; e < g.Ptr[v+1]; e++ {
+			for j := 0; j < 12; j++ {
+				want[j] += float64(f[e]) * float64(h.At(int(g.Col[e]), j))
+			}
+		}
+		for j := 0; j < 12; j++ {
+			if math.Abs(float64(got.At(v, j))-want[j]) > 1e-3 {
+				t.Fatalf("vertex %d col %d: %g vs %g", v, j, got.At(v, j), want[j])
+			}
+		}
+	}
+}
+
+func TestSpMMShapePanics(t *testing.T) {
+	g := testGraph(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad factor length accepted")
+		}
+	}()
+	h := tensor.NewMatrix(g.NumVertices(), 4)
+	out := tensor.NewMatrix(g.NumVertices(), 4)
+	SpMM(out, g, make([]float32, 3), h, 1)
+}
+
+func TestTransposeFactorsPreserveEdgeWeights(t *testing.T) {
+	g := testGraph(t)
+	gT := g.Transpose()
+	f := Factors(g, NormGCN)
+	fT := TransposeFactors(g, gT, f)
+	// Aggregating with (gT, fT) must equal multiplying by Âᵀ: check via
+	// the identity xᵀ(Ây) == (Âᵀx)ᵀy for random vectors.
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.NewMatrix(n, 1)
+	y := tensor.NewMatrix(n, 1)
+	x.FillRandom(rng, 1)
+	y.FillRandom(rng, 1)
+	ay := tensor.NewMatrix(n, 1)
+	SpMM(ay, g, f, y, 1)
+	atx := tensor.NewMatrix(n, 1)
+	SpMM(atx, gT, fT, x, 1)
+	var lhs, rhs float64
+	for v := 0; v < n; v++ {
+		lhs += float64(x.At(v, 0)) * float64(ay.At(v, 0))
+		rhs += float64(atx.At(v, 0)) * float64(y.At(v, 0))
+	}
+	if math.Abs(lhs-rhs) > 1e-2*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestNormString(t *testing.T) {
+	if NormGCN.String() != "gcn" || NormMean.String() != "mean" || NormSum.String() != "sum" {
+		t.Fatal("Norm.String wrong")
+	}
+}

@@ -1,0 +1,170 @@
+// Package tensor provides the dense-linear-algebra substrate: float32
+// matrices with cache-line-padded rows, a blocked parallel GEMM standing in
+// for MKL (and a small-block path standing in for libxsmm, used by the fused
+// kernels), and the elementwise operators GNN layers need (ReLU, dropout,
+// bias).
+//
+// Feature matrices keep a constant row stride padded to a 64-byte cache
+// line, exactly like the paper's layout (Fig. 9a: each feature vector is
+// padded so data blocks align to cache-line boundaries, and the compressed
+// representation reuses the same fixed-size storage, §4.3).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LineFloats is the number of float32 elements per 64-byte cache line. Row
+// strides are rounded up to a multiple of this.
+const LineFloats = 16
+
+// Matrix is a row-major float32 matrix with padded rows. Rows*Stride
+// elements are allocated; elements beyond Cols in each row are padding and
+// always zero.
+type Matrix struct {
+	Rows   int
+	Cols   int
+	Stride int
+	Data   []float32
+}
+
+// PadStride rounds cols up to a whole number of cache lines.
+func PadStride(cols int) int {
+	return (cols + LineFloats - 1) / LineFloats * LineFloats
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix with padded stride.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	stride := PadStride(cols)
+	return &Matrix{Rows: rows, Cols: cols, Stride: stride, Data: make([]float32, rows*stride)}
+}
+
+// Row returns row i truncated to Cols. The slice aliases the matrix.
+func (m *Matrix) Row(i int) []float32 {
+	off := i * m.Stride
+	return m.Data[off : off+m.Cols : off+m.Stride]
+}
+
+// RowPadded returns row i including its padding, e.g. for whole-line
+// traffic accounting.
+func (m *Matrix) RowPadded(i int) []float32 {
+	off := i * m.Stride
+	return m.Data[off : off+m.Stride]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// Zero clears all elements (including padding).
+func (m *Matrix) Zero() {
+	clear(m.Data)
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{Rows: m.Rows, Cols: m.Cols, Stride: m.Stride, Data: make([]float32, len(m.Data))}
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: copy shape mismatch %dx%d <- %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	if m.Stride == src.Stride {
+		copy(m.Data, src.Data)
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// FillRandom fills the matrix with uniform values in [-scale, scale).
+func (m *Matrix) FillRandom(rng *rand.Rand, scale float32) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = (rng.Float32()*2 - 1) * scale
+		}
+	}
+}
+
+// FillSparse fills the matrix with uniform values in (0, scale] and then
+// zeroes each element independently with the given probability. The feature
+// compression evaluation (Fig. 14) "randomly set[s] the features to zeros
+// with predefined rates" (§6); this is that workload generator.
+func (m *Matrix) FillSparse(rng *rand.Rand, scale float32, sparsity float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			if rng.Float64() < sparsity {
+				row[j] = 0
+			} else {
+				row[j] = rng.Float32()*scale + 1e-6
+			}
+		}
+	}
+}
+
+// Sparsity returns the fraction of zero elements (ignoring padding).
+func (m *Matrix) Sparsity() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	zeros := 0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	return float64(zeros) / float64(m.Rows*m.Cols)
+}
+
+// MaxAbsDiff returns the max |a-b| over all elements; shapes must match.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: diff shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var maxd float64
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			d := math.Abs(float64(ra[j]) - float64(rb[j]))
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	return maxd
+}
+
+// HasNaN reports whether any element is NaN or Inf, for failure-injection
+// checks in training.
+func (m *Matrix) HasNaN() bool {
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Bytes returns the allocation footprint of the matrix payload in bytes,
+// including row padding (what the memory-traffic model charges per full-row
+// read/write).
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 4 }
