@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"graphite/internal/bench"
+	"graphite/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		simCores = flag.Int("simcores", 0, "simulated core count (default 8)")
 		reps     = flag.Int("reps", 0, "repetitions per wall-clock measurement, minimum kept (default 1)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON profile of the wall-clock experiments to this file")
+		metrics  = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the experiments")
 	)
 	flag.Parse()
 
@@ -54,6 +57,9 @@ func main() {
 		Scale: *scale, SimScale: *simScale, Hidden: *hidden,
 		Threads: *threads, SimCores: *simCores, Reps: *reps,
 	}
+	if *traceOut != "" || *metrics {
+		cfg.Telemetry = telemetry.New(0)
+	}
 	for _, id := range ids {
 		start := time.Now()
 		rep, err := bench.Run(id, cfg)
@@ -63,5 +69,24 @@ func main() {
 		}
 		fmt.Println(rep)
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.Telemetry.WriteTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: wrote %s\n", *traceOut)
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		if err := cfg.Telemetry.WriteMetrics(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"graphite"
@@ -35,6 +36,8 @@ func main() {
 		dropout  = flag.Float64("dropout", 0, "hidden-feature dropout during training")
 		sparsity = flag.Float64("sparsity", 0.5, "input feature sparsity")
 		seed     = flag.Int64("seed", 1, "random seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run to this file (load in chrome://tracing or Perfetto)")
+		metrics  = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the run")
 	)
 	flag.Parse()
 
@@ -68,10 +71,21 @@ func main() {
 		dims = append(dims, *hidden)
 	}
 	dims = append(dims, *classes)
-	eng, err := graphite.NewEngine(graphite.Config{
+	var traceFile *os.File
+	cfg := graphite.Config{
 		Model: kind, Dims: dims, Impl: impl, Threads: *threads,
 		LocalityOrder: *locality, Dropout: *dropout, Seed: *seed,
-	})
+		Metrics: *metrics,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = f
+		cfg.Trace = f
+	}
+	eng, err := graphite.NewEngine(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,25 +113,40 @@ func main() {
 		}
 		fmt.Printf("inference: %v for %d vertices (%d logits/vertex)\n",
 			time.Since(start).Round(time.Millisecond), logits.Rows, logits.Cols)
-		return
-	}
-
-	tr, err := eng.NewTrainer(w)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for e := 0; e < *epochs; e++ {
-		start := time.Now()
-		res, err := tr.Epoch()
+	} else {
+		tr, err := eng.NewTrainer(w)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("epoch %2d: loss %.4f acc %.3f  wall %v  (agg %v, update %v, fused %v, backward %v)\n",
-			e, res.Loss, res.Accuracy, time.Since(start).Round(time.Millisecond),
-			res.Timings.Aggregate.Round(time.Millisecond),
-			res.Timings.Update.Round(time.Millisecond),
-			res.Timings.Fused.Round(time.Millisecond),
-			res.Timings.Backward.Round(time.Millisecond))
+		for e := 0; e < *epochs; e++ {
+			start := time.Now()
+			res, err := tr.Epoch()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("epoch %2d: loss %.4f acc %.3f  wall %v  (agg %v, update %v, fused %v, backward %v)\n",
+				e, res.Loss, res.Accuracy, time.Since(start).Round(time.Millisecond),
+				res.Timings.Aggregate.Round(time.Millisecond),
+				res.Timings.Update.Round(time.Millisecond),
+				res.Timings.Fused.Round(time.Millisecond),
+				res.Timings.Backward.Round(time.Millisecond))
+		}
+	}
+
+	if traceFile != nil {
+		if err := eng.WriteTrace(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metrics {
+		fmt.Println("metrics:")
+		if err := eng.WriteMetrics(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"graphite/internal/graph"
 	"graphite/internal/memsim"
 	"graphite/internal/sparse"
+	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
 
@@ -65,6 +66,8 @@ func main() {
 
 	engine := dma.NewEngine(dma.DefaultEngineConfig())
 	fmt.Printf("engine storage: %d bytes (paper: 4.5KB)\n", engine.Config().StorageBytes())
+	tel := telemetry.New(0)
+	engine.SetTelemetry(tel)
 
 	strideBytes := uint64(h.Stride) * 4
 	descriptorFor := func(v int) dma.Descriptor {
@@ -110,6 +113,9 @@ func main() {
 	if maxDiff > 1e-4 {
 		log.Fatal("DMA aggregation diverged from software")
 	}
+	fmt.Printf("telemetry: %d descriptors executed, %.1f MB moved by the engine\n",
+		tel.Counter(telemetry.CtrDMADescriptors),
+		float64(tel.Counter(telemetry.CtrDMABytesMoved))/1e6)
 
 	// §5.2's splitting example: a 400-element vector on a 256-element
 	// output buffer becomes descriptors of 256 + 144 elements.

@@ -34,6 +34,7 @@ import (
 	"graphite/internal/gnn"
 	"graphite/internal/graph"
 	"graphite/internal/locality"
+	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
 
@@ -130,12 +131,21 @@ type Config struct {
 	LearningRate float32
 	// Seed makes weight init and dropout deterministic.
 	Seed int64
+	// Trace, when non-nil, enables telemetry and receives the Chrome
+	// trace_event JSON (loadable in chrome://tracing or Perfetto) when
+	// WriteTrace is called after a run.
+	Trace io.Writer
+	// Metrics enables kernel counters and scheduler accounting without
+	// span export; implied by Trace. Read results via Metrics() or
+	// WriteMetrics.
+	Metrics bool
 }
 
 // Engine runs GNN inference and builds trainers with a fixed configuration.
 type Engine struct {
 	cfg Config
 	net *gnn.Network
+	tel *telemetry.Sink
 }
 
 // NewEngine validates the config and initialises the network weights.
@@ -147,8 +157,36 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.LearningRate == 0 {
 		cfg.LearningRate = 0.1
 	}
-	return &Engine{cfg: cfg, net: net}, nil
+	e := &Engine{cfg: cfg, net: net}
+	if cfg.Trace != nil || cfg.Metrics {
+		e.tel = telemetry.New(0)
+	}
+	return e, nil
 }
+
+// Metrics is a point-in-time copy of the engine's kernel counters and
+// per-worker scheduler accounting (zero-valued when telemetry is off).
+type Metrics = telemetry.Snapshot
+
+// Metrics snapshots the engine's telemetry counters.
+func (e *Engine) Metrics() Metrics { return e.tel.Snapshot() }
+
+// WriteMetrics writes the plain-text metrics snapshot (Prometheus-style
+// "name value" lines) to w.
+func (e *Engine) WriteMetrics(w io.Writer) error { return e.tel.WriteMetrics(w) }
+
+// WriteTrace exports the phase spans recorded so far as Chrome trace_event
+// JSON to the Config.Trace writer.
+func (e *Engine) WriteTrace() error {
+	if e.cfg.Trace == nil {
+		return fmt.Errorf("graphite: no Config.Trace writer configured")
+	}
+	return e.tel.WriteTrace(e.cfg.Trace)
+}
+
+// ResetTelemetry clears counters and recorded spans, so successive runs on
+// one engine can be profiled independently.
+func (e *Engine) ResetTelemetry() { e.tel.Reset() }
 
 // NumParams returns the number of trainable scalars.
 func (e *Engine) NumParams() int { return e.net.NumParams() }
@@ -171,9 +209,12 @@ func (e *Engine) runOptions(w *Workload) gnn.RunOptions {
 		Impl:      e.cfg.Impl.impl(),
 		Threads:   e.cfg.Threads,
 		BlockSize: e.cfg.BlockSize,
+		Tel:       e.tel,
 	}
 	if e.cfg.LocalityOrder {
+		sp := e.tel.Begin(telemetry.PhaseReorder)
 		opts.Order = locality.Reorder(w.G)
+		sp.End()
 	}
 	return opts
 }

@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"graphite/internal/telemetry"
 )
 
 // Config scales the experiments.
@@ -38,6 +40,10 @@ type Config struct {
 	// Reps repeats each wall-clock measurement and keeps the minimum
 	// (default 1).
 	Reps int
+	// Telemetry, when non-nil, receives phase spans and kernel counters
+	// from every wall-clock experiment run (the "phases" experiment
+	// manages its own per-variant sinks and ignores this).
+	Telemetry *telemetry.Sink
 }
 
 func (c Config) fill() Config {
@@ -105,6 +111,7 @@ var experiments = map[string]experiment{
 	"fig16":      {"DMA time vs tracking-table entries (simulated)", fig16},
 	"table4":     {"memory-performance characterization (simulated)", table4},
 	"table5":     {"private-cache access reduction from the DMA engine (simulated)", table5},
+	"phases":     {"per-phase time breakdown from telemetry spans (wall clock)", phasesBreakdown},
 }
 
 // IDs lists the experiment ids in a stable order.

@@ -12,7 +12,7 @@ func quickConfig() Config {
 
 func TestIDsAndTitles(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("got %d experiments: %v", len(ids), ids)
 	}
 	for _, id := range ids {

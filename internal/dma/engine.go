@@ -3,6 +3,8 @@ package dma
 import (
 	"fmt"
 	"math"
+
+	"graphite/internal/telemetry"
 )
 
 // EngineConfig sizes the engine's storage, defaulting to the paper's
@@ -45,6 +47,7 @@ func (c EngineConfig) StorageBytes() int {
 type Engine struct {
 	cfg EngineConfig
 	buf []float32
+	tel *telemetry.Sink
 }
 
 // NewEngine builds an engine.
@@ -57,6 +60,25 @@ func NewEngine(cfg EngineConfig) *Engine {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// SetTelemetry attaches a sink; every executed descriptor then credits the
+// DMA counters with the descriptor count and the bytes it moved (index,
+// factor, and input loads plus the output flush — the traffic §5.2's
+// engine takes over from the core).
+func (e *Engine) SetTelemetry(tel *telemetry.Sink) { e.tel = tel }
+
+// trafficBytes returns the memory traffic of one descriptor execution.
+func trafficBytes(d *Descriptor) int64 {
+	idxSz := int64(d.IdxT.Size())
+	valSz := int64(d.ValT.Size())
+	n := int64(d.N)
+	e := int64(d.E)
+	bytes := n*idxSz + n*e*valSz + e*valSz // index loads + input loads + output flush
+	if d.Bin != BinNone {
+		bytes += n * valSz // factor loads
+	}
+	return bytes
+}
 
 // Execute runs Algorithm 4 for one descriptor against mem. Each input
 // block's completion status is written to the STATUS record; on a memory
@@ -99,6 +121,10 @@ func (e *Engine) Execute(d *Descriptor, mem Memory) error {
 		if err := mem.StoreVal(d.OUT+uint64(j)*valSz, d.ValT, buf[j]); err != nil {
 			return fmt.Errorf("dma: output flush element %d: %w", j, err)
 		}
+	}
+	if e.tel.Enabled() {
+		e.tel.Inc(telemetry.CtrDMADescriptors)
+		e.tel.Add(telemetry.CtrDMABytesMoved, trafficBytes(d))
 	}
 	return nil
 }

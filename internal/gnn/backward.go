@@ -7,6 +7,7 @@ import (
 
 	"graphite/internal/kernels"
 	"graphite/internal/sparse"
+	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
 
@@ -48,6 +49,8 @@ func Backward(net *Network, w *Workload, st *ForwardState, dLogits *tensor.Matri
 		return fmt.Errorf("gnn: forward state lacks aggregation matrices; run Forward with Train=true")
 	}
 	start := time.Now()
+	bsp := opts.Tel.Begin(telemetry.PhaseBackward)
+	defer bsp.End()
 	gT, fT := w.Transposed()
 	dh := dLogits
 	for layerIdx := k - 1; layerIdx >= 0; layerIdx-- {
@@ -66,25 +69,30 @@ func Backward(net *Network, w *Workload, st *ForwardState, dLogits *tensor.Matri
 		}
 
 		// Parameter gradients.
-		tensor.MatMulTransA(grads.W[layerIdx], a, dz, opts.Threads)
+		gsp := opts.Tel.Begin(telemetry.PhaseBackwardGEMM)
+		tensor.MatMulTransATel(grads.W[layerIdx], a, dz, opts.Threads, opts.Tel)
 		tensor.SumRows(grads.B[layerIdx], dz)
 
 		if layerIdx == 0 {
+			gsp.End()
 			break // no gradient needed for the input features
 		}
 
 		// da = dz·Wᵀ, then dh_prev = Âᵀ·da.
 		da := tensor.NewMatrix(dz.Rows, layer.In())
-		tensor.MatMulTransB(da, dz, layer.W, opts.Threads)
+		tensor.MatMulTransBTel(da, dz, layer.W, opts.Threads, opts.Tel)
+		gsp.End()
 		dhPrev := tensor.NewMatrix(dz.Rows, layer.In())
+		asp := opts.Tel.Begin(telemetry.PhaseBackwardAgg)
 		switch opts.Impl {
 		case ImplDistGNN:
-			kernels.DistGNN(dhPrev, gT, fT, da, opts.Threads)
+			kernels.DistGNNTel(dhPrev, gT, fT, da, opts.Threads, opts.Tel)
 		case ImplMKL:
-			sparse.SpMM(dhPrev, gT, fT, da, opts.Threads)
+			sparse.SpMMTel(dhPrev, gT, fT, da, opts.Threads, opts.Tel)
 		default:
 			kernels.Basic(dhPrev, gT, fT, kernels.NewDenseSource(da), opts.kernelOptions())
 		}
+		asp.End()
 		dh = dhPrev
 	}
 	st.Timings.Backward += time.Since(start)

@@ -9,6 +9,7 @@ import (
 	"graphite/internal/kernels"
 	"graphite/internal/sched"
 	"graphite/internal/sparse"
+	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
 
@@ -83,6 +84,10 @@ type RunOptions struct {
 	Train bool
 	// DropoutSeed seeds the dropout RNG streams.
 	DropoutSeed int64
+	// Tel receives phase spans and kernel counters; nil disables
+	// instrumentation (the hot paths then pay one pointer test per
+	// chunk, nothing per edge).
+	Tel *telemetry.Sink
 }
 
 func (o RunOptions) blockSize() int {
@@ -114,6 +119,7 @@ func (o RunOptions) kernelOptions() kernels.Options {
 		Threads:          o.Threads,
 		PrefetchDistance: o.prefetch(),
 		Order:            o.Order,
+		Tel:              o.Tel,
 	}
 }
 
@@ -178,17 +184,27 @@ func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) 
 	}
 	n := w.G.NumVertices()
 
+	fsp := opts.Tel.Begin(telemetry.PhaseForward)
+	defer fsp.End()
+
 	// Current layer input: dense and/or compressed.
 	x := w.X
 	var xc *compress.Matrix
 	if opts.Impl.UsesCompression() {
-		xc = w.CompressedInput(opts.Threads)
+		if w.XC == nil {
+			csp := opts.Tel.Begin(telemetry.PhaseCompressInput)
+			w.CompressedInput(opts.Threads)
+			csp.End()
+			opts.Tel.Add(telemetry.CtrRowsCompressed, int64(n))
+		}
+		xc = w.XC
 	}
 
 	for layerIdx, layer := range net.Layers {
 		if layer.In() != x.Cols {
 			return nil, fmt.Errorf("gnn: layer %d expects %d inputs, got %d", layerIdx, layer.In(), x.Cols)
 		}
+		lsp := opts.Tel.Begin(telemetry.LayerName(layerIdx))
 		relu := layerIdx < k-1
 		wantCompressedOut := opts.Impl.UsesCompression() && relu
 		keepDense := opts.Train || !wantCompressedOut
@@ -222,31 +238,38 @@ func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) 
 		}
 
 		if opts.Impl.UsesFusion() {
+			fusp := opts.Tel.Begin(telemetry.PhaseFused)
 			a, fusedTime := fusedLayer(w, src, layer, ep, opts)
+			fusp.End()
 			st.Timings.Fused += fusedTime
 			if opts.Train {
 				st.A[layerIdx] = a
 			}
 		} else {
 			a := tensor.NewMatrix(n, layer.In())
+			asp := opts.Tel.Begin(telemetry.PhaseAggregate)
 			t0 := time.Now()
 			switch opts.Impl {
 			case ImplDistGNN:
-				kernels.DistGNN(a, w.G, w.Factors, x, opts.Threads)
+				kernels.DistGNNTel(a, w.G, w.Factors, x, opts.Threads, opts.Tel)
 			case ImplMKL:
-				sparse.SpMM(a, w.G, w.Factors, x, opts.Threads)
+				sparse.SpMMTel(a, w.G, w.Factors, x, opts.Threads, opts.Tel)
 			default:
 				kernels.Basic(a, w.G, w.Factors, src, opts.kernelOptions())
 			}
 			t1 := time.Now()
+			asp.End()
+			usp := opts.Tel.Begin(telemetry.PhaseUpdate)
 			unfusedUpdate(a, layer, ep, opts)
 			t2 := time.Now()
+			usp.End()
 			st.Timings.Aggregate += t1.Sub(t0)
 			st.Timings.Update += t2.Sub(t1)
 			if opts.Train {
 				st.A[layerIdx] = a
 			}
 		}
+		lsp.End()
 
 		st.H[layerIdx] = hOut
 		st.HC[layerIdx] = hcOut
@@ -314,17 +337,39 @@ func unfusedUpdate(a *tensor.Matrix, layer *Layer, ep epilogue, opts RunOptions)
 	sched.ForEachThread(opts.Threads, func(thread int) {
 		rng := rand.New(rand.NewSource(ep.dropSeed + int64(thread)))
 		z := make([]float32, layer.Out())
+		var chunks, rows int64
+		t0 := time.Now()
 		for {
 			s, e, ok := cur.Next()
 			if !ok {
-				return
+				break
 			}
+			chunks++
+			rows += int64(e - s)
 			for v := s; v < e; v++ {
 				rowGEMM(z, a.Row(v), layer.W, axpyOut)
 				ep.finishRow(z, layer.B, v, rng)
 			}
 		}
+		flushUpdateCounters(opts.Tel, thread, chunks, rows, time.Since(t0), layer, ep.comp != nil)
 	})
+}
+
+// flushUpdateCounters accounts one update-phase worker's totals: scheduler
+// claims, dense-equivalent GEMM FLOPs for its rows, and (when the epilogue
+// writes a compressed output) one compressed row per row produced. One call
+// per worker keeps every atomic off the per-row path.
+func flushUpdateCounters(tel *telemetry.Sink, worker int, chunks, rows int64, busy time.Duration, layer *Layer, compressedOut bool) {
+	if !tel.Enabled() || chunks == 0 {
+		return
+	}
+	tel.WorkerClaim(worker, chunks, rows, busy)
+	tel.Add(telemetry.CtrSchedChunks, chunks)
+	tel.Add(telemetry.CtrSchedRows, rows)
+	tel.Add(telemetry.CtrGEMMFLOPs, rows*tensor.GEMMFLOPs(1, layer.In(), layer.Out()))
+	if compressedOut {
+		tel.Add(telemetry.CtrRowsCompressed, rows)
+	}
 }
 
 // rowGEMM computes z = row·W using the width-specialised axpy.
@@ -354,6 +399,7 @@ func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts
 	if opts.Train {
 		aFull = tensor.NewMatrix(n, layer.In())
 	}
+	_, srcCompressed := src.(*kernels.CompressedSource)
 	start := time.Now()
 	cur := sched.NewCursor(n, taskSz)
 	sched.ForEachThread(opts.Threads, func(thread int) {
@@ -363,11 +409,15 @@ func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts
 			aBuf = tensor.NewMatrix(blockSz, layer.In())
 		}
 		z := make([]float32, layer.Out())
+		var chunks, rows, edges int64
+		t0 := time.Now()
 		for {
 			ts, te, ok := cur.Next()
 			if !ok {
-				return
+				break
 			}
+			chunks++
+			rows += int64(te - ts)
 			for bs := ts; bs < te; bs += blockSz {
 				be := bs + blockSz
 				if be > te {
@@ -385,6 +435,7 @@ func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts
 					if opts.Order != nil {
 						v = int(opts.Order[i])
 					}
+					edges += int64(w.G.Ptr[v+1] - w.G.Ptr[v])
 					var aRow []float32
 					if opts.Train {
 						aRow = aFull.Row(v)
@@ -394,6 +445,14 @@ func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts
 					rowGEMM(z, aRow, layer.W, axpyOut)
 					ep.finishRow(z, layer.B, v, rng)
 				}
+			}
+		}
+		if opts.Tel.Enabled() && chunks > 0 {
+			flushUpdateCounters(opts.Tel, thread, chunks, rows, time.Since(t0), layer, ep.comp != nil)
+			opts.Tel.Add(telemetry.CtrVerticesAggregated, rows)
+			opts.Tel.Add(telemetry.CtrEdgesAggregated, edges)
+			if srcCompressed {
+				opts.Tel.Add(telemetry.CtrRowsDecompressed, edges)
 			}
 		}
 	})

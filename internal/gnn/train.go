@@ -2,6 +2,8 @@ package gnn
 
 import (
 	"fmt"
+
+	"graphite/internal/telemetry"
 )
 
 // EpochResult reports one training epoch.
@@ -38,8 +40,15 @@ func NewTrainer(net *Network, w *Workload, opts RunOptions, lr float32) (*Traine
 }
 
 // Epoch runs one full-batch training epoch and returns loss/accuracy
-// (computed on the pre-update logits) plus the phase timings.
-func (t *Trainer) Epoch() (EpochResult, error) {
+// (computed on the pre-update logits) plus the phase timings. With a
+// telemetry sink attached the whole epoch runs under an "epoch" span and
+// pprof label, with the forward/backward phase spans nested inside.
+func (t *Trainer) Epoch() (res EpochResult, err error) {
+	t.Opts.Tel.Do(telemetry.PhaseEpoch, func() { res, err = t.runEpoch() })
+	return res, err
+}
+
+func (t *Trainer) runEpoch() (EpochResult, error) {
 	opts := t.Opts
 	opts.DropoutSeed = int64(t.epoch) * 1_000_003
 	t.epoch++
@@ -79,8 +88,10 @@ func (t *Trainer) Train(epochs int) ([]EpochResult, error) {
 	return results, nil
 }
 
-// Infer runs an inference-only forward pass and returns the logits state.
-func Infer(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) {
+// Infer runs an inference-only forward pass and returns the logits state,
+// under an "infer" span and pprof label when a telemetry sink is attached.
+func Infer(net *Network, w *Workload, opts RunOptions) (st *ForwardState, err error) {
 	opts.Train = false
-	return Forward(net, w, opts)
+	opts.Tel.Do(telemetry.PhaseInfer, func() { st, err = Forward(net, w, opts) })
+	return st, err
 }

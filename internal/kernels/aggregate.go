@@ -3,6 +3,7 @@ package kernels
 import (
 	"graphite/internal/graph"
 	"graphite/internal/sched"
+	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
 
@@ -20,6 +21,9 @@ type Options struct {
 	// Order is the vertex processing order M (§4.4); nil means natural
 	// order. Must be a permutation of the vertex set.
 	Order []int32
+	// Tel receives kernel counters and scheduler accounting; nil disables
+	// instrumentation at the cost of one branch per claimed chunk.
+	Tel *telemetry.Sink
 }
 
 func (o Options) taskSize() int {
@@ -64,17 +68,36 @@ func Basic(out *tensor.Matrix, g *graph.CSR, factors []float32, src Source, opt 
 	n := g.NumVertices()
 	checkAggArgs(out, n, g.NumEdges(), factors, src)
 	dist := opt.PrefetchDistance
-	sched.Dynamic(n, opt.taskSize(), opt.Threads, func(start, end int) {
+	_, srcCompressed := src.(*CompressedSource)
+	sched.DynamicTel(n, opt.taskSize(), opt.Threads, opt.Tel, func(_, start, end int) {
 		var sink float32
+		var edges int64
 		for i := start; i < end; i++ {
 			v := opt.vertexAt(i)
+			edges += int64(g.Ptr[v+1] - g.Ptr[v])
 			AggregateVertex(out.Row(v), g, factors, src, v)
 			if dist > 0 && i+dist < n {
 				sink += prefetchVertex(g, src, opt.vertexAt(i+dist))
 			}
 		}
 		foldSink(sink)
+		countAggregate(opt.Tel, int64(end-start), edges, srcCompressed)
 	})
+}
+
+// countAggregate flushes one task's aggregation counts: vertex rows
+// produced, edges traversed, and (for compressed sources) one row expansion
+// per edge gather. One call per claimed chunk keeps atomics off the
+// per-edge path.
+func countAggregate(tel *telemetry.Sink, vertices, edges int64, srcCompressed bool) {
+	if !tel.Enabled() {
+		return
+	}
+	tel.Add(telemetry.CtrVerticesAggregated, vertices)
+	tel.Add(telemetry.CtrEdgesAggregated, edges)
+	if srcCompressed {
+		tel.Add(telemetry.CtrRowsDecompressed, edges)
+	}
 }
 
 // AggregateBlock aggregates the vertices at positions [posStart, posEnd) of
@@ -119,15 +142,23 @@ func AggregateBlockByVertex(dst *tensor.Matrix, g *graph.CSR, factors []float32,
 // ranges, generic (non-specialised) inner loop, no software prefetch, no
 // processing-order support. The evaluation normalises everything to this.
 func DistGNN(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix, threads int) {
+	DistGNNTel(out, g, factors, h, threads, nil)
+}
+
+// DistGNNTel is DistGNN with kernel counters and per-worker accounting.
+func DistGNNTel(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix, threads int, tel *telemetry.Sink) {
 	n := g.NumVertices()
 	checkAggArgs(out, n, g.NumEdges(), factors, NewDenseSource(h))
-	sched.Static(n, threads, func(start, end int) {
+	sched.StaticTel(n, threads, tel, func(_, start, end int) {
+		var edges int64
 		for v := start; v < end; v++ {
 			dst := out.Row(v)
 			clear(dst)
+			edges += int64(g.Ptr[v+1] - g.Ptr[v])
 			for e := g.Ptr[v]; e < g.Ptr[v+1]; e++ {
 				tensor.AXPY(dst, h.Row(int(g.Col[e])), factors[e])
 			}
 		}
+		countAggregate(tel, int64(end-start), edges, false)
 	})
 }

@@ -13,6 +13,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"graphite/internal/telemetry"
 )
 
 // DefaultThreads returns the degree of parallelism used when a caller passes
@@ -28,6 +31,15 @@ func DefaultThreads() int {
 // skew across threads. body must be safe to call concurrently on disjoint
 // ranges.
 func Dynamic(n, chunk, threads int, body func(start, end int)) {
+	DynamicTel(n, chunk, threads, nil, func(_, start, end int) { body(start, end) })
+}
+
+// DynamicTel is Dynamic with per-worker telemetry: body additionally
+// receives the claiming worker's id, and when tel is a live sink every
+// claimed chunk is accounted (chunk count, rows, busy wall time) so runs
+// can quantify load imbalance across workers. A nil/disabled sink adds a
+// single branch per chunk and nothing per row.
+func DynamicTel(n, chunk, threads int, tel *telemetry.Sink, body func(worker, start, end int)) {
 	if n <= 0 {
 		return
 	}
@@ -37,13 +49,24 @@ func Dynamic(n, chunk, threads int, body func(start, end int)) {
 	if threads <= 0 {
 		threads = DefaultThreads()
 	}
+	run := func(worker, start, end int) {
+		if tel.Enabled() {
+			t0 := time.Now()
+			body(worker, start, end)
+			tel.WorkerClaim(worker, 1, int64(end-start), time.Since(t0))
+			tel.Add(telemetry.CtrSchedChunks, 1)
+			tel.Add(telemetry.CtrSchedRows, int64(end-start))
+			return
+		}
+		body(worker, start, end)
+	}
 	if threads == 1 {
 		for start := 0; start < n; start += chunk {
 			end := start + chunk
 			if end > n {
 				end = n
 			}
-			body(start, end)
+			run(0, start, end)
 		}
 		return
 	}
@@ -51,7 +74,7 @@ func Dynamic(n, chunk, threads int, body func(start, end int)) {
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				start := int(cursor.Add(int64(chunk))) - chunk
@@ -62,9 +85,9 @@ func Dynamic(n, chunk, threads int, body func(start, end int)) {
 				if end > n {
 					end = n
 				}
-				body(start, end)
+				run(worker, start, end)
 			}
-		}()
+		}(t)
 	}
 	wg.Wait()
 }
@@ -73,6 +96,14 @@ func Dynamic(n, chunk, threads int, body func(start, end int)) {
 // thread, mirroring OpenMP's schedule(static). The DistGNN-style baseline
 // kernel uses this; the paper's optimized kernels use Dynamic.
 func Static(n, threads int, body func(start, end int)) {
+	StaticTel(n, threads, nil, func(_, start, end int) { body(start, end) })
+}
+
+// StaticTel is Static with per-worker telemetry, mirroring DynamicTel: each
+// worker's single contiguous range is accounted as one claim. Comparing the
+// resulting busy-time imbalance against DynamicTel's is the §4.1 argument
+// for dynamic scheduling in numbers.
+func StaticTel(n, threads int, tel *telemetry.Sink, body func(worker, start, end int)) {
 	if n <= 0 {
 		return
 	}
@@ -82,8 +113,19 @@ func Static(n, threads int, body func(start, end int)) {
 	if threads > n {
 		threads = n
 	}
+	run := func(worker, start, end int) {
+		if tel.Enabled() {
+			t0 := time.Now()
+			body(worker, start, end)
+			tel.WorkerClaim(worker, 1, int64(end-start), time.Since(t0))
+			tel.Add(telemetry.CtrSchedChunks, 1)
+			tel.Add(telemetry.CtrSchedRows, int64(end-start))
+			return
+		}
+		body(worker, start, end)
+	}
 	if threads == 1 {
-		body(0, n)
+		run(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -95,12 +137,12 @@ func Static(n, threads int, body func(start, end int)) {
 		if end > n {
 			end = n
 		}
-		go func(s, e int) {
+		go func(worker, s, e int) {
 			defer wg.Done()
 			if s < e {
-				body(s, e)
+				run(worker, s, e)
 			}
-		}(start, end)
+		}(t, start, end)
 	}
 	wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"graphite/internal/dma"
 	"graphite/internal/memsim"
 	"graphite/internal/sched"
+	"graphite/internal/telemetry"
 )
 
 // descBuildCycles is the core-side cost of building and enqueuing one
@@ -130,6 +131,8 @@ func (s *sim) dmaRun(states []*dmaCoreState, coreStep func(c int) (bool, bool)) 
 // results sit in L2 (Lines 11-13); trailing updates drain the pipeline
 // (Lines 15-20).
 func (s *sim) dmaFusedLayer(layerIdx int, train bool) {
+	sp := s.opt.Tel.Begin(telemetry.PhaseDMAFlow)
+	defer sp.End()
 	s.needEngines()
 	l := s.layers[layerIdx]
 	ge := aggGeom{g: s.g, col: s.col, factor: s.factor, inputReg: s.h[layerIdx], cols: l.Fin}
@@ -204,6 +207,8 @@ func (s *sim) dmaFusedLayer(layerIdx int, train bool) {
 // the aggregation-only rows of Table 5, the Fig. 16 sweep, and the DMA
 // variant's backward aggregation.
 func (s *sim) dmaAggregationOnly(ge aggGeom, dst aggDest) {
+	sp := s.opt.Tel.Begin(telemetry.PhaseDMAFlow)
+	defer sp.End()
 	s.needEngines()
 	n := ge.g.NumVertices()
 	cur := sched.NewCursor(n, s.opt.BlockSize)

@@ -22,6 +22,7 @@ import (
 	"graphite/internal/dma"
 	"graphite/internal/graph"
 	"graphite/internal/memsim"
+	"graphite/internal/telemetry"
 )
 
 // Variant selects the simulated implementation.
@@ -87,6 +88,10 @@ type Options struct {
 	// Sparsity is the hidden-feature sparsity assumed by the compressed
 	// variants (default 0.5, the paper's conservative setting).
 	Sparsity float64
+	// Tel receives wall-clock spans for the simulated DMA flow phases
+	// (the simulator itself is the slow part worth profiling); nil
+	// disables them.
+	Tel *telemetry.Sink
 }
 
 func (o *Options) fill() {

@@ -18,6 +18,7 @@ import (
 
 	"graphite/internal/graph"
 	"graphite/internal/sched"
+	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
 
@@ -127,6 +128,11 @@ func TransposeFactors(g, gT *graph.CSR, factors []float32) []float32 {
 // optimized kernels. Parallelised over output rows (no races: each task
 // owns disjoint rows of out, all other operands are read-only — §4.1).
 func SpMM(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix, threads int) {
+	SpMMTel(out, g, factors, h, threads, nil)
+}
+
+// SpMMTel is SpMM with kernel counters and per-worker scheduler accounting.
+func SpMMTel(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix, threads int, tel *telemetry.Sink) {
 	if out.Rows != g.NumVertices() || h.Rows != g.NumVertices() {
 		panic(fmt.Sprintf("sparse: SpMM rows out=%d h=%d graph=%d", out.Rows, h.Rows, g.NumVertices()))
 	}
@@ -136,13 +142,19 @@ func SpMM(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix,
 	if len(factors) != g.NumEdges() {
 		panic(fmt.Sprintf("sparse: factor array length %d, want %d", len(factors), g.NumEdges()))
 	}
-	sched.Dynamic(g.NumVertices(), 64, threads, func(start, end int) {
+	sched.DynamicTel(g.NumVertices(), 64, threads, tel, func(_, start, end int) {
+		var edges int64
 		for v := start; v < end; v++ {
 			dst := out.Row(v)
 			clear(dst)
+			edges += int64(g.Ptr[v+1] - g.Ptr[v])
 			for e := g.Ptr[v]; e < g.Ptr[v+1]; e++ {
 				tensor.AXPY(dst, h.Row(int(g.Col[e])), factors[e])
 			}
+		}
+		if tel.Enabled() {
+			tel.Add(telemetry.CtrVerticesAggregated, int64(end-start))
+			tel.Add(telemetry.CtrEdgesAggregated, edges)
 		}
 	})
 }

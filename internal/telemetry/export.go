@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of the sink's counters and per-worker
+// scheduler accounting, suitable for programmatic inspection (the metrics
+// text form is WriteMetrics).
+type Snapshot struct {
+	// Counters maps metrics keys (Counter.Name) to values. Every key is
+	// present, including zeros, so consumers see a stable key set.
+	Counters map[string]int64
+	// Workers holds accounting for workers that claimed at least one
+	// chunk, ordered by worker id.
+	Workers []WorkerStats
+	// Spans is the total number of spans recorded.
+	Spans int64
+}
+
+// WorkerStats is one scheduler worker's accounting.
+type WorkerStats struct {
+	Worker int
+	Chunks int64
+	Rows   int64
+	// BusySeconds is wall time spent inside claimed chunks.
+	BusySeconds float64
+}
+
+// RowImbalance returns max/mean of per-worker row counts (1 = perfectly
+// balanced; 0 if fewer than two workers reported).
+func (s Snapshot) RowImbalance() float64 {
+	return imbalance(s.Workers, func(w WorkerStats) float64 { return float64(w.Rows) })
+}
+
+// BusyImbalance returns max/mean of per-worker busy time. Under power-law
+// degree skew this is the number the paper's dynamic scheduler improves:
+// static partitioning leaves some workers busy far longer than the mean.
+func (s Snapshot) BusyImbalance() float64 {
+	return imbalance(s.Workers, func(w WorkerStats) float64 { return w.BusySeconds })
+}
+
+func imbalance(ws []WorkerStats, f func(WorkerStats) float64) float64 {
+	if len(ws) < 2 {
+		return 0
+	}
+	var sum, max float64
+	for _, w := range ws {
+		v := f(w)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(ws)))
+}
+
+// Snapshot captures the current counters and worker stats. Safe on a nil
+// sink: the result then has the full key set with all-zero values.
+func (s *Sink) Snapshot() Snapshot {
+	snap := Snapshot{Counters: make(map[string]int64, numCounters)}
+	for c := Counter(0); c < numCounters; c++ {
+		snap.Counters[c.Name()] = s.Counter(c)
+	}
+	if s == nil {
+		return snap
+	}
+	for i := range s.workers {
+		w := &s.workers[i]
+		chunks := w.chunks.Load()
+		if chunks == 0 && w.rows.Load() == 0 {
+			continue
+		}
+		snap.Workers = append(snap.Workers, WorkerStats{
+			Worker:      i,
+			Chunks:      chunks,
+			Rows:        w.rows.Load(),
+			BusySeconds: float64(w.busyNS.Load()) / 1e9,
+		})
+	}
+	snap.Spans = s.SpanCount()
+	return snap
+}
+
+// WriteMetrics writes the expvar/Prometheus-style plain-text snapshot:
+// one "name value" line per counter (stable, sorted key set) followed by
+// per-worker scheduler series with a {worker="N"} label.
+func (s *Sink) WriteMetrics(w io.Writer) error {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, snap.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, ws := range snap.Workers {
+		if _, err := fmt.Fprintf(w,
+			"graphite_sched_worker_chunks_total{worker=\"%d\"} %d\ngraphite_sched_worker_rows_total{worker=\"%d\"} %d\ngraphite_sched_worker_busy_seconds{worker=\"%d\"} %g\n",
+			ws.Worker, ws.Chunks, ws.Worker, ws.Rows, ws.Worker, ws.BusySeconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEvent is one Chrome trace_event entry. Complete events ("ph":"X")
+// carry their own duration, so nesting is inferred from containment —
+// exactly what chrome://tracing and Perfetto render as stacked slices.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int32             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object form of the trace_event format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the recorded spans as Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Counter totals ride along
+// as args on a process metadata event.
+func (s *Sink) WriteTrace(w io.Writer) error {
+	events := []spanEvent{}
+	if s != nil {
+		events = s.snapshotEvents()
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].startNS < events[j].startNS })
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, len(events)+1)}
+	meta := traceEvent{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]string{"name": "graphite"}}
+	if s != nil {
+		snap := s.Snapshot()
+		for k, v := range snap.Counters {
+			meta.Args[k] = fmt.Sprint(v)
+		}
+	}
+	tf.TraceEvents = append(tf.TraceEvents, meta)
+	for _, ev := range events {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: ev.name,
+			Cat:  "phase",
+			Ph:   "X",
+			Ts:   float64(ev.startNS) / 1e3,
+			Dur:  float64(ev.durNS) / 1e3,
+			Pid:  1,
+			Tid:  ev.tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -1,0 +1,348 @@
+// Package telemetry is the runtime observability substrate: phase-scoped
+// spans, atomic kernel counters, and per-worker scheduler accounting,
+// recorded with low enough overhead to stay on during production runs.
+//
+// The paper's methodology is measurement-first — the VTune top-down profiles
+// of §3 (Table 4) motivate every optimization — and this package gives the
+// reproduction the same visibility at runtime instead of only in the offline
+// perf model: every forward/backward pass is decomposed into the paper's
+// phases (aggregate, update, fused, compress, reorder, DMA) and every kernel
+// reports what it moved (vertices, edges, rows, bytes, FLOPs).
+//
+// A nil *Sink disables everything: all methods are nil-receiver safe and the
+// hot-path guard is a single pointer test plus one atomic load, with no
+// per-edge work and no allocations. Kernels therefore thread an optional
+// *Sink through their options and call it unconditionally.
+//
+// Spans additionally emit runtime/trace regions (visible in `go tool trace`)
+// and Do attaches pprof labels, so CPU profiles of an instrumented run can
+// be sliced by the same phase names as the exported Chrome trace.
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one of the fixed kernel counters. The set is a fixed
+// enum so increments are plain atomic adds into an array — no map lookups on
+// hot paths.
+type Counter int
+
+// Kernel counters. Each maps to one line of the metrics snapshot.
+const (
+	// CtrVerticesAggregated counts vertex rows produced by aggregation.
+	CtrVerticesAggregated Counter = iota
+	// CtrEdgesAggregated counts edges traversed by aggregation (gather +
+	// ψ + reduce per edge, Algorithm 1).
+	CtrEdgesAggregated
+	// CtrRowsCompressed counts feature rows compressed (§4.3).
+	CtrRowsCompressed
+	// CtrRowsDecompressed counts compressed-row expansions consumed by
+	// kernels (one per edge gather against a compressed source).
+	CtrRowsDecompressed
+	// CtrGEMMFLOPs counts dense-equivalent floating-point operations
+	// (2·m·k·n per GEMM) of the update phase and backward products.
+	CtrGEMMFLOPs
+	// CtrDMABytesMoved counts bytes moved by the DMA engine model (§5).
+	CtrDMABytesMoved
+	// CtrDMADescriptors counts DMA aggregation descriptors executed.
+	CtrDMADescriptors
+	// CtrSchedChunks counts dynamically claimed scheduler chunks (§4.1).
+	CtrSchedChunks
+	// CtrSchedRows counts rows handed out by the scheduler.
+	CtrSchedRows
+
+	numCounters
+)
+
+// counterNames are the metrics-snapshot keys, indexed by Counter. The
+// "graphite_" prefix and "_total" suffix follow Prometheus conventions.
+var counterNames = [numCounters]string{
+	CtrVerticesAggregated: "graphite_vertices_aggregated_total",
+	CtrEdgesAggregated:    "graphite_edges_aggregated_total",
+	CtrRowsCompressed:     "graphite_rows_compressed_total",
+	CtrRowsDecompressed:   "graphite_rows_decompressed_total",
+	CtrGEMMFLOPs:          "graphite_gemm_flops_total",
+	CtrDMABytesMoved:      "graphite_dma_bytes_moved_total",
+	CtrDMADescriptors:     "graphite_dma_descriptors_total",
+	CtrSchedChunks:        "graphite_sched_chunks_total",
+	CtrSchedRows:          "graphite_sched_rows_total",
+}
+
+// Name returns the counter's metrics key.
+func (c Counter) Name() string { return counterNames[c] }
+
+// Counters lists all counters in snapshot order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// MaxWorkers bounds the per-worker accounting slots. Workers beyond the
+// bound fold into the last slot rather than indexing out of range.
+const MaxWorkers = 256
+
+// workerSlot holds one worker's scheduler accounting, padded to a cache
+// line so concurrent workers never false-share.
+type workerSlot struct {
+	chunks atomic.Int64
+	rows   atomic.Int64
+	busyNS atomic.Int64
+	_      [40]byte
+}
+
+// spanEvent is one completed span in the ring buffer.
+type spanEvent struct {
+	name    string
+	tid     int32
+	startNS int64
+	durNS   int64
+}
+
+// DefaultSpanCapacity is the ring-buffer size used when New is given a
+// non-positive capacity. Spans are phase-granular (per layer, per epoch),
+// so 32Ki events covers thousands of epochs before wrapping.
+const DefaultSpanCapacity = 1 << 15
+
+// Sink collects spans and counters for one run. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil sink records nothing).
+type Sink struct {
+	enabled  atomic.Bool
+	epoch    time.Time
+	counters [numCounters]atomic.Int64
+	workers  [MaxWorkers]workerSlot
+
+	mu      sync.Mutex
+	events  []spanEvent
+	head    int   // next write position in the ring
+	written int64 // total spans ever recorded (>= len(events) once wrapped)
+}
+
+// New returns an enabled sink whose span ring holds capacity events
+// (DefaultSpanCapacity if capacity <= 0).
+func New(capacity int) *Sink {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	s := &Sink{epoch: time.Now(), events: make([]spanEvent, 0, capacity)}
+	s.enabled.Store(true)
+	return s
+}
+
+// Enabled reports whether the sink records anything. It is the single
+// hot-path guard: nil test plus one atomic load.
+func (s *Sink) Enabled() bool { return s != nil && s.enabled.Load() }
+
+// SetEnabled pauses or resumes recording without discarding state.
+func (s *Sink) SetEnabled(on bool) {
+	if s != nil {
+		s.enabled.Store(on)
+	}
+}
+
+// Reset clears counters, worker accounting, and recorded spans.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	for i := range s.counters {
+		s.counters[i].Store(0)
+	}
+	for i := range s.workers {
+		s.workers[i].chunks.Store(0)
+		s.workers[i].rows.Store(0)
+		s.workers[i].busyNS.Store(0)
+	}
+	s.mu.Lock()
+	s.events = s.events[:0]
+	s.head = 0
+	s.written = 0
+	s.mu.Unlock()
+}
+
+// Add accumulates delta into a counter. Call at task/chunk granularity, not
+// per edge: the kernels sum locally and flush once per claimed chunk.
+func (s *Sink) Add(c Counter, delta int64) {
+	if !s.Enabled() || delta == 0 {
+		return
+	}
+	s.counters[c].Add(delta)
+}
+
+// Inc adds one to a counter.
+func (s *Sink) Inc(c Counter) { s.Add(c, 1) }
+
+// Counter returns a counter's current value.
+func (s *Sink) Counter(c Counter) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counters[c].Load()
+}
+
+// WorkerClaim records that a scheduler worker claimed chunks covering rows
+// iterations and spent busy wall time executing them. It feeds the
+// load-imbalance statistics (the paper's motivation for dynamic scheduling
+// over power-law degree skew, §4.1).
+func (s *Sink) WorkerClaim(worker int, chunks, rows int64, busy time.Duration) {
+	if !s.Enabled() {
+		return
+	}
+	if worker < 0 {
+		worker = 0
+	}
+	if worker >= MaxWorkers {
+		worker = MaxWorkers - 1
+	}
+	w := &s.workers[worker]
+	w.chunks.Add(chunks)
+	w.rows.Add(rows)
+	if busy > 0 {
+		w.busyNS.Add(int64(busy))
+	}
+}
+
+// Span is an in-flight phase measurement returned by Begin.
+type Span struct {
+	s      *Sink
+	region *trace.Region
+	name   string
+	tid    int32
+	start  int64
+}
+
+// Begin opens a phase span. It also opens a runtime/trace region of the
+// same name when `go tool trace` collection is active, so both timelines
+// stay phase-aligned. End the returned span exactly once.
+func (s *Sink) Begin(name string) Span {
+	if !s.Enabled() {
+		return Span{}
+	}
+	sp := Span{s: s, name: name, start: int64(time.Since(s.epoch))}
+	if trace.IsEnabled() {
+		sp.region = trace.StartRegion(context.Background(), name)
+	}
+	return sp
+}
+
+// End closes the span and records it.
+func (sp Span) End() {
+	if sp.region != nil {
+		sp.region.End()
+	}
+	if sp.s == nil {
+		return
+	}
+	dur := int64(time.Since(sp.s.epoch)) - sp.start
+	sp.s.record(spanEvent{name: sp.name, tid: sp.tid, startNS: sp.start, durNS: dur})
+}
+
+// record appends to the ring, overwriting the oldest event when full. Span
+// frequency is phase-granular, so a mutex (not a lock-free ring) keeps the
+// export logic simple without measurable contention.
+func (s *Sink) record(ev spanEvent) {
+	s.mu.Lock()
+	if len(s.events) < cap(s.events) {
+		s.events = append(s.events, ev)
+	} else {
+		s.events[s.head] = ev
+		s.head = (s.head + 1) % len(s.events)
+	}
+	s.written++
+	s.mu.Unlock()
+}
+
+// Do runs f inside a span and with a pprof label graphite_phase=name, so
+// CPU profiles taken during the run can be filtered to the phase. Labels
+// propagate to goroutines f spawns, which covers the scheduler's workers.
+func (s *Sink) Do(name string, f func()) {
+	if !s.Enabled() {
+		f()
+		return
+	}
+	sp := s.Begin(name)
+	defer sp.End()
+	pprof.Do(context.Background(), pprof.Labels("graphite_phase", name), func(context.Context) {
+		f()
+	})
+}
+
+// snapshotEvents returns the recorded spans oldest-first.
+func (s *Sink) snapshotEvents() []spanEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]spanEvent, 0, len(s.events))
+	out = append(out, s.events[s.head:]...)
+	out = append(out, s.events[:s.head]...)
+	return out
+}
+
+// SpanCount returns the total number of spans recorded (including any that
+// have been evicted from the ring).
+func (s *Sink) SpanCount() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// PhaseTotals sums recorded span durations by phase name. Nested spans each
+// contribute their own duration, so sum leaf phases (aggregate, update,
+// fused, ...) rather than mixing them with their enclosing layer/epoch
+// spans.
+func (s *Sink) PhaseTotals() map[string]time.Duration {
+	if s == nil {
+		return nil
+	}
+	totals := make(map[string]time.Duration)
+	for _, ev := range s.snapshotEvents() {
+		totals[ev.name] += time.Duration(ev.durNS)
+	}
+	return totals
+}
+
+// layerNameCache pre-renders the common layer span names so per-layer spans
+// never format on the hot path.
+var layerNameCache = func() [32]string {
+	var a [32]string
+	for i := range a {
+		a[i] = fmt.Sprintf("layer%d", i)
+	}
+	return a
+}()
+
+// LayerName returns the span name for layer i ("layer0", "layer1", ...).
+func LayerName(i int) string {
+	if i >= 0 && i < len(layerNameCache) {
+		return layerNameCache[i]
+	}
+	return fmt.Sprintf("layer%d", i)
+}
+
+// Canonical phase span names. Kernels and drivers share these constants so
+// traces, pprof labels, and the bench breakdown agree on vocabulary.
+const (
+	PhaseForward       = "forward"
+	PhaseBackward      = "backward"
+	PhaseAggregate     = "aggregate"
+	PhaseUpdate        = "update"
+	PhaseFused         = "fused"
+	PhaseCompressInput = "compress-input"
+	PhaseReorder       = "reorder"
+	PhaseDMAFlow       = "dma-flow"
+	PhaseEpoch         = "epoch"
+	PhaseInfer         = "infer"
+	PhaseBackwardAgg   = "backward-aggregate"
+	PhaseBackwardGEMM  = "backward-gemm"
+)

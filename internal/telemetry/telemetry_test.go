@@ -1,0 +1,379 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSinkIsSafe exercises every method on a nil *Sink: the disable
+// contract kernels rely on.
+func TestNilSinkIsSafe(t *testing.T) {
+	var s *Sink
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	s.SetEnabled(true)
+	s.Reset()
+	s.Add(CtrEdgesAggregated, 5)
+	s.Inc(CtrSchedChunks)
+	s.WorkerClaim(0, 1, 10, time.Millisecond)
+	sp := s.Begin(PhaseAggregate)
+	sp.End()
+	ran := false
+	s.Do(PhaseUpdate, func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run f on nil sink")
+	}
+	if got := s.Counter(CtrEdgesAggregated); got != 0 {
+		t.Fatalf("nil sink counter = %d, want 0", got)
+	}
+	if got := s.SpanCount(); got != 0 {
+		t.Fatalf("nil sink span count = %d, want 0", got)
+	}
+	snap := s.Snapshot()
+	if len(snap.Counters) != int(numCounters) {
+		t.Fatalf("nil snapshot has %d counter keys, want %d", len(snap.Counters), numCounters)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatalf("nil WriteMetrics: %v", err)
+	}
+	buf.Reset()
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil WriteTrace produced invalid JSON")
+	}
+}
+
+// TestSnapshotStableKeySet verifies the metrics key set is complete and
+// identical whether counters fired or not — consumers can rely on a stable
+// schema.
+func TestSnapshotStableKeySet(t *testing.T) {
+	empty := New(0).Snapshot()
+	busy := New(0)
+	for c := Counter(0); c < numCounters; c++ {
+		busy.Add(c, int64(c)+1)
+	}
+	full := busy.Snapshot()
+
+	keysOf := func(s Snapshot) []string {
+		ks := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	ek, fk := keysOf(empty), keysOf(full)
+	if len(ek) != int(numCounters) {
+		t.Fatalf("empty snapshot has %d keys, want %d", len(ek), numCounters)
+	}
+	for i := range ek {
+		if ek[i] != fk[i] {
+			t.Fatalf("key set differs: %q vs %q", ek[i], fk[i])
+		}
+		if !strings.HasPrefix(ek[i], "graphite_") {
+			t.Fatalf("key %q missing graphite_ prefix", ek[i])
+		}
+	}
+	for _, k := range ek {
+		if empty.Counters[k] != 0 {
+			t.Fatalf("empty snapshot %s = %d, want 0", k, empty.Counters[k])
+		}
+	}
+}
+
+// TestCountersMonotonic verifies concurrent adds accumulate without loss and
+// never decrease across snapshots.
+func TestCountersMonotonic(t *testing.T) {
+	s := New(0)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	prev := int64(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			v := s.Counter(CtrEdgesAggregated)
+			if v < prev {
+				t.Errorf("counter went backwards: %d -> %d", prev, v)
+				return
+			}
+			prev = v
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Add(CtrEdgesAggregated, 3)
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if got, want := s.Counter(CtrEdgesAggregated), int64(workers*perWorker*3); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+// TestWriteMetricsGolden locks the text format: sorted counter lines first,
+// then per-worker series with {worker="N"} labels.
+func TestWriteMetricsGolden(t *testing.T) {
+	s := New(0)
+	s.Add(CtrVerticesAggregated, 10)
+	s.Add(CtrEdgesAggregated, 55)
+	s.Add(CtrGEMMFLOPs, 1 << 20)
+	s.WorkerClaim(0, 2, 8, 2*time.Second)
+	s.WorkerClaim(3, 1, 2, 500*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `graphite_dma_bytes_moved_total 0
+graphite_dma_descriptors_total 0
+graphite_edges_aggregated_total 55
+graphite_gemm_flops_total 1048576
+graphite_rows_compressed_total 0
+graphite_rows_decompressed_total 0
+graphite_sched_chunks_total 0
+graphite_sched_rows_total 0
+graphite_vertices_aggregated_total 10
+graphite_sched_worker_chunks_total{worker="0"} 2
+graphite_sched_worker_rows_total{worker="0"} 8
+graphite_sched_worker_busy_seconds{worker="0"} 2
+graphite_sched_worker_chunks_total{worker="3"} 1
+graphite_sched_worker_rows_total{worker="3"} 2
+graphite_sched_worker_busy_seconds{worker="3"} 0.5
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("metrics snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// chromeEvent mirrors the exported trace_event fields for round-tripping.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int32             `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// TestWriteTraceRoundTrip records a nested span structure, exports it, parses
+// the JSON back, and checks the Chrome trace_event invariants: valid JSON,
+// "X" phase events with microsecond timestamps, and every child span nested
+// inside its parent's [ts, ts+dur] window.
+func TestWriteTraceRoundTrip(t *testing.T) {
+	s := New(0)
+	outer := s.Begin(PhaseForward)
+	for i := 0; i < 2; i++ {
+		layer := s.Begin(LayerName(i))
+		agg := s.Begin(PhaseAggregate)
+		time.Sleep(time.Millisecond)
+		agg.End()
+		upd := s.Begin(PhaseUpdate)
+		time.Sleep(time.Millisecond)
+		upd.End()
+		layer.End()
+	}
+	outer.End()
+
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace is not valid JSON")
+	}
+	var tf chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", tf.DisplayTimeUnit)
+	}
+
+	var meta *chromeEvent
+	spans := map[string]chromeEvent{}
+	for i := range tf.TraceEvents {
+		ev := tf.TraceEvents[i]
+		switch ev.Ph {
+		case "M":
+			meta = &tf.TraceEvents[i]
+		case "X":
+			if ev.Cat != "phase" {
+				t.Fatalf("span %q cat = %q, want phase", ev.Name, ev.Cat)
+			}
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("span %q has negative ts/dur: %v/%v", ev.Name, ev.Ts, ev.Dur)
+			}
+			spans[ev.Name] = ev
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta == nil {
+		t.Fatal("missing process metadata event")
+	}
+	if meta.Args["name"] != "graphite" {
+		t.Fatalf("process name = %q, want graphite", meta.Args["name"])
+	}
+	wantSpans := []string{PhaseForward, "layer0", "layer1", PhaseAggregate, PhaseUpdate}
+	for _, name := range wantSpans {
+		if _, ok := spans[name]; !ok {
+			t.Fatalf("missing span %q (have %v)", name, spans)
+		}
+	}
+
+	within := func(child, parent chromeEvent) {
+		t.Helper()
+		// Allow a microsecond of float slack at the edges.
+		const eps = 1.0
+		if child.Ts+eps < parent.Ts || child.Ts+child.Dur > parent.Ts+parent.Dur+eps {
+			t.Fatalf("span %q [%v, %v] not within parent %q [%v, %v]",
+				child.Name, child.Ts, child.Ts+child.Dur,
+				parent.Name, parent.Ts, parent.Ts+parent.Dur)
+		}
+	}
+	within(spans["layer0"], spans[PhaseForward])
+	within(spans["layer1"], spans[PhaseForward])
+	// The map keeps the later (layer1) aggregate/update spans; both nest
+	// inside layer1.
+	within(spans[PhaseAggregate], spans["layer1"])
+	within(spans[PhaseUpdate], spans["layer1"])
+
+	// Events must be sorted by start time for the viewers' benefit.
+	var last float64 = -1
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Ts < last {
+			t.Fatalf("events not sorted by ts: %v after %v", ev.Ts, last)
+		}
+		last = ev.Ts
+	}
+}
+
+// TestRingOverwritesOldest fills the span ring past capacity and checks that
+// the oldest events are evicted while the total written count keeps growing.
+func TestRingOverwritesOldest(t *testing.T) {
+	const capacity = 8
+	s := New(capacity)
+	for i := 0; i < capacity+3; i++ {
+		sp := s.Begin(fmt.Sprintf("span%d", i))
+		sp.End()
+	}
+	if got := s.SpanCount(); got != capacity+3 {
+		t.Fatalf("span count = %d, want %d", got, capacity+3)
+	}
+	events := s.snapshotEvents()
+	if len(events) != capacity {
+		t.Fatalf("ring holds %d events, want %d", len(events), capacity)
+	}
+	if events[0].name != "span3" {
+		t.Fatalf("oldest surviving span = %q, want span3", events[0].name)
+	}
+	if events[len(events)-1].name != fmt.Sprintf("span%d", capacity+2) {
+		t.Fatalf("newest span = %q", events[len(events)-1].name)
+	}
+}
+
+// TestSetEnabledPausesRecording checks SetEnabled(false) stops both counters
+// and spans without losing prior state.
+func TestSetEnabledPausesRecording(t *testing.T) {
+	s := New(0)
+	s.Add(CtrSchedRows, 7)
+	s.SetEnabled(false)
+	s.Add(CtrSchedRows, 100)
+	sp := s.Begin(PhaseAggregate)
+	sp.End()
+	if got := s.Counter(CtrSchedRows); got != 7 {
+		t.Fatalf("counter = %d after disable, want 7", got)
+	}
+	if got := s.SpanCount(); got != 0 {
+		t.Fatalf("span recorded while disabled: %d", got)
+	}
+	s.SetEnabled(true)
+	s.Add(CtrSchedRows, 1)
+	if got := s.Counter(CtrSchedRows); got != 8 {
+		t.Fatalf("counter = %d after re-enable, want 8", got)
+	}
+}
+
+// TestPhaseTotals checks span durations accumulate per phase name.
+func TestPhaseTotals(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 3; i++ {
+		sp := s.Begin(PhaseAggregate)
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	totals := s.PhaseTotals()
+	if d := totals[PhaseAggregate]; d < 3*time.Millisecond {
+		t.Fatalf("aggregate total %v, want >= 3ms", d)
+	}
+	if _, ok := totals[PhaseUpdate]; ok {
+		t.Fatal("unexpected update phase in totals")
+	}
+}
+
+// TestResetClearsEverything verifies Reset returns the sink to a blank,
+// still-enabled state.
+func TestResetClearsEverything(t *testing.T) {
+	s := New(0)
+	s.Add(CtrGEMMFLOPs, 42)
+	s.WorkerClaim(1, 1, 5, time.Second)
+	sp := s.Begin(PhaseUpdate)
+	sp.End()
+	s.Reset()
+	snap := s.Snapshot()
+	for k, v := range snap.Counters {
+		if v != 0 {
+			t.Fatalf("counter %s = %d after reset", k, v)
+		}
+	}
+	if len(snap.Workers) != 0 {
+		t.Fatalf("workers = %v after reset", snap.Workers)
+	}
+	if snap.Spans != 0 {
+		t.Fatalf("spans = %d after reset", snap.Spans)
+	}
+	if !s.Enabled() {
+		t.Fatal("sink disabled after reset")
+	}
+}
+
+// TestWorkerClaimClamping checks out-of-range worker ids fold into the valid
+// slot range instead of panicking.
+func TestWorkerClaimClamping(t *testing.T) {
+	s := New(0)
+	s.WorkerClaim(-5, 1, 1, 0)
+	s.WorkerClaim(MaxWorkers+10, 1, 1, 0)
+	snap := s.Snapshot()
+	if len(snap.Workers) != 2 {
+		t.Fatalf("got %d worker slots, want 2 (clamped to 0 and MaxWorkers-1)", len(snap.Workers))
+	}
+	if snap.Workers[0].Worker != 0 || snap.Workers[1].Worker != MaxWorkers-1 {
+		t.Fatalf("clamped workers = %d, %d", snap.Workers[0].Worker, snap.Workers[1].Worker)
+	}
+}

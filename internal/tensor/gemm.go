@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphite/internal/sched"
+	"graphite/internal/telemetry"
 )
 
 // gemmRowChunk is the number of output rows a parallel GEMM task claims at
@@ -13,15 +14,25 @@ const gemmRowChunk = 32
 // MatMul computes C = A·B for A (m×k) and B (k×n), parallelised over row
 // chunks with dynamic scheduling. It stands in for MKL's SGEMM, which the
 // baseline and basic implementations use for the update phase (§6).
-func MatMul(c, a, b *Matrix, threads int) {
+func MatMul(c, a, b *Matrix, threads int) { MatMulTel(c, a, b, threads, nil) }
+
+// MatMulTel is MatMul with telemetry: the product's dense-equivalent FLOPs
+// (2·m·k·n) are credited to the GEMM counter and the row chunks feed the
+// scheduler's per-worker accounting.
+func MatMulTel(c, a, b *Matrix, threads int, tel *telemetry.Sink) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch: C %dx%d = A %dx%d · B %dx%d",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	sched.Dynamic(a.Rows, gemmRowChunk, threads, func(start, end int) {
+	tel.Add(telemetry.CtrGEMMFLOPs, GEMMFLOPs(a.Rows, a.Cols, b.Cols))
+	sched.DynamicTel(a.Rows, gemmRowChunk, threads, tel, func(_, start, end int) {
 		MatMulRange(c, a, b, start, end)
 	})
 }
+
+// GEMMFLOPs returns the dense-equivalent operation count of an m×k · k×n
+// product (one multiply plus one add per inner-loop step).
+func GEMMFLOPs(m, k, n int) int64 { return 2 * int64(m) * int64(k) * int64(n) }
 
 // MatMulRange computes rows [rowStart, rowEnd) of C = A·B serially. The
 // fused kernels call this per vertex block — it is the libxsmm-style
@@ -58,13 +69,17 @@ func MatMulRange(c, a, b *Matrix, rowStart, rowEnd int) {
 
 // MatMulTransB computes C = A·Bᵀ for A (m×k) and B (n×k). The backward pass
 // uses this for dX = dY·Wᵀ.
-func MatMulTransB(c, a, b *Matrix, threads int) {
+func MatMulTransB(c, a, b *Matrix, threads int) { MatMulTransBTel(c, a, b, threads, nil) }
+
+// MatMulTransBTel is MatMulTransB with telemetry (see MatMulTel).
+func MatMulTransBTel(c, a, b *Matrix, threads int, tel *telemetry.Sink) {
 	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch: C %dx%d = A %dx%d · Bᵀ (%dx%d)ᵀ",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	tel.Add(telemetry.CtrGEMMFLOPs, GEMMFLOPs(a.Rows, a.Cols, b.Rows))
 	k := a.Cols
-	sched.Dynamic(a.Rows, gemmRowChunk, threads, func(start, end int) {
+	sched.DynamicTel(a.Rows, gemmRowChunk, threads, tel, func(_, start, end int) {
 		for i := start; i < end; i++ {
 			ai := a.Data[i*a.Stride : i*a.Stride+k]
 			ci := c.Row(i)
@@ -87,13 +102,17 @@ func MatMulTransB(c, a, b *Matrix, threads int) {
 // MatMulTransA computes C = Aᵀ·B for A (k×m) and B (k×n). The backward pass
 // uses this for dW = Xᵀ·dY. Parallelised over columns of Aᵀ (rows of C) so
 // no two tasks write the same C row.
-func MatMulTransA(c, a, b *Matrix, threads int) {
+func MatMulTransA(c, a, b *Matrix, threads int) { MatMulTransATel(c, a, b, threads, nil) }
+
+// MatMulTransATel is MatMulTransA with telemetry (see MatMulTel).
+func MatMulTransATel(c, a, b *Matrix, threads int, tel *telemetry.Sink) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch: C %dx%d = Aᵀ (%dx%d)ᵀ · B %dx%d",
 			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	tel.Add(telemetry.CtrGEMMFLOPs, GEMMFLOPs(a.Cols, a.Rows, b.Cols))
 	n := b.Cols
-	sched.Dynamic(c.Rows, 8, threads, func(start, end int) {
+	sched.DynamicTel(c.Rows, 8, threads, tel, func(_, start, end int) {
 		for i := start; i < end; i++ {
 			ci := c.Data[i*c.Stride : i*c.Stride+n]
 			clear(ci)

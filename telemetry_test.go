@@ -1,0 +1,200 @@
+package graphite
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEngineTelemetry is the public-API profiling flow: a traced training
+// run must export a Chrome trace with at least three distinct phase names
+// and a metrics snapshot with non-zero vertex/edge/FLOP counters.
+func TestEngineTelemetry(t *testing.T) {
+	g, err := GenerateGraph(ProfileProducts, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomFeatures(g.NumVertices(), 16, 0.5, 1)
+	labels := make([]int32, g.NumVertices())
+	for i := range labels {
+		labels[i] = int32(i % 4)
+	}
+	var trace bytes.Buffer
+	eng, err := NewEngine(Config{
+		Model: GCN, Dims: []int{16, 24, 4}, Impl: Combined, Seed: 3,
+		Trace: &trace, Metrics: true, LocalityOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eng.NewWorkload(g, x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.NewTrainer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := eng.Metrics()
+	for _, key := range []string{
+		"graphite_vertices_aggregated_total",
+		"graphite_edges_aggregated_total",
+		"graphite_gemm_flops_total",
+		"graphite_sched_rows_total",
+	} {
+		if m.Counters[key] <= 0 {
+			t.Errorf("counter %s = %d, want > 0 (all: %v)", key, m.Counters[key], m.Counters)
+		}
+	}
+	if m.Spans < 3 {
+		t.Fatalf("recorded %d spans, want >= 3", m.Spans)
+	}
+
+	if err := eng.WriteTrace(); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	phases := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			phases[ev.Name] = true
+		}
+	}
+	if len(phases) < 3 {
+		t.Fatalf("trace has %d distinct phase names, want >= 3: %v", len(phases), phases)
+	}
+
+	var metrics bytes.Buffer
+	if err := eng.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), "graphite_edges_aggregated_total ") {
+		t.Fatalf("metrics text missing edge counter:\n%s", metrics.String())
+	}
+
+	// ResetTelemetry returns the engine to a blank profile.
+	eng.ResetTelemetry()
+	if m := eng.Metrics(); m.Counters["graphite_edges_aggregated_total"] != 0 || m.Spans != 0 {
+		t.Fatalf("telemetry not cleared by reset: %+v", m)
+	}
+}
+
+// TestEngineWithoutTelemetry checks the disabled path: no trace writer, no
+// metrics flag — Metrics() still returns the stable zero-valued key set and
+// WriteTrace refuses cleanly.
+func TestEngineWithoutTelemetry(t *testing.T) {
+	g, err := GenerateGraph(ProfileProducts, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomFeatures(g.NumVertices(), 16, 0.5, 1)
+	eng, err := NewEngine(Config{Model: GCN, Dims: []int{16, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := eng.NewWorkload(g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Infer(w); err != nil {
+		t.Fatal(err)
+	}
+	m := eng.Metrics()
+	if len(m.Counters) == 0 {
+		t.Fatal("Metrics() lost its stable key set when telemetry is off")
+	}
+	for k, v := range m.Counters {
+		if v != 0 {
+			t.Fatalf("counter %s = %d with telemetry off", k, v)
+		}
+	}
+	if err := eng.WriteTrace(); err == nil {
+		t.Fatal("WriteTrace succeeded without a Config.Trace writer")
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// TestNoStdoutWritesInLibrary enforces the observability contract: library
+// packages report through telemetry and returned errors, never by printing.
+// Only cmd/, examples/, and test files may write to stdout.
+func TestNoStdoutWritesInLibrary(t *testing.T) {
+	banned := []string{
+		"fmt.Print(", "fmt.Println(", "fmt.Printf(",
+		"println(", "print(",
+		"os.Stdout", "os.Stderr",
+		"log.Print", "log.Fatal", "log.Panic",
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "cmd" || name == "examples" || name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Parse so comments don't trigger false positives.
+		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		// Strip comments by re-scanning line ranges of actual code: simplest
+		// reliable check is on source lines with comments removed.
+		code := string(src)
+		for _, cg := range f.Comments {
+			start := fset.Position(cg.Pos()).Offset
+			end := fset.Position(cg.End()).Offset
+			code = code[:start] + strings.Repeat(" ", end-start) + code[end:]
+		}
+		for _, b := range banned {
+			for idx := strings.Index(code, b); idx >= 0; {
+				// Require an identifier boundary before the match so e.g.
+				// fmt.Sprint( doesn't trip the "print(" pattern.
+				if idx == 0 || !isIdentChar(code[idx-1]) {
+					line := 1 + strings.Count(code[:idx], "\n")
+					t.Errorf("%s:%d: library code writes to stdout/stderr (%s)", path, line, b)
+				}
+				next := strings.Index(code[idx+1:], b)
+				if next < 0 {
+					break
+				}
+				idx += 1 + next
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
