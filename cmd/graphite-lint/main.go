@@ -1,0 +1,120 @@
+// graphite-lint runs the repo's static-analysis suite (internal/lint) over
+// the module: the concurrency, determinism, and hot-path invariants the
+// paper's performance claims depend on but the compiler never checks.
+//
+// Usage:
+//
+//	go run ./cmd/graphite-lint ./...          # whole module
+//	go run ./cmd/graphite-lint ./internal/gnn # specific packages
+//	go run ./cmd/graphite-lint -list          # describe the checkers
+//
+// Findings print one per line as file:line: [check-name] message, and the
+// process exits 1 when anything is found (2 on load errors). Individual
+// findings can be waived in source with:
+//
+//	//lint:ignore check-name reason the code is actually correct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"graphite/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the checkers and exit")
+	check := flag.String("check", "", "comma-separated checker names to run (default: all)")
+	flag.Parse()
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	checkers := lint.Checkers(loader.Module)
+	if *list {
+		for _, c := range checkers {
+			fmt.Printf("%-20s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+	if *check != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*check, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []lint.Checker
+		for _, c := range checkers {
+			if want[c.Name()] {
+				sel = append(sel, c)
+				delete(want, c.Name())
+			}
+		}
+		for name := range want {
+			fail(fmt.Errorf("unknown checker %q (see -list)", name))
+		}
+		checkers = sel
+	}
+
+	pkgs, err := load(loader, flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	findings := lint.Run(pkgs, checkers)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("graphite-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// load resolves the package patterns. No patterns, ".", or "./..." mean the
+// whole module; anything else is a directory path.
+func load(loader *lint.Loader, args []string) ([]*lint.Package, error) {
+	all := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "." {
+			all = true
+		}
+	}
+	if all {
+		return loader.LoadAll()
+	}
+	var pkgs []*lint.Package
+	for _, a := range args {
+		abs, err := filepath.Abs(strings.TrimSuffix(a, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(loader.Root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("%s is outside module %s", a, loader.Root)
+		}
+		importPath := loader.Module
+		if rel != "." {
+			importPath += "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "graphite-lint:", err)
+	os.Exit(2)
+}

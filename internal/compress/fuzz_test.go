@@ -1,0 +1,71 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCompressRoundTrip feeds arbitrary bit patterns (including NaNs,
+// negative zeros, infinities, and denormals) through CompressRow /
+// DecompressRow / AXPYRow and requires a value-exact round trip: the
+// compressed form is the only stored copy of hidden features for the
+// compressed variants (§4.3), so any lossy corner silently corrupts
+// inference.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add(8, []byte{0, 0, 0, 0, 1, 2, 3, 4})
+	f.Add(64, []byte{0x7f, 0xc0, 0, 0, 0x80, 0, 0, 0})          // NaN, -0
+	f.Add(65, []byte{0x7f, 0x80, 0, 0, 0xff, 0x80, 0, 0, 1, 0}) // ±Inf across a mask-word boundary
+	f.Add(1, []byte{})
+	f.Fuzz(func(t *testing.T, cols int, data []byte) {
+		if cols <= 0 || cols > 300 {
+			t.Skip()
+		}
+		src := make([]float32, cols)
+		for j := range src {
+			if off := j * 4; off+4 <= len(data) {
+				src[j] = math.Float32frombits(binary.LittleEndian.Uint32(data[off:]))
+			}
+		}
+		m := NewMatrix(1, cols)
+		m.CompressRow(0, src)
+
+		// NNZ must agree with the direct count (negative zero compares
+		// equal to zero and is dropped; NaN is nonzero and kept).
+		nnz := 0
+		for _, v := range src {
+			if v != 0 {
+				nnz++
+			}
+		}
+		if got := m.NNZ(0); got != nnz {
+			t.Fatalf("NNZ = %d, want %d", got, nnz)
+		}
+
+		dst := make([]float32, cols)
+		m.DecompressRow(dst, 0)
+		for j := range src {
+			if !sameValue(src[j], dst[j]) {
+				t.Fatalf("col %d: decompressed %v, want %v", j, dst[j], src[j])
+			}
+		}
+
+		// AXPYRow with alpha=1 into zeros must match the decompressed row.
+		acc := make([]float32, cols)
+		m.AXPYRow(acc, 0, 1)
+		for j := range acc {
+			if !sameValue(acc[j], dst[j]) {
+				t.Fatalf("col %d: AXPYRow %v, want %v", j, acc[j], dst[j])
+			}
+		}
+	})
+}
+
+// sameValue is float equality treating every NaN as equal to every NaN, and
+// -0 as equal to +0 (compression canonicalises dropped zeros to +0).
+func sameValue(a, b float32) bool {
+	if a != a && b != b {
+		return true
+	}
+	return a == b
+}

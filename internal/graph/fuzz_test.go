@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFromEdges throws arbitrary edge lists at the CSR builder. Malformed
+// input (out-of-range endpoints, mismatched lengths come via the API
+// contract) must surface as errors, never panics; accepted input must yield
+// a CSR that survives Validate and the derived transforms every kernel
+// assumes are safe (Transpose, AddSelfLoops, Stats).
+func FuzzFromEdges(f *testing.F) {
+	f.Add(4, []byte{0, 0, 0, 0, 1, 0, 0, 0, 3, 0, 0, 0, 2, 0, 0, 0})
+	f.Add(1, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(0, []byte{})
+	f.Add(3, []byte{0xff, 0xff, 0xff, 0xff, 5, 0, 0, 0}) // negative src, oversized dst
+	f.Fuzz(func(t *testing.T, n int, raw []byte) {
+		if n < -1 || n > 1<<12 {
+			t.Skip()
+		}
+		edges := len(raw) / 8
+		src := make([]int32, edges)
+		dst := make([]int32, edges)
+		for i := 0; i < edges; i++ {
+			src[i] = int32(binary.LittleEndian.Uint32(raw[i*8:]))
+			dst[i] = int32(binary.LittleEndian.Uint32(raw[i*8+4:]))
+		}
+
+		// Raw values: overwhelmingly invalid; must error, not panic.
+		if g, err := FromEdges(n, src, dst); err == nil {
+			checkCSRInvariants(t, g, edges)
+		}
+
+		// Clamped into range: must build and honour the CSR invariants.
+		if n > 0 {
+			for i := range src {
+				src[i] = ((src[i] % int32(n)) + int32(n)) % int32(n)
+				dst[i] = ((dst[i] % int32(n)) + int32(n)) % int32(n)
+			}
+			g, err := FromEdges(n, src, dst)
+			if err != nil {
+				t.Fatalf("in-range edges rejected: %v", err)
+			}
+			checkCSRInvariants(t, g, edges)
+		}
+	})
+}
+
+// checkCSRInvariants exercises the validation and transform surface that
+// every kernel takes for granted.
+func checkCSRInvariants(t *testing.T, g *CSR, edges int) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("built CSR fails Validate: %v", err)
+	}
+	if g.NumEdges() != edges {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), edges)
+	}
+	degSum := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		degSum += g.Degree(v)
+	}
+	if degSum != edges {
+		t.Fatalf("degree sum %d != edge count %d", degSum, edges)
+	}
+	gt := g.Transpose()
+	if err := gt.Validate(); err != nil {
+		t.Fatalf("transpose fails Validate: %v", err)
+	}
+	if gt.NumEdges() != edges {
+		t.Fatalf("transpose has %d edges, want %d", gt.NumEdges(), edges)
+	}
+	gs := g.AddSelfLoops()
+	if err := gs.Validate(); err != nil {
+		t.Fatalf("AddSelfLoops fails Validate: %v", err)
+	}
+	if !gs.HasSelfLoops() && gs.NumVertices() > 0 {
+		t.Fatal("AddSelfLoops left a vertex without a self edge")
+	}
+	_ = g.Stats()
+}

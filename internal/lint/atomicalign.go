@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicAlign guards the sync/atomic 64-bit alignment contract. The
+// telemetry counters and scheduler cursors lean on 64-bit atomics for the
+// race-free output-parallel invariant (§4.1), and on 32-bit targets the
+// Go runtime only guarantees 8-byte alignment for the first word of a
+// struct — atomic.AddInt64 on a misaligned field panics at runtime. The
+// checker recomputes struct offsets with 32-bit (gc/386) sizes, so a layout
+// that happens to align on amd64 but traps on 386/arm is still caught.
+// Fields of type atomic.Int64/Uint64 are exempt: the runtime aligns those
+// types by construction.
+type AtomicAlign struct{}
+
+// atomic64Funcs are the sync/atomic operations requiring 8-byte alignment.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// Name implements Checker.
+func (*AtomicAlign) Name() string { return "atomic-alignment" }
+
+// Doc implements Checker.
+func (*AtomicAlign) Doc() string {
+	return "struct fields passed to 64-bit sync/atomic ops must be 8-byte aligned on 32-bit targets"
+}
+
+// Applies implements Checker.
+func (*AtomicAlign) Applies(string) bool { return true }
+
+// Check implements Checker.
+func (c *AtomicAlign) Check(pkg *Package) []Finding {
+	// Worst-case target: 4-byte words, so only offset-0 and explicitly
+	// padded fields land on 8-byte boundaries.
+	sizes := types.SizesFor("gc", "386")
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgSelector(pkg.Info, sel)
+			if !ok || path != "sync/atomic" || !atomic64Funcs[name] {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op.String() != "&" {
+				return true
+			}
+			fieldSel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pkg.Info.Selections[fieldSel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			off, known := fieldOffset32(sizes, s)
+			if known && off%8 != 0 {
+				out = append(out, pkg.finding(c.Name(), call,
+					"atomic.%s on field %s at 32-bit offset %d (not 8-byte aligned); make it the first field or pad to 8 bytes, or use atomic.Int64",
+					name, fieldSel.Sel.Name, off))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldOffset32 walks the selection's field path and sums offsets under the
+// given (32-bit) sizes. known is false when the path crosses a non-struct
+// step (e.g. a generic type parameter) and no offset can be computed.
+func fieldOffset32(sizes types.Sizes, s *types.Selection) (off int64, known bool) {
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	for _, idx := range s.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			// An embedded-pointer hop restarts the offset computation in
+			// the pointed-to allocation, whose own base alignment is
+			// unknown here; stay conservative and stop.
+			_ = ptr
+			return 0, false
+		}
+	}
+	return off, true
+}

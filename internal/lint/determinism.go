@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDeterminism enforces reproducible runs. Table-4-style comparisons
+// between simulator configurations are only meaningful when the same inputs
+// produce the same cycle counts, so the simulator packages (internal/memsim,
+// internal/simgnn) must not read the wall clock, draw from the global
+// math/rand state, or iterate maps (whose order changes run to run) on any
+// path that feeds ordered output.
+//
+// The randomness rule additionally covers internal/tensor, internal/gnn,
+// and internal/locality: everything random there flows through an injected,
+// seeded *rand.Rand, so training runs replay exactly.
+type SimDeterminism struct {
+	// Module is the module path used to resolve covered packages.
+	Module string
+}
+
+// simPkgs get the full rule set: wall clock, global rand, and map ranges.
+var simPkgs = []string{"internal/memsim", "internal/simgnn"}
+
+// seededPkgs get only the global-rand rule: they may time themselves (their
+// timings are outputs, not inputs), but all randomness must be injected.
+var seededPkgs = []string{"internal/tensor", "internal/gnn", "internal/locality"}
+
+// bannedRandFuncs are the math/rand (and math/rand/v2) top-level functions
+// backed by the shared global source. Constructors (New, NewSource, NewZipf,
+// NewPCG, ...) are fine: a *rand.Rand built from an explicit seed is
+// deterministic.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// Name implements Checker.
+func (*SimDeterminism) Name() string { return "sim-determinism" }
+
+// Doc implements Checker.
+func (*SimDeterminism) Doc() string {
+	return "simulator packages must be deterministic: no wall clock, no global rand, no map iteration; model packages must inject seeded *rand.Rand"
+}
+
+func (c *SimDeterminism) fullRules(importPath string) bool {
+	return matchesAny(importPath, c.Module, simPkgs)
+}
+
+// Applies implements Checker.
+func (c *SimDeterminism) Applies(importPath string) bool {
+	return c.fullRules(importPath) || matchesAny(importPath, c.Module, seededPkgs)
+}
+
+// matchesAny reports whether importPath is one of the module-relative
+// package paths or below it.
+func matchesAny(importPath, module string, rels []string) bool {
+	for _, rel := range rels {
+		full := module + "/" + rel
+		if importPath == full || strings.HasPrefix(importPath, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Check implements Checker.
+func (c *SimDeterminism) Check(pkg *Package) []Finding {
+	full := c.fullRules(pkg.ImportPath)
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				path, name, ok := pkgSelector(pkg.Info, n)
+				if !ok {
+					return true
+				}
+				switch {
+				case full && path == "time" && (name == "Now" || name == "Since" || name == "Until"):
+					out = append(out, pkg.finding(c.Name(), n,
+						"simulator reads the wall clock (time.%s); model time with cycle counters so runs replay exactly", name))
+				case (path == "math/rand" || path == "math/rand/v2") && bannedRandFuncs[name]:
+					out = append(out, pkg.finding(c.Name(), n,
+						"global rand.%s draws from shared process-wide state; inject a seeded *rand.Rand instead", name))
+				}
+			case *ast.RangeStmt:
+				if !full {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						out = append(out, pkg.finding(c.Name(), n,
+							"map iteration order is nondeterministic; iterate a sorted key slice instead"))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

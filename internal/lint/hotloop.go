@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotLoopTelemetry keeps instrumentation off the kernel hot paths. The
+// telemetry layer's contract (and the reason it can stay enabled in
+// production runs) is that kernels sum counts locally and flush once per
+// claimed chunk — one atomic per chunk, nothing per vertex or per edge. Any
+// telemetry.Sink method call lexically inside a for loop in the kernel
+// packages (internal/kernels, internal/sparse, internal/tensor) re-acquires
+// the sink per iteration and is flagged.
+type HotLoopTelemetry struct {
+	// Module is the module path used to resolve covered packages.
+	Module string
+}
+
+// hotPkgs are the kernel packages whose loops are the paper's hot paths.
+var hotPkgs = []string{"internal/kernels", "internal/sparse", "internal/tensor"}
+
+// Name implements Checker.
+func (*HotLoopTelemetry) Name() string { return "hotloop-telemetry" }
+
+// Doc implements Checker.
+func (*HotLoopTelemetry) Doc() string {
+	return "kernel packages must not call telemetry.Sink methods inside for loops (flush per chunk)"
+}
+
+// Applies implements Checker.
+func (c *HotLoopTelemetry) Applies(importPath string) bool {
+	return matchesAny(importPath, c.Module, hotPkgs)
+}
+
+// Check implements Checker.
+func (c *HotLoopTelemetry) Check(pkg *Package) []Finding {
+	telemetryPath := c.Module + "/internal/telemetry"
+	var out []Finding
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			walk(n.Init, loopDepth)
+			walk(n.Cond, loopDepth)
+			walk(n.Post, loopDepth)
+			walk(n.Body, loopDepth+1)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, loopDepth)
+			walk(n.Body, loopDepth+1)
+			return
+		case *ast.SelectorExpr:
+			if loopDepth > 0 && isSinkMethod(pkg.Info, n, telemetryPath) {
+				out = append(out, pkg.finding(c.Name(), n,
+					"telemetry.Sink.%s inside a for loop; accumulate locally and flush once per chunk", n.Sel.Name))
+			}
+		}
+		for _, child := range childNodes(n) {
+			walk(child, loopDepth)
+		}
+	}
+	for _, file := range pkg.Files {
+		walk(file, 0)
+	}
+	return out
+}
+
+// isSinkMethod reports whether sel selects a method of telemetry.Sink
+// (directly or through a pointer).
+func isSinkMethod(info *types.Info, sel *ast.SelectorExpr, telemetryPath string) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == telemetryPath && obj.Name() == "Sink"
+}
+
+// childNodes returns n's direct children. ast.Inspect cannot be used in
+// Check because the loop-depth bookkeeping needs pre-order control over
+// recursion into for bodies.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if m == n {
+			return true
+		}
+		out = append(out, m)
+		return false
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Check is the reporting checker's name.
+	Check string
+	// Message explains the violation and the fix.
+	Message string
+}
+
+// String renders the driver's file:line: [check-name] message format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Message)
+}
+
+// Checker is one invariant check run over type-checked packages.
+type Checker interface {
+	// Name is the kebab-case identifier used in reports and in
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Applies reports whether the checker analyzes the package with the
+	// given import path.
+	Applies(importPath string) bool
+	// Check reports violations in pkg. Suppression is handled by the
+	// framework; checkers report everything they find.
+	Check(pkg *Package) []Finding
+}
+
+// Checkers returns the full suite for the given module path, in report
+// order.
+func Checkers(module string) []Checker {
+	return []Checker{
+		&NoStdout{Module: module},
+		&SimDeterminism{Module: module},
+		&HotLoopTelemetry{Module: module},
+		&AtomicAlign{},
+		&GoroutineCapture{Module: module},
+	}
+}
+
+// Run applies every checker to every package it covers, drops suppressed
+// findings, reports malformed suppression directives, and returns the
+// remainder sorted by position.
+func Run(pkgs []*Package, checkers []Checker) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		out = append(out, sup.malformed...)
+		for _, c := range checkers {
+			if !c.Applies(pkg.ImportPath) {
+				continue
+			}
+			for _, f := range c.Check(pkg) {
+				if !sup.covers(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "//lint:ignore"
+
+// suppressions indexes a package's //lint:ignore directives. A directive
+// suppresses findings of the named checks on its own line and on the line
+// directly below it (so it can trail the flagged statement or sit above it).
+type suppressions struct {
+	// byLine maps file:line of the directive to the suppressed check names.
+	byLine map[string]map[string]bool
+	// malformed collects directives missing a check name or reason.
+	malformed []Finding
+}
+
+func newSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[string]bool)}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Pos:     pos,
+						Check:   "lint-directive",
+						Message: "malformed directive: want //lint:ignore check-name reason",
+					})
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if s.byLine[key] == nil {
+					s.byLine[key] = make(map[string]bool)
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					s.byLine[key][name] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// covers reports whether f is suppressed by a directive on its line or the
+// line above.
+func (s *suppressions) covers(f Finding) bool {
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if checks, ok := s.byLine[fmt.Sprintf("%s:%d", f.Pos.Filename, line)]; ok && checks[f.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgSelector resolves sel to (imported package path, selected name) when
+// sel.X names an imported package ("fmt.Println" → "fmt", "Println").
+func pkgSelector(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// finding builds a Finding at node's position.
+func (p *Package) finding(check string, node ast.Node, format string, args ...any) Finding {
+	return Finding{
+		Pos:     p.Fset.Position(node.Pos()),
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}

@@ -1,0 +1,165 @@
+package lint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"graphite/internal/lint"
+)
+
+// TestRepoClean is the tier-1 gate: every checker over every package of the
+// module must report nothing. This subsumes the telemetry PR's string-grep
+// stdout test (the no-stdout checker) and adds the determinism, hot-path,
+// alignment, and race-pattern invariants.
+func TestRepoClean(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk is broken", len(pkgs))
+	}
+	for _, f := range lint.Run(pkgs, lint.Checkers(loader.Module)) {
+		t.Errorf("%s", f)
+	}
+}
+
+// goldenCases pairs each checker with a testdata package of known-bad code,
+// loaded under an import path that puts it in the checker's coverage.
+var goldenCases = []struct {
+	dir        string
+	importPath string
+	checker    string
+}{
+	{"nostdout", "graphite/internal/goldenbadprint", "no-stdout"},
+	{"simdeterminism", "graphite/internal/memsim/goldenbad", "sim-determinism"},
+	{"simdeterminism_seeded", "graphite/internal/tensor/goldenbad", "sim-determinism"},
+	{"hotloop", "graphite/internal/kernels/goldenbad", "hotloop-telemetry"},
+	{"atomicalign", "graphite/internal/goldenbadalign", "atomic-alignment"},
+	{"capture", "graphite/internal/goldenbadcapture", "goroutine-capture"},
+}
+
+// TestGolden runs each checker over its known-bad package and requires the
+// findings to match the // want markers exactly — every marked line flagged,
+// no unmarked line flagged, suppressed lines silent.
+func TestGolden(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := lint.Checkers(loader.Module)
+	for _, tc := range goldenCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			var checker lint.Checker
+			for _, c := range all {
+				if c.Name() == tc.checker {
+					checker = c
+				}
+			}
+			if checker == nil {
+				t.Fatalf("no checker named %q", tc.checker)
+			}
+			if !checker.Applies(tc.importPath) {
+				t.Fatalf("%s does not cover synthetic import path %s", tc.checker, tc.importPath)
+			}
+			dir := filepath.Join("testdata", tc.dir)
+			pkg, err := loader.LoadDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := wantMarkers(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("no // want markers under %s", dir)
+			}
+			got := make(map[string]int)
+			for _, f := range lint.Run([]*lint.Package{pkg}, []lint.Checker{checker}) {
+				got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check)]++
+			}
+			for key := range want {
+				if got[key] == 0 {
+					t.Errorf("missing finding: %s", key)
+				}
+				delete(got, key)
+			}
+			for key := range got {
+				t.Errorf("unexpected finding: %s", key)
+			}
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want(-next)?\s+([a-z][a-z0-9-]*)\s*$`)
+
+// wantMarkers scans a testdata package for expectation comments:
+// `// want check-name` marks its own line, `// want-next check-name` the
+// line below (for findings on comment lines, e.g. malformed directives).
+func wantMarkers(dir string) (map[string]int, error) {
+	out := make(map[string]int)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			at := line
+			if m[1] == "-next" {
+				at++
+			}
+			out[fmt.Sprintf("%s:%d %s", e.Name(), at, m[2])]++
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TestCheckerMetadata pins the suite's shape: five named checkers with
+// unique kebab-case names and docs.
+func TestCheckerMetadata(t *testing.T) {
+	cs := lint.Checkers("graphite")
+	if len(cs) < 5 {
+		t.Fatalf("suite has %d checkers, want >= 5", len(cs))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cs {
+		name := c.Name()
+		if name == "" || strings.ToLower(name) != name || strings.Contains(name, " ") {
+			t.Errorf("checker name %q is not kebab-case", name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate checker name %q", name)
+		}
+		seen[name] = true
+		if c.Doc() == "" {
+			t.Errorf("checker %s has no doc", name)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package lint is graphite's in-tree static-analysis suite. It enforces the
+// invariants the paper's performance claims rest on but the compiler never
+// checks: race-free output-parallel aggregation (§4.1, Algorithm 1),
+// deterministic simulation (Table 4 comparisons are meaningless if two runs
+// of the same configuration diverge), and telemetry kept off the per-edge
+// hot path (counters flush per chunk, DESIGN.md).
+//
+// The framework is built on the standard library only — go/parser, go/ast,
+// and go/types with a module-aware importer — because the module carries no
+// dependencies and the lint suite must not be the thing that changes that.
+// Checkers implement the Checker interface; the cmd/graphite-lint driver and
+// the tier-1 lint test both run them over every package in the module.
+//
+// Findings can be suppressed with an explanatory directive on the flagged
+// line or the line above it:
+//
+//	//lint:ignore check-name reason the code is actually correct
+//
+// A directive without a reason is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module.
+type Package struct {
+	// ImportPath is the package's import path ("graphite/internal/sched").
+	ImportPath string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks module packages. Stdlib imports are resolved
+// by type-checking GOROOT sources (the "source" compiler importer), so the
+// loader works without compiled export data and without x/tools.
+type Loader struct {
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader rooted at the directory containing go.mod,
+// searching upward from dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, mod, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  mod,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// findModule walks upward from dir until it finds go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadAll loads every package of the module (skipping testdata and hidden
+// directories) and returns them sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.Root, path)
+				if err != nil {
+					return err
+				}
+				paths = append(paths, l.importPathFor(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importPathFor maps a root-relative directory to its import path.
+func (l *Loader) importPathFor(rel string) string {
+	if rel == "." || rel == "" {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// Load type-checks the module package with the given import path.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	rel := "."
+	if importPath != l.Module {
+		rest, ok := strings.CutPrefix(importPath, l.Module+"/")
+		if !ok {
+			return nil, fmt.Errorf("lint: %s is not a module package", importPath)
+		}
+		rel = filepath.FromSlash(rest)
+	}
+	return l.LoadDir(filepath.Join(l.Root, rel), importPath)
+}
+
+// LoadDir type-checks the sources in dir under the given import path. The
+// golden tests use it to analyze testdata packages as if they lived at a
+// checker-relevant path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: moduleImporter{l},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, typeErrs[0])
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// moduleImporter resolves module-local imports through the loader and
+// everything else (the standard library) through the source importer.
+type moduleImporter struct{ l *Loader }
+
+func (im moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == im.l.Module || strings.HasPrefix(path, im.l.Module+"/") {
+		pkg, err := im.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return im.l.std.Import(path)
+}

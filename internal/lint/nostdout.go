@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoStdout enforces the observability contract: library packages report
+// through telemetry and returned errors, never by printing. Only cmd/,
+// examples/, and test files may write to the process streams. It replaces
+// the string-grep TestNoStdoutWritesInLibrary from the telemetry PR with a
+// type-resolved check (a local variable named fmt no longer confuses it).
+type NoStdout struct {
+	// Module is the module path; the checker covers the module root
+	// package and everything under internal/.
+	Module string
+}
+
+// bannedFmt are the fmt functions that write to os.Stdout.
+var bannedFmt = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// bannedLog are the log-package functions that write to the default logger
+// (stderr) or abort the process — both off-limits for library code.
+var bannedLog = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// Name implements Checker.
+func (*NoStdout) Name() string { return "no-stdout" }
+
+// Doc implements Checker.
+func (*NoStdout) Doc() string {
+	return "library packages must not write to stdout/stderr or the default logger"
+}
+
+// Applies implements Checker.
+func (c *NoStdout) Applies(importPath string) bool {
+	return importPath == c.Module || strings.HasPrefix(importPath, c.Module+"/internal/")
+}
+
+// Check implements Checker.
+func (c *NoStdout) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				path, name, ok := pkgSelector(pkg.Info, n)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "os" && (name == "Stdout" || name == "Stderr"):
+					out = append(out, pkg.finding(c.Name(), n,
+						"library code references os.%s; return errors or thread an io.Writer instead", name))
+				case path == "fmt" && bannedFmt[name]:
+					out = append(out, pkg.finding(c.Name(), n,
+						"library code writes to stdout via fmt.%s; report through telemetry or returned errors", name))
+				case path == "log" && bannedLog[name]:
+					out = append(out, pkg.finding(c.Name(), n,
+						"library code uses log.%s; report through telemetry or returned errors", name))
+				}
+			case *ast.Ident:
+				if b, ok := pkg.Info.Uses[n].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					out = append(out, pkg.finding(c.Name(), n,
+						"library code calls builtin %s (writes to stderr)", b.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

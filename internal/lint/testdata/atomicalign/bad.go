@@ -1,0 +1,57 @@
+// Package badalign is golden-test input for the atomic-alignment checker:
+// 64-bit sync/atomic operations on struct fields that 32-bit targets place
+// off the required 8-byte boundary.
+package badalign
+
+import "sync/atomic"
+
+// counters packs a bool ahead of the hot counter: on gc/386 the int64 lands
+// at offset 4 and atomic ops on it trap.
+type counters struct {
+	closed bool
+	n      int64
+}
+
+// aligned puts the 64-bit fields first (offset 0 and 8 on every target).
+type aligned struct {
+	n      int64
+	m      uint64
+	closed bool
+}
+
+// padded shows the explicit-padding idiom.
+type padded struct {
+	closed bool
+	_      [7]byte
+	n      int64
+}
+
+// nested embeds a misaligned struct one level down: inner starts 8-aligned
+// but inner.n sits at +4 inside it (12 from the struct base on gc/386).
+type nested struct {
+	pad   int64
+	inner counters
+}
+
+// typed relies on atomic.Int64, which the runtime aligns by construction.
+type typed struct {
+	closed bool
+	n      atomic.Int64
+}
+
+// Bump exercises good and bad layouts.
+func Bump(c *counters, a *aligned, p *padded, nn *nested, t *typed) int64 {
+	atomic.AddInt64(&c.n, 1) // want atomic-alignment
+	atomic.AddInt64(&a.n, 1)
+	atomic.AddUint64(&a.m, 1)
+	atomic.AddInt64(&p.n, 1)
+	atomic.StoreInt64(&nn.inner.n, 0) // want atomic-alignment
+	t.n.Add(1)
+	return atomic.LoadInt64(&c.n) // want atomic-alignment
+}
+
+// Waived documents a field only ever touched on 64-bit builds.
+func Waived(c *counters) {
+	//lint:ignore atomic-alignment this code path is amd64-only (build-tagged caller)
+	atomic.AddInt64(&c.n, 1)
+}

@@ -1,0 +1,44 @@
+// Package badloop is golden-test input for the hotloop-telemetry checker
+// (loaded as if it lived in internal/kernels): Sink methods called per
+// iteration instead of flushed per chunk.
+package badloop
+
+import "graphite/internal/telemetry"
+
+// Aggregate increments counters on the per-vertex and per-edge paths — the
+// exact overhead the telemetry layer's contract forbids.
+func Aggregate(ptr []int32, tel *telemetry.Sink) {
+	for v := 0; v+1 < len(ptr); v++ {
+		tel.Inc(telemetry.CtrVerticesAggregated) // want hotloop-telemetry
+		for e := ptr[v]; e < ptr[v+1]; e++ {
+			tel.Add(telemetry.CtrEdgesAggregated, 1) // want hotloop-telemetry
+		}
+		if tel.Enabled() { // want hotloop-telemetry
+			continue
+		}
+	}
+	for range ptr {
+		sp := tel.Begin("vertex") // want hotloop-telemetry
+		sp.End()
+	}
+}
+
+// AggregateChunked is the blessed shape: local sums, one flush per chunk.
+func AggregateChunked(ptr []int32, tel *telemetry.Sink) {
+	var vertices, edges int64
+	for v := 0; v+1 < len(ptr); v++ {
+		vertices++
+		edges += int64(ptr[v+1] - ptr[v])
+	}
+	tel.Add(telemetry.CtrVerticesAggregated, vertices)
+	tel.Add(telemetry.CtrEdgesAggregated, edges)
+}
+
+// Waived shows a reasoned waiver for a coarse outer loop where per-iteration
+// accounting is the point (e.g. one flush per epoch).
+func Waived(epochs int, tel *telemetry.Sink) {
+	for i := 0; i < epochs; i++ {
+		//lint:ignore hotloop-telemetry epoch granularity, not a hot path
+		tel.Inc(telemetry.CtrSchedChunks)
+	}
+}

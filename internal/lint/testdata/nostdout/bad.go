@@ -1,0 +1,40 @@
+// Package badprint is golden-test input for the no-stdout checker: library
+// code that prints instead of reporting through telemetry or errors.
+package badprint
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// Noisy exercises every banned output path.
+func Noisy(n int) string {
+	fmt.Println("progress:", n) // want no-stdout
+	fmt.Printf("%d\n", n)       // want no-stdout
+	fmt.Print(n)                // want no-stdout
+	log.Printf("n=%d", n)       // want no-stdout
+	if n < 0 {
+		log.Fatal("negative") // want no-stdout
+	}
+	println("debug", n) // want no-stdout
+	var w io.Writer = os.Stdout // want no-stdout
+	fmt.Fprintln(w, n)
+	// Formatting without writing is fine.
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Waived shows the suppression syntax: the write is deliberate and carries
+// a reasoned directive, so the checker stays quiet.
+func Waived() {
+	//lint:ignore no-stdout golden-test demonstration of a reasoned waiver
+	fmt.Println("allowed")
+}
+
+// Malformed directives are themselves findings.
+func BadDirective() {
+	// want-next lint-directive
+	//lint:ignore no-stdout
+	_ = 0 // the directive above has no reason
+}

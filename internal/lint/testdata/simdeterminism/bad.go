@@ -1,0 +1,46 @@
+// Package badsim is golden-test input for the sim-determinism checker under
+// the full rule set (loaded as if it lived in internal/memsim): wall-clock
+// reads, global rand, and map iteration all break run-to-run replay.
+package badsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Cycle pretends to advance a simulated clock from nondeterministic inputs.
+func Cycle(weights map[int]float64) float64 {
+	start := time.Now() // want sim-determinism
+	jitter := rand.Float64() // want sim-determinism
+	var sum float64
+	for _, w := range weights { // want sim-determinism
+		sum += w
+	}
+	_ = time.Since(start) // want sim-determinism
+	rand.Shuffle(len(weights), func(i, j int) {}) // want sim-determinism
+	return sum + jitter
+}
+
+// Replayable is the deterministic counterpart: injected seed, sorted keys.
+func Replayable(weights map[int]float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]int, 0, len(weights))
+	//lint:ignore sim-determinism key collection feeding the sort below; order-insensitive
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += weights[k] * rng.Float64()
+	}
+	return sum
+}
+
+// Clocked shows a reasoned waiver for a wall-clock read that feeds a log
+// label rather than simulated time.
+func Clocked() int64 {
+	//lint:ignore sim-determinism label-only timestamp, never enters simulated time
+	return time.Now().UnixNano()
+}

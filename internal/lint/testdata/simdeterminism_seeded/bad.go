@@ -1,0 +1,25 @@
+// Package badseed is golden-test input for the sim-determinism checker
+// under the seeded-package rule set (loaded as if it lived in
+// internal/tensor): only global math/rand state is banned there — timing
+// and map iteration are the model packages' own business.
+package badseed
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Init mixes allowed and banned randomness.
+func Init(vals []float32, seed int64) time.Duration {
+	start := time.Now() // timing model outputs is fine outside the simulator
+	rng := rand.New(rand.NewSource(seed))
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	rand.Seed(seed) // want sim-determinism
+	vals[0] = rand.Float32() // want sim-determinism
+	order := map[int]bool{0: true}
+	for range order { // maps allowed here; ordering is the simulator's concern
+	}
+	return time.Since(start)
+}

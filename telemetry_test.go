@@ -3,10 +3,6 @@ package graphite
 import (
 	"bytes"
 	"encoding/json"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -130,71 +126,7 @@ func TestEngineWithoutTelemetry(t *testing.T) {
 	}
 }
 
-func isIdentChar(c byte) bool {
-	return c == '_' || c == '.' ||
-		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
-}
-
-// TestNoStdoutWritesInLibrary enforces the observability contract: library
-// packages report through telemetry and returned errors, never by printing.
-// Only cmd/, examples/, and test files may write to stdout.
-func TestNoStdoutWritesInLibrary(t *testing.T) {
-	banned := []string{
-		"fmt.Print(", "fmt.Println(", "fmt.Printf(",
-		"println(", "print(",
-		"os.Stdout", "os.Stderr",
-		"log.Print", "log.Fatal", "log.Panic",
-	}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == "cmd" || name == "examples" || name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		// Parse so comments don't trigger false positives.
-		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
-		if err != nil {
-			return err
-		}
-		// Strip comments by re-scanning line ranges of actual code: simplest
-		// reliable check is on source lines with comments removed.
-		code := string(src)
-		for _, cg := range f.Comments {
-			start := fset.Position(cg.Pos()).Offset
-			end := fset.Position(cg.End()).Offset
-			code = code[:start] + strings.Repeat(" ", end-start) + code[end:]
-		}
-		for _, b := range banned {
-			for idx := strings.Index(code, b); idx >= 0; {
-				// Require an identifier boundary before the match so e.g.
-				// fmt.Sprint( doesn't trip the "print(" pattern.
-				if idx == 0 || !isIdentChar(code[idx-1]) {
-					line := 1 + strings.Count(code[:idx], "\n")
-					t.Errorf("%s:%d: library code writes to stdout/stderr (%s)", path, line, b)
-				}
-				next := strings.Index(code[idx+1:], b)
-				if next < 0 {
-					break
-				}
-				idx += 1 + next
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
+// The stdout/stderr discipline formerly enforced here by a string-grep test
+// (TestNoStdoutWritesInLibrary) now lives in internal/lint's type-resolved
+// no-stdout checker, run by cmd/graphite-lint and the lint package's tier-1
+// TestRepoClean.
