@@ -10,6 +10,19 @@
 // fig16, table4, table5, fig11*-sim) run on the memsim model of the
 // paper's 28-core platform. Absolute numbers depend on the host; the
 // printed paper figures are for shape comparison (see EXPERIMENTS.md).
+//
+// Machine-readable reports and regression gating:
+//
+//	graphite-bench -run fig2 -reps 3 -json BENCH_fig2.json
+//	graphite-bench -run fig2 -reps 3 -baseline BENCH_fig2.json
+//	graphite-bench -baseline old.json -against new.json
+//
+// -json writes the run through the versioned internal/benchfmt schema
+// (environment fingerprint, per-rep samples, telemetry phase totals,
+// counters, latency quantiles, top-down breakdowns for simulator
+// experiments). -baseline compares the current run — or, with -against,
+// a previously written report — against a stored report and exits
+// non-zero if any sample regressed beyond the threshold.
 package main
 
 import (
@@ -17,9 +30,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"graphite/internal/bench"
+	"graphite/internal/benchfmt"
 	"graphite/internal/telemetry"
 )
 
@@ -27,15 +42,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("graphite-bench: ")
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		scale    = flag.Int("scale", 0, "wall-clock experiment vertex count (default 40000)")
-		simScale = flag.Int("simscale", 0, "simulator experiment vertex count (default 4000)")
-		hidden   = flag.Int("hidden", 0, "hidden feature length for wall-clock runs (default 256)")
-		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		simCores = flag.Int("simcores", 0, "simulated core count (default 8)")
-		reps     = flag.Int("reps", 0, "repetitions per wall-clock measurement, minimum kept (default 1)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON profile of the wall-clock experiments to this file")
-		metrics  = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the experiments")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		scale     = flag.Int("scale", 0, "wall-clock experiment vertex count (default 40000)")
+		simScale  = flag.Int("simscale", 0, "simulator experiment vertex count (default 4000)")
+		hidden    = flag.Int("hidden", 0, "hidden feature length for wall-clock runs (default 256)")
+		threads   = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		simCores  = flag.Int("simcores", 0, "simulated core count (default 8)")
+		reps      = flag.Int("reps", 0, "repetitions per wall-clock measurement, minimum kept (default 1)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON profile of the wall-clock experiments to this file")
+		metrics   = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the experiments")
+		runIDs    = flag.String("run", "", "comma-separated experiment ids to run (alternative to positional args)")
+		jsonOut   = flag.String("json", "", "write a machine-readable benchfmt report to this file (convention: BENCH_<id>.json)")
+		baseline  = flag.String("baseline", "", "benchfmt report to compare against; exits 1 on regression")
+		against   = flag.String("against", "", "with -baseline: compare this stored report instead of running experiments")
+		rev       = flag.String("rev", "", "git revision recorded in the report's environment fingerprint")
+		threshold = flag.Float64("threshold", 0, "regression threshold as relative mean slowdown (default 0.10)")
 	)
 	flag.Parse()
 
@@ -46,12 +67,32 @@ func main() {
 		}
 		return
 	}
+
+	// Pure file-vs-file compare: no experiments run.
+	if *against != "" {
+		if *baseline == "" {
+			log.Fatal("-against requires -baseline")
+		}
+		os.Exit(compareFiles(*baseline, *against, *threshold))
+	}
+
 	ids := flag.Args()
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
 	if len(ids) == 0 {
 		log.Fatal("no experiments given; use -list to see ids or 'all'")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = bench.IDs()
+	}
+	structured := *jsonOut != "" || *baseline != ""
+	if structured && (*traceOut != "" || *metrics) {
+		log.Fatal("-json/-baseline use one fresh telemetry sink per experiment; run -trace/-metrics separately")
 	}
 	cfg := bench.Config{
 		Scale: *scale, SimScale: *simScale, Hidden: *hidden,
@@ -60,15 +101,40 @@ func main() {
 	if *traceOut != "" || *metrics {
 		cfg.Telemetry = telemetry.New(0)
 	}
+	var file *benchfmt.File
+	if structured {
+		file = &benchfmt.File{Version: benchfmt.Version, Env: benchfmt.CaptureEnv(*rev)}
+	}
 	for _, id := range ids {
 		start := time.Now()
-		rep, err := bench.Run(id, cfg)
+		runCfg := cfg
+		var sink *telemetry.Sink
+		if structured {
+			// One sink per experiment so phase totals, counters and
+			// latencies in the report belong to this experiment alone. The
+			// wrapping span guarantees a non-empty phase breakdown even for
+			// experiments whose kernels are not telemetry-instrumented.
+			sink = telemetry.New(0)
+			runCfg.Telemetry = sink
+		}
+		sp := sink.Begin("experiment/" + id)
+		rep, err := bench.Run(id, runCfg)
+		sp.End()
 		if err != nil {
 			log.Printf("%s: %v", id, err)
 			os.Exit(1)
 		}
 		fmt.Println(rep)
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if structured {
+			file.Experiments = append(file.Experiments, rep.Experiment(sink))
+		}
+	}
+	if *jsonOut != "" {
+		if err := benchfmt.WriteFile(*jsonOut, file); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("json: wrote %s\n", *jsonOut)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -89,4 +155,34 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *baseline != "" {
+		old, err := benchfmt.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(report(benchfmt.Compare(old, file, benchfmt.CompareOptions{Threshold: *threshold})))
+	}
+}
+
+// compareFiles loads two stored reports and prints the delta table.
+func compareFiles(oldPath, newPath string, threshold float64) int {
+	old, err := benchfmt.ReadFile(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := benchfmt.ReadFile(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return report(benchfmt.Compare(old, cur, benchfmt.CompareOptions{Threshold: threshold}))
+}
+
+// report prints the comparison and returns the process exit code: 1 when
+// any sample regressed, 0 otherwise.
+func report(c benchfmt.Comparison) int {
+	fmt.Print(c.Table())
+	if len(c.Regressions()) > 0 {
+		return 1
+	}
+	return 0
 }

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"time"
 
+	"graphite/internal/benchfmt"
+	"graphite/internal/perf"
 	"graphite/internal/telemetry"
 )
 
@@ -65,16 +67,42 @@ func (c Config) fill() Config {
 	return c
 }
 
-// Report is one experiment's output.
+// Report is one experiment's output: the prose lines printed to the
+// terminal plus the structured measurements behind them, which
+// cmd/graphite-bench -json serializes through internal/benchfmt.
 type Report struct {
 	ID    string
 	Title string
 	Lines []string
+	// Samples holds every named measurement's repeated observations
+	// (wall-clock reps in ns, simulator runs in cycles).
+	Samples []benchfmt.Sample
+	// TopDown is the pipeline-slot breakdown of the experiment's baseline
+	// configuration — set by simulator experiments only.
+	TopDown *perf.TopDown
 }
 
 // Addf appends a formatted line.
 func (r *Report) Addf(format string, args ...any) {
 	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// addSample records one named wall-clock measurement's rep durations.
+func (r *Report) addSample(name string, repsNS []int64) {
+	r.Samples = append(r.Samples, benchfmt.NewSample(name, benchfmt.UnitNS, repsNS))
+}
+
+// AddCycles records one simulator measurement (deterministic, one rep).
+func (r *Report) AddCycles(name string, cycles int64) {
+	r.Samples = append(r.Samples, benchfmt.NewSample(name, benchfmt.UnitCycles, []int64{cycles}))
+}
+
+// setTopDown keeps the first breakdown offered — by convention the
+// experiment's baseline configuration.
+func (r *Report) setTopDown(td perf.TopDown) {
+	if r.TopDown == nil {
+		r.TopDown = &td
+	}
 }
 
 // String renders the report.
@@ -139,18 +167,65 @@ func Run(id string, cfg Config) (*Report, error) {
 	return e.run(cfg.fill())
 }
 
-// timeIt measures f, repeating per cfg.Reps and keeping the minimum.
-func timeIt(reps int, f func() error) (time.Duration, error) {
+// timeIt measures f cfg.Reps times and returns the minimum (the least-noise
+// estimator the prose reports quote). Every rep is kept: recorded as a named
+// sample on r (for the JSON report's mean/stddev/min) and observed in the
+// telemetry latency histogram under the same name.
+func (c Config) timeIt(r *Report, name string, f func() error) (time.Duration, error) {
+	reps := c.Reps
+	if reps < 1 {
+		reps = 1
+	}
 	best := time.Duration(0)
+	samples := make([]int64, 0, reps)
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		if err := f(); err != nil {
 			return 0, err
 		}
 		d := time.Since(start)
+		samples = append(samples, int64(d))
+		c.Telemetry.Observe(name, d)
 		if best == 0 || d < best {
 			best = d
 		}
 	}
+	if r != nil && name != "" {
+		r.addSample(name, samples)
+	}
 	return best, nil
+}
+
+// Experiment converts the report plus the run's telemetry sink into the
+// benchfmt schema. sink may be nil (no telemetry collected).
+func (r *Report) Experiment(sink *telemetry.Sink) benchfmt.Experiment {
+	exp := benchfmt.Experiment{
+		ID:      r.ID,
+		Title:   r.Title,
+		Samples: r.Samples,
+		TopDown: r.TopDown,
+	}
+	if sink == nil {
+		return exp
+	}
+	if pt := sink.PhaseTotals(); len(pt) > 0 {
+		exp.PhaseTotalsNS = make(map[string]int64, len(pt))
+		for phase, d := range pt {
+			exp.PhaseTotalsNS[phase] = int64(d)
+		}
+	}
+	snap := sink.Snapshot()
+	exp.Counters = snap.Counters
+	exp.SpansDropped = snap.SpansDropped
+	for _, pl := range snap.Latencies {
+		exp.Latencies = append(exp.Latencies, benchfmt.Latency{
+			Phase: pl.Phase,
+			Count: pl.Count,
+			SumNS: int64(pl.Sum),
+			P50NS: int64(pl.P50),
+			P95NS: int64(pl.P95),
+			P99NS: int64(pl.P99),
+		})
+	}
+	return exp
 }

@@ -4,6 +4,10 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"graphite/internal/benchfmt"
+	"graphite/internal/perf"
+	"graphite/internal/telemetry"
 )
 
 func TestReportString(t *testing.T) {
@@ -27,8 +31,10 @@ func TestConfigFillDefaults(t *testing.T) {
 }
 
 func TestTimeItKeepsMinimumAndPropagatesErrors(t *testing.T) {
+	cfg := Config{Reps: 3}
+	r := &Report{ID: "figX"}
 	calls := 0
-	d, err := timeIt(3, func() error {
+	d, err := cfg.timeIt(r, "work", func() error {
 		calls++
 		time.Sleep(time.Millisecond)
 		return nil
@@ -36,8 +42,53 @@ func TestTimeItKeepsMinimumAndPropagatesErrors(t *testing.T) {
 	if err != nil || calls != 3 || d <= 0 {
 		t.Fatalf("timeIt: d=%v err=%v calls=%d", d, err, calls)
 	}
-	if _, err := timeIt(2, func() error { return errFake }); err == nil {
+	if len(r.Samples) != 1 || r.Samples[0].Name != "work" || len(r.Samples[0].Reps) != 3 {
+		t.Fatalf("sample not recorded: %+v", r.Samples)
+	}
+	if min := r.Samples[0].Stats.Min; min != int64(d) {
+		t.Fatalf("returned %v but recorded min %v", d, min)
+	}
+	if _, err := (Config{Reps: 2}).timeIt(nil, "", func() error { return errFake }); err == nil {
 		t.Fatal("error swallowed")
+	}
+}
+
+func TestTimeItFeedsTelemetryHistogram(t *testing.T) {
+	sink := telemetry.New(0)
+	cfg := Config{Reps: 2, Telemetry: sink}
+	if _, err := cfg.timeIt(nil, "rep", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if h := sink.Histogram("rep"); h == nil || h.Count() != 2 {
+		t.Fatalf("histogram not fed: %+v", h)
+	}
+}
+
+func TestReportExperimentExport(t *testing.T) {
+	sink := telemetry.New(0)
+	sink.Add(telemetry.CtrEdgesAggregated, 7)
+	sp := sink.Begin("forward")
+	sp.End()
+	r := &Report{ID: "figX", Title: "demo"}
+	r.addSample("a", []int64{10, 20})
+	r.AddCycles("b", 500)
+	r.setTopDown(perf.TopDown{Retiring: 0.5})
+	r.setTopDown(perf.TopDown{Retiring: 0.9}) // first wins
+	exp := r.Experiment(sink)
+	if exp.ID != "figX" || len(exp.Samples) != 2 || exp.TopDown.Retiring != 0.5 {
+		t.Fatalf("export wrong: %+v", exp)
+	}
+	if exp.Samples[1].Unit != benchfmt.UnitCycles {
+		t.Fatalf("cycle unit lost: %+v", exp.Samples[1])
+	}
+	if exp.PhaseTotalsNS["forward"] <= 0 || exp.Counters[telemetry.CtrEdgesAggregated.Name()] != 7 {
+		t.Fatalf("telemetry not exported: %+v", exp)
+	}
+	if len(exp.Latencies) != 1 || exp.Latencies[0].Phase != "forward" || exp.Latencies[0].Count != 1 {
+		t.Fatalf("latencies not exported: %+v", exp.Latencies)
+	}
+	if nilExp := r.Experiment(nil); len(nilExp.Samples) != 2 || nilExp.Counters != nil {
+		t.Fatalf("nil-sink export wrong: %+v", nilExp)
 	}
 }
 

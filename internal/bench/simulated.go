@@ -56,6 +56,8 @@ func fig3(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	td := perf.FromStats(res.Stats)
+	r.AddCycles("products/DistGNN", res.Cycles)
+	r.setTopDown(td)
 	r.Addf("retiring %.1f%%  frontend %.1f%%  core %.1f%%  memory-bound %.1f%%",
 		td.Retiring*100, td.FrontendBound*100, td.CoreBound*100, td.MemoryBound*100)
 	r.Addf("paper: retiring 10.1%%, frontend 3.3%%, core 23.6%%, memory-bound 61.7%%")
@@ -110,6 +112,8 @@ func fig12(cfg Config, train bool) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			r.AddCycles(fmt.Sprintf("%s/%s", p, v.label), res.Cycles)
+			r.setTopDown(perf.FromStats(res.Stats))
 			if base == 0 {
 				base = res.Cycles
 			}
@@ -180,6 +184,8 @@ func fig11sim(cfg Config, train bool) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			r.AddCycles(fmt.Sprintf("%s/%s", p, v.label), res.Cycles)
+			r.setTopDown(perf.FromStats(res.Stats))
 			if base == 0 {
 				base = res.Cycles
 			}
@@ -223,6 +229,10 @@ func fig13sim(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.AddCycles(fmt.Sprintf("%s/agg", p), agg.Cycles)
+		r.AddCycles(fmt.Sprintf("%s/basic-layer", p), layer.Cycles)
+		r.AddCycles(fmt.Sprintf("%s/fused", p), fused.Cycles)
+		r.setTopDown(perf.FromStats(layer.Stats))
 		update := layer.Cycles - agg.Cycles
 		if update < 0 {
 			update = 0
@@ -246,21 +256,26 @@ func fig15sim(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		run := func(order []int32) (int64, error) {
+		run := func(name string, order []int32) (int64, error) {
 			opt := simOptions(cfg)
 			opt.Order = order
 			res, err := simgnn.SimulateAggregation(g, simFeature, simgnn.VarBasic, opt)
-			return res.Cycles, err
+			if err != nil {
+				return 0, err
+			}
+			r.AddCycles(fmt.Sprintf("%s/%s", p, name), res.Cycles)
+			r.setTopDown(perf.FromStats(res.Stats))
+			return res.Cycles, nil
 		}
-		rnd, err := run(locality.Randomized(g.NumVertices(), 1))
+		rnd, err := run("randomized", locality.Randomized(g.NumVertices(), 1))
 		if err != nil {
 			return nil, err
 		}
-		nat, err := run(nil)
+		nat, err := run("natural", nil)
 		if err != nil {
 			return nil, err
 		}
-		loc, err := run(locality.Reorder(g))
+		loc, err := run("locality", locality.Reorder(g))
 		if err != nil {
 			return nil, err
 		}
@@ -288,6 +303,8 @@ func fig16(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.AddCycles(fmt.Sprintf("wikipedia/entries-%d", entries), res.Cycles)
+		r.setTopDown(perf.FromStats(res.Stats))
 		if base == 0 {
 			base = res.Cycles
 		}
@@ -330,6 +347,8 @@ func table4(cfg Config) (*Report, error) {
 			}
 			labels = append(labels, rw.label)
 			tds = append(tds, perf.FromStats(res.Stats))
+			r.AddCycles(fmt.Sprintf("%s/%s", p, rw.label), res.Cycles)
+			r.setTopDown(perf.FromStats(res.Stats))
 		}
 		r.Addf("--- %s ---", p)
 		for _, l := range splitLines(perf.Table(labels, tds)) {
@@ -360,6 +379,9 @@ func table5(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.AddCycles(fmt.Sprintf("%s/agg-sw", p), sw.Cycles)
+		r.AddCycles(fmt.Sprintf("%s/agg-dma", p), hw.Cycles)
+		r.setTopDown(perf.FromStats(sw.Stats))
 		r.Addf("%-11s %-22s %9.0f%% %9.0f%% %13.1f%% %13.1f%%", p, "aggregation only",
 			100*(1-ratio(hw.Stats.L1Accesses, sw.Stats.L1Accesses)),
 			100*(1-ratio(hw.Stats.L2Accesses, sw.Stats.L2Accesses)),
@@ -373,6 +395,8 @@ func table5(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.AddCycles(fmt.Sprintf("%s/fused-sw", p), swf.Cycles)
+		r.AddCycles(fmt.Sprintf("%s/fused-dma", p), hwf.Cycles)
 		r.Addf("%-11s %-22s %9.0f%% %9.0f%% %13.1f%% %13.1f%%", p, "fused agg-update",
 			100*(1-ratio(hwf.Stats.L1Accesses, swf.Stats.L1Accesses)),
 			100*(1-ratio(hwf.Stats.L2Accesses, swf.Stats.L2Accesses)),

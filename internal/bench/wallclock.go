@@ -74,7 +74,12 @@ func fig2(cfg Config) (*Report, error) {
 	fanouts := []int{15, 10, 5}
 	r.Addf("%-12s %14s %14s %10s", "batch", "sampling+mb", "GNN layers", "sampling%")
 	for _, batch := range []int{1024, 2048, 4096} {
-		bd, err := gnn.RunSampledEpoch(net, g, x, batch, fanouts, layerSpeedup, cfg.Threads, 7)
+		var bd gnn.SampledEpochBreakdown
+		_, err := cfg.timeIt(r, fmt.Sprintf("epoch/batch-%d", batch), func() error {
+			var err error
+			bd, err = gnn.RunSampledEpoch(net, g, x, batch, fanouts, layerSpeedup, cfg.Threads, 7)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +117,7 @@ func fig11(cfg Config, train bool) (*Report, error) {
 			dims := dims2(p.InputFeatureLen(), cfg.Hidden)
 			times := make([]time.Duration, 0, len(impls)+1)
 			for _, im := range impls {
-				d, err := timeVariant(w, kind, dims, im, train, nil, cfg)
+				d, err := timeVariant(r, fmt.Sprintf("%s/%s/%s", kind, p, im), w, kind, dims, im, train, nil, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -120,7 +125,7 @@ func fig11(cfg Config, train bool) (*Report, error) {
 			}
 			if train {
 				order := locality.Reorder(w.G)
-				d, err := timeVariant(w, kind, dims, gnn.ImplCombined, true, order, cfg)
+				d, err := timeVariant(r, fmt.Sprintf("%s/%s/c-locality", kind, p), w, kind, dims, gnn.ImplCombined, true, order, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -144,15 +149,16 @@ func fig11(cfg Config, train bool) (*Report, error) {
 func fig11a(cfg Config) (*Report, error) { return fig11(cfg, false) }
 func fig11b(cfg Config) (*Report, error) { return fig11(cfg, true) }
 
-// timeVariant measures one forward (or forward+backward) pass.
-func timeVariant(w *gnn.Workload, kind gnn.Kind, dims []int, im gnn.Impl, train bool, order []int32, cfg Config) (time.Duration, error) {
+// timeVariant measures one forward (or forward+backward) pass, recording the
+// reps as a sample named name on r (nil r skips recording).
+func timeVariant(r *Report, name string, w *gnn.Workload, kind gnn.Kind, dims []int, im gnn.Impl, train bool, order []int32, cfg Config) (time.Duration, error) {
 	net, err := gnn.NewNetwork(gnn.Config{Kind: kind, Dims: dims, Seed: 5})
 	if err != nil {
 		return 0, err
 	}
 	opts := gnn.RunOptions{Impl: im, Threads: cfg.Threads, Order: order, Train: train, Tel: cfg.Telemetry}
 	grads := gnn.NewGradients(net)
-	return timeIt(cfg.Reps, func() error {
+	return cfg.timeIt(r, name, func() error {
 		st, err := gnn.Forward(net, w, opts)
 		if err != nil {
 			return err
@@ -195,7 +201,7 @@ func phasesBreakdown(cfg Config) (*Report, error) {
 		tel := telemetry.New(0)
 		run := cfg
 		run.Telemetry = tel
-		if _, err := timeVariant(w, gnn.GCN, dims, im, true, nil, run); err != nil {
+		if _, err := timeVariant(r, fmt.Sprintf("train/%s", im), w, gnn.GCN, dims, im, true, nil, run); err != nil {
 			return nil, err
 		}
 		totals := tel.PhaseTotals()
@@ -231,7 +237,7 @@ func fig13(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		var basicT gnn.Timings
-		_, err = timeIt(cfg.Reps, func() error {
+		_, err = cfg.timeIt(r, fmt.Sprintf("%s/basic", p), func() error {
 			st, err := gnn.Forward(net, w, gnn.RunOptions{Impl: gnn.ImplBasic, Threads: cfg.Threads})
 			if err == nil {
 				basicT = st.Timings
@@ -241,14 +247,14 @@ func fig13(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		fusedInf, err := timeIt(cfg.Reps, func() error {
+		fusedInf, err := cfg.timeIt(r, fmt.Sprintf("%s/fused-inf", p), func() error {
 			_, err := gnn.Forward(net, w, gnn.RunOptions{Impl: gnn.ImplFused, Threads: cfg.Threads})
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		fusedTrain, err := timeIt(cfg.Reps, func() error {
+		fusedTrain, err := cfg.timeIt(r, fmt.Sprintf("%s/fused-train", p), func() error {
 			_, err := gnn.Forward(net, w, gnn.RunOptions{Impl: gnn.ImplFused, Threads: cfg.Threads, Train: true})
 			return err
 		})
@@ -286,11 +292,11 @@ func fig14(cfg Config) (*Report, error) {
 					return nil, err
 				}
 				dims := dims2(cfg.Hidden, cfg.Hidden)
-				tb, err := timeVariant(w, gnn.GCN, dims, gnn.ImplBasic, train, nil, cfg)
+				tb, err := timeVariant(r, fmt.Sprintf("%s/%s/s%.0f/basic", what, p, s*100), w, gnn.GCN, dims, gnn.ImplBasic, train, nil, cfg)
 				if err != nil {
 					return nil, err
 				}
-				tc, err := timeVariant(w, gnn.GCN, dims, gnn.ImplCompressed, train, nil, cfg)
+				tc, err := timeVariant(r, fmt.Sprintf("%s/%s/s%.0f/compressed", what, p, s*100), w, gnn.GCN, dims, gnn.ImplCompressed, train, nil, cfg)
 				if err != nil {
 					return nil, err
 				}
@@ -317,7 +323,7 @@ func fig15(cfg Config) (*Report, error) {
 		var randTotal time.Duration
 		const randRuns = 3
 		for seed := int64(0); seed < randRuns; seed++ {
-			d, err := timeVariant(w, gnn.GCN, dims, gnn.ImplCombined, true,
+			d, err := timeVariant(r, fmt.Sprintf("%s/randomized-%d", p, seed), w, gnn.GCN, dims, gnn.ImplCombined, true,
 				locality.Randomized(w.G.NumVertices(), seed), cfg)
 			if err != nil {
 				return nil, err
@@ -325,11 +331,11 @@ func fig15(cfg Config) (*Report, error) {
 			randTotal += d
 		}
 		randAvg := randTotal / randRuns
-		natural, err := timeVariant(w, gnn.GCN, dims, gnn.ImplCombined, true, nil, cfg)
+		natural, err := timeVariant(r, fmt.Sprintf("%s/natural", p), w, gnn.GCN, dims, gnn.ImplCombined, true, nil, cfg)
 		if err != nil {
 			return nil, err
 		}
-		loc, err := timeVariant(w, gnn.GCN, dims, gnn.ImplCombined, true, locality.Reorder(w.G), cfg)
+		loc, err := timeVariant(r, fmt.Sprintf("%s/locality", p), w, gnn.GCN, dims, gnn.ImplCombined, true, locality.Reorder(w.G), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,250 @@
+// Package benchfmt defines the versioned, machine-readable benchmark report
+// format written by cmd/graphite-bench (-json) and consumed by its -baseline
+// regression gate.
+//
+// The paper's argument is quantitative — Table 4 top-down slots, the
+// Fig. 11/12 speedup bars — and this package makes the reproduction's own
+// measurements first-class artifacts of the same kind: every report carries
+// an environment fingerprint (so numbers are never compared across
+// incomparable machines silently), per-experiment repeated samples with
+// summary statistics, per-phase span totals and latency quantiles from the
+// telemetry layer, kernel counter snapshots, and — for simulator
+// experiments — the perf.TopDown pipeline-slot breakdown.
+//
+// The schema is versioned: Version bumps whenever a field changes meaning
+// or shape, and Decode rejects files from other versions rather than
+// misreading them. A pinned fixture under testdata/ turns accidental schema
+// drift into a build break.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+
+	"graphite/internal/perf"
+)
+
+// Version is the current schema version, stored in File.Version.
+const Version = 1
+
+// File is one benchmark report: the top-level JSON document.
+type File struct {
+	// Version is the schema version (always Version for files this
+	// package writes).
+	Version int `json:"version"`
+	// Env fingerprints the machine and toolchain that produced the run.
+	Env Env `json:"env"`
+	// Experiments holds one entry per experiment id run.
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Env is the environment fingerprint. Two files with materially different
+// fingerprints (different GOARCH, CPU count, ...) measure different things;
+// Compare surfaces the mismatch in its table header rather than refusing,
+// since cross-machine comparisons are sometimes exactly the point.
+type Env struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	GitRevision string `json:"git_revision,omitempty"`
+}
+
+// CaptureEnv fingerprints the current process. The git revision is passed
+// in by the caller (the binary cannot know it): cmd/graphite-bench takes it
+// from -rev, CI from its commit variable. Empty is allowed and omitted.
+func CaptureEnv(gitRevision string) Env {
+	return Env{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GitRevision: gitRevision,
+	}
+}
+
+// Summary renders the fingerprint as one line for table headers.
+func (e Env) Summary() string {
+	rev := e.GitRevision
+	if rev == "" {
+		rev = "unknown-rev"
+	}
+	return fmt.Sprintf("%s %s/%s cpus=%d gomaxprocs=%d %s",
+		e.GoVersion, e.GOOS, e.GOARCH, e.NumCPU, e.GOMAXPROCS, rev)
+}
+
+// Experiment is one experiment's structured result.
+type Experiment struct {
+	// ID is the bench experiment id ("fig2", "table4", ...).
+	ID string `json:"id"`
+	// Title is the experiment's human description.
+	Title string `json:"title,omitempty"`
+	// Samples holds the experiment's named repeated measurements.
+	Samples []Sample `json:"samples,omitempty"`
+	// PhaseTotalsNS sums telemetry span durations by phase name
+	// (telemetry.Sink.PhaseTotals), in nanoseconds.
+	PhaseTotalsNS map[string]int64 `json:"phase_totals_ns,omitempty"`
+	// Counters is the kernel counter snapshot (telemetry metrics keys).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Latencies summarizes the per-phase latency histograms.
+	Latencies []Latency `json:"latencies,omitempty"`
+	// SpansDropped counts spans the telemetry ring evicted during the
+	// experiment; non-zero means PhaseTotalsNS covers a truncated window.
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
+	// TopDown is the pipeline-slot breakdown for simulator experiments
+	// (the baseline/first-simulated configuration), absent for wall-clock
+	// experiments.
+	TopDown *perf.TopDown `json:"top_down,omitempty"`
+}
+
+// UnitNS and UnitCycles are the sample units this repository emits:
+// wall-clock reps in nanoseconds, simulator reps in model cycles.
+const (
+	UnitNS     = "ns"
+	UnitCycles = "cycles"
+)
+
+// Sample is one named measurement's repeated observations.
+type Sample struct {
+	// Name identifies the measurement within the experiment, e.g.
+	// "GCN/products/combined".
+	Name string `json:"name"`
+	// Unit is the measurement unit of Reps (UnitNS or UnitCycles).
+	Unit string `json:"unit"`
+	// Reps holds every repetition's value, in recording order.
+	Reps []int64 `json:"reps"`
+	// Stats caches ComputeStats(Reps) so consumers need no math.
+	Stats Stats `json:"stats"`
+}
+
+// NewSample builds a sample with its statistics precomputed.
+func NewSample(name, unit string, reps []int64) Sample {
+	return Sample{Name: name, Unit: unit, Reps: reps, Stats: ComputeStats(reps)}
+}
+
+// Stats summarizes one sample's repetitions.
+type Stats struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// ComputeStats derives mean, sample standard deviation (zero for fewer than
+// two reps), min and max.
+func ComputeStats(reps []int64) Stats {
+	if len(reps) == 0 {
+		return Stats{}
+	}
+	s := Stats{Min: reps[0], Max: reps[0]}
+	var sum float64
+	for _, r := range reps {
+		sum += float64(r)
+		if r < s.Min {
+			s.Min = r
+		}
+		if r > s.Max {
+			s.Max = r
+		}
+	}
+	s.Mean = sum / float64(len(reps))
+	if len(reps) > 1 {
+		var ss float64
+		for _, r := range reps {
+			d := float64(r) - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(reps)-1))
+	}
+	return s
+}
+
+// Latency is one phase's latency-histogram summary, mirroring
+// telemetry.PhaseLatency with explicit nanosecond fields.
+type Latency struct {
+	Phase string `json:"phase"`
+	Count int64  `json:"count"`
+	SumNS int64  `json:"sum_ns"`
+	P50NS int64  `json:"p50_ns"`
+	P95NS int64  `json:"p95_ns"`
+	P99NS int64  `json:"p99_ns"`
+}
+
+// Encode writes f as indented JSON. The encoding is deterministic (sorted
+// map keys, two-space indent, trailing newline) so reports diff cleanly and
+// the testdata fixture can pin exact bytes.
+func Encode(w io.Writer, f *File) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: encode: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Decode parses a report and rejects unsupported schema versions.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchfmt: decode: %w", err)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("benchfmt: schema version %d, this build reads version %d", f.Version, Version)
+	}
+	return &f, nil
+}
+
+// WriteFile encodes f to path.
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile decodes the report at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f, err := Decode(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Experiment returns the experiment with the given id, or nil.
+func (f *File) Experiment(id string) *Experiment {
+	for i := range f.Experiments {
+		if f.Experiments[i].ID == id {
+			return &f.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// Sample returns the named sample, or nil.
+func (e *Experiment) Sample(name string) *Sample {
+	for i := range e.Samples {
+		if e.Samples[i].Name == name {
+			return &e.Samples[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package benchfmt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"graphite/internal/perf"
+)
+
+// fixtureFile is the in-memory value pinned byte-for-byte by
+// testdata/bench_v1.json. Changing the schema (field names, tags, types)
+// breaks TestGoldenFixture — that is the point: schema drift must be a
+// deliberate, versioned act, not a side effect.
+func fixtureFile() *File {
+	return &File{
+		Version: 1,
+		Env: Env{
+			GoVersion:   "go1.22.0",
+			GOOS:        "linux",
+			GOARCH:      "amd64",
+			NumCPU:      8,
+			GOMAXPROCS:  8,
+			GitRevision: "deadbeef",
+		},
+		Experiments: []Experiment{
+			{
+				ID:    "fig2",
+				Title: "sampled-training epoch breakdown vs mini-batch size",
+				Samples: []Sample{
+					NewSample("epoch/batch-1024", UnitNS, []int64{1200, 1000, 1100}),
+					NewSample("epoch/batch-4096", UnitNS, []int64{500, 500, 500}),
+				},
+				PhaseTotalsNS: map[string]int64{
+					"experiment/fig2": 3300,
+					"forward":         2100,
+				},
+				Counters: map[string]int64{
+					"graphite_edges_aggregated_total":    99,
+					"graphite_vertices_aggregated_total": 10,
+				},
+				Latencies: []Latency{
+					{Phase: "forward", Count: 3, SumNS: 2100, P50NS: 700, P95NS: 900, P99NS: 900},
+				},
+				SpansDropped: 2,
+			},
+			{
+				ID:    "fig3",
+				Title: "pipeline-slot breakdown of full-batch baseline training (simulated)",
+				Samples: []Sample{
+					NewSample("products/DistGNN", UnitCycles, []int64{123456}),
+				},
+				TopDown: &perf.TopDown{
+					Retiring:       0.125,
+					FrontendBound:  0.033,
+					CoreBound:      0,
+					MemoryBound:    0.842,
+					L2Bound:        0.05,
+					L3Bound:        0.1,
+					DRAMBandwidth:  0.5,
+					DRAMLatency:    0.192,
+					FillBufferFull: 1,
+				},
+			},
+		},
+	}
+}
+
+// TestRoundTrip encodes the fixture value, decodes it back, and requires a
+// deep-equal result — the schema must survive its own serialization.
+func TestRoundTrip(t *testing.T) {
+	want := fixtureFile()
+	var buf bytes.Buffer
+	if err := Encode(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated the value:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestGoldenFixture pins the exact bytes of the schema: the checked-in
+// fixture must decode to the fixture value, and encoding the value must
+// reproduce the fixture byte-for-byte.
+func TestGoldenFixture(t *testing.T) {
+	path := filepath.Join("testdata", "bench_v1.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("pinned fixture no longer decodes: %v", err)
+	}
+	want := fixtureFile()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fixture decodes to a different value:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatalf("schema drift: encoding the fixture value no longer matches %s.\n"+
+			"If the change is deliberate, bump Version and regenerate the fixture.\ngot:\n%s\nwant:\n%s",
+			path, buf.String(), raw)
+	}
+}
+
+// TestDecodeRejectsWrongVersion ensures future-version files fail loudly
+// instead of being half-read.
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"version": 2, "env": {}, "experiments": []}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version 2 accepted (err=%v)", err)
+	}
+	if _, err := Decode(strings.NewReader(`{not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestWriteReadFile round-trips through the filesystem helpers.
+func TestWriteReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	want := fixtureFile()
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("file round trip mutated the value")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats([]int64{10, 20, 30})
+	if s.Mean != 20 || s.Min != 10 || s.Max != 30 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Stddev < 9.9 || s.Stddev > 10.1 { // sample stddev of {10,20,30} = 10
+		t.Fatalf("stddev = %v, want 10", s.Stddev)
+	}
+	if one := ComputeStats([]int64{7}); one.Mean != 7 || one.Stddev != 0 || one.Min != 7 || one.Max != 7 {
+		t.Fatalf("single-rep stats = %+v", one)
+	}
+	if zero := ComputeStats(nil); zero != (Stats{}) {
+		t.Fatalf("empty stats = %+v", zero)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	f := fixtureFile()
+	if f.Experiment("fig2") == nil || f.Experiment("nope") != nil {
+		t.Fatal("File.Experiment lookup broken")
+	}
+	e := f.Experiment("fig2")
+	if e.Sample("epoch/batch-1024") == nil || e.Sample("nope") != nil {
+		t.Fatal("Experiment.Sample lookup broken")
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	e := CaptureEnv("abc123")
+	if e.GoVersion == "" || e.GOOS == "" || e.GOARCH == "" || e.NumCPU < 1 || e.GOMAXPROCS < 1 {
+		t.Fatalf("fingerprint incomplete: %+v", e)
+	}
+	if e.GitRevision != "abc123" {
+		t.Fatalf("revision = %q", e.GitRevision)
+	}
+	if !strings.Contains(e.Summary(), "abc123") {
+		t.Fatalf("summary missing revision: %s", e.Summary())
+	}
+	if !strings.Contains(CaptureEnv("").Summary(), "unknown-rev") {
+		t.Fatal("empty revision not labelled")
+	}
+}

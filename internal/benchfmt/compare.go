@@ -1,0 +1,167 @@
+package benchfmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultThreshold is the relative mean slowdown Compare flags when the
+// caller does not pick one: 10%, above typical wall-clock noise at -reps 3
+// on a quiet machine while still catching real hot-path regressions.
+const DefaultThreshold = 0.10
+
+// CompareOptions tunes the regression rule.
+type CompareOptions struct {
+	// Threshold is the relative mean change required before a delta can
+	// be a regression or an improvement (<= 0 means DefaultThreshold).
+	Threshold float64
+}
+
+func (o CompareOptions) threshold() float64 {
+	if o.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return o.Threshold
+}
+
+// Delta is one (experiment, sample) pair present in both files.
+type Delta struct {
+	Experiment string
+	Sample     string
+	Unit       string
+	OldStats   Stats
+	NewStats   Stats
+	// Ratio is new mean / old mean (>1 = slower).
+	Ratio float64
+	// Regression: the new mean exceeds the old by more than the threshold
+	// AND the sample ranges do not overlap (new min > old max) — both
+	// conditions, so a single noisy rep cannot fail a build on its own.
+	Regression bool
+	// Improvement is the symmetric speedup condition.
+	Improvement bool
+}
+
+// Verdict renders the delta's classification.
+func (d Delta) Verdict() string {
+	switch {
+	case d.Regression:
+		return "REGRESSION"
+	case d.Improvement:
+		return "improved"
+	default:
+		return "ok"
+	}
+}
+
+// Comparison is the result of comparing two report files.
+type Comparison struct {
+	OldEnv, NewEnv Env
+	Threshold      float64
+	Deltas         []Delta
+	// OnlyOld / OnlyNew name "experiment/sample" pairs present in just
+	// one file — surfaced so a regression cannot hide by deleting its
+	// benchmark.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Compare matches experiments and samples by name and classifies each pair.
+// Sample order follows the new file (the run under test).
+func Compare(old, cur *File, opt CompareOptions) Comparison {
+	th := opt.threshold()
+	c := Comparison{OldEnv: old.Env, NewEnv: cur.Env, Threshold: th}
+	seen := make(map[string]bool)
+	for _, ne := range cur.Experiments {
+		oe := old.Experiment(ne.ID)
+		for _, ns := range ne.Samples {
+			key := ne.ID + "/" + ns.Name
+			seen[key] = true
+			var os *Sample
+			if oe != nil {
+				os = oe.Sample(ns.Name)
+			}
+			if os == nil {
+				c.OnlyNew = append(c.OnlyNew, key)
+				continue
+			}
+			d := Delta{
+				Experiment: ne.ID,
+				Sample:     ns.Name,
+				Unit:       ns.Unit,
+				OldStats:   ComputeStats(os.Reps),
+				NewStats:   ComputeStats(ns.Reps),
+			}
+			if d.OldStats.Mean > 0 {
+				d.Ratio = d.NewStats.Mean / d.OldStats.Mean
+			}
+			d.Regression = d.Ratio > 1+th && d.NewStats.Min > d.OldStats.Max
+			d.Improvement = d.Ratio > 0 && d.Ratio < 1-th && d.NewStats.Max < d.OldStats.Min
+			c.Deltas = append(c.Deltas, d)
+		}
+	}
+	for _, oe := range old.Experiments {
+		for _, os := range oe.Samples {
+			if key := oe.ID + "/" + os.Name; !seen[key] {
+				c.OnlyOld = append(c.OnlyOld, key)
+			}
+		}
+	}
+	return c
+}
+
+// Regressions returns the deltas classified as regressions.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Table renders the aligned delta table the -baseline mode prints: one row
+// per compared sample, with the old/new means, the ratio, and the verdict.
+func (c Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline: %s\ncurrent:  %s\nthreshold: %.0f%% mean slowdown with non-overlapping ranges\n",
+		c.OldEnv.Summary(), c.NewEnv.Summary(), c.Threshold*100)
+	fmt.Fprintf(&b, "%-12s %-36s %14s %14s %8s  %s\n",
+		"experiment", "sample", "old mean", "new mean", "ratio", "verdict")
+	for _, d := range c.Deltas {
+		fmt.Fprintf(&b, "%-12s %-36s %14s %14s %7.3fx  %s\n",
+			d.Experiment, d.Sample,
+			formatValue(d.OldStats.Mean, d.Unit), formatValue(d.NewStats.Mean, d.Unit),
+			d.Ratio, d.Verdict())
+	}
+	for _, k := range c.OnlyOld {
+		fmt.Fprintf(&b, "%-12s %s\n", "missing", k+" (in baseline only)")
+	}
+	for _, k := range c.OnlyNew {
+		fmt.Fprintf(&b, "%-12s %s\n", "new", k+" (no baseline)")
+	}
+	if n := len(c.Regressions()); n > 0 {
+		fmt.Fprintf(&b, "%d regression(s)\n", n)
+	} else {
+		b.WriteString("no regressions\n")
+	}
+	return b.String()
+}
+
+// formatValue renders a mean in its unit: durations scale to a readable
+// suffix, cycles print raw.
+func formatValue(v float64, unit string) string {
+	if unit != UnitNS {
+		return fmt.Sprintf("%.0f %s", v, unit)
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}

@@ -1,0 +1,139 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSampleFile(repA, repB []int64) *File {
+	return &File{
+		Version: 1,
+		Env:     CaptureEnv("test"),
+		Experiments: []Experiment{
+			{ID: "fig2", Samples: []Sample{
+				NewSample("epoch/batch-1024", UnitNS, repA),
+				NewSample("epoch/batch-4096", UnitNS, repB),
+			}},
+		},
+	}
+}
+
+// TestSelfCompareIsClean is the CI bench-smoke invariant: a file compared
+// against itself must produce only "ok" verdicts at ratio 1.
+func TestSelfCompareIsClean(t *testing.T) {
+	f := twoSampleFile([]int64{1000, 1100, 1050}, []int64{500, 500, 500})
+	c := Compare(f, f, CompareOptions{})
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want 2", c.Deltas)
+	}
+	for _, d := range c.Deltas {
+		if d.Regression || d.Improvement || d.Ratio != 1 {
+			t.Fatalf("self-compare not clean: %+v", d)
+		}
+	}
+	if len(c.Regressions()) != 0 || len(c.OnlyOld) != 0 || len(c.OnlyNew) != 0 {
+		t.Fatalf("self-compare flagged something: %+v", c)
+	}
+	if !strings.Contains(c.Table(), "no regressions") {
+		t.Fatalf("table:\n%s", c.Table())
+	}
+}
+
+// TestDoctoredSlowerCopyRegresses doubles every rep — the acceptance
+// criterion's doctored copy — and requires a regression verdict.
+func TestDoctoredSlowerCopyRegresses(t *testing.T) {
+	old := twoSampleFile([]int64{1000, 1100, 1050}, []int64{500, 500, 500})
+	slow := twoSampleFile([]int64{2000, 2200, 2100}, []int64{1000, 1000, 1000})
+	c := Compare(old, slow, CompareOptions{})
+	regs := c.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2", regs)
+	}
+	if regs[0].Ratio < 1.9 || regs[0].Ratio > 2.1 {
+		t.Fatalf("ratio = %v, want ~2", regs[0].Ratio)
+	}
+	if !strings.Contains(c.Table(), "REGRESSION") || !strings.Contains(c.Table(), "2 regression(s)") {
+		t.Fatalf("table:\n%s", c.Table())
+	}
+	// The mirror comparison is an improvement, not a regression.
+	back := Compare(slow, old, CompareOptions{})
+	if len(back.Regressions()) != 0 {
+		t.Fatalf("speedup misread as regression: %+v", back.Regressions())
+	}
+	for _, d := range back.Deltas {
+		if !d.Improvement {
+			t.Fatalf("2x speedup not marked improved: %+v", d)
+		}
+	}
+}
+
+// TestOverlappingRangesDoNotRegress: a mean shift past the threshold is not
+// enough on its own — if the sample ranges overlap, one noisy rep could be
+// the whole story, so the verdict stays "ok".
+func TestOverlappingRangesDoNotRegress(t *testing.T) {
+	old := twoSampleFile([]int64{1000, 2000, 1000}, []int64{500, 500, 500})
+	cur := twoSampleFile([]int64{1800, 1900, 1800}, []int64{500, 500, 500}) // mean +37%, but new min 1800 < old max 2000
+	c := Compare(old, cur, CompareOptions{})
+	if len(c.Regressions()) != 0 {
+		t.Fatalf("overlapping ranges flagged: %+v", c.Regressions())
+	}
+}
+
+// TestThresholdOption verifies a small slowdown passes at the default
+// threshold and fails at a tighter one.
+func TestThresholdOption(t *testing.T) {
+	old := twoSampleFile([]int64{1000, 1000, 1000}, []int64{500, 500, 500})
+	cur := twoSampleFile([]int64{1050, 1050, 1050}, []int64{500, 500, 500}) // +5%, disjoint ranges
+	if n := len(Compare(old, cur, CompareOptions{}).Regressions()); n != 0 {
+		t.Fatalf("5%% slowdown flagged at default threshold (%d regressions)", n)
+	}
+	if n := len(Compare(old, cur, CompareOptions{Threshold: 0.02}).Regressions()); n != 1 {
+		t.Fatalf("5%% slowdown not flagged at 2%% threshold (%d regressions)", n)
+	}
+}
+
+// TestMissingSamplesSurfaced: renamed or deleted benchmarks must show up in
+// the comparison instead of silently shrinking coverage.
+func TestMissingSamplesSurfaced(t *testing.T) {
+	old := twoSampleFile([]int64{1000}, []int64{500})
+	cur := &File{
+		Version: 1,
+		Env:     CaptureEnv(""),
+		Experiments: []Experiment{
+			{ID: "fig2", Samples: []Sample{
+				NewSample("epoch/batch-1024", UnitNS, []int64{1000}),
+				NewSample("epoch/batch-8192", UnitNS, []int64{900}),
+			}},
+		},
+	}
+	c := Compare(old, cur, CompareOptions{})
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "fig2/epoch/batch-4096" {
+		t.Fatalf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "fig2/epoch/batch-8192" {
+		t.Fatalf("OnlyNew = %v", c.OnlyNew)
+	}
+	table := c.Table()
+	if !strings.Contains(table, "in baseline only") || !strings.Contains(table, "no baseline") {
+		t.Fatalf("table hides missing samples:\n%s", table)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{1.5e9, UnitNS, "1.500s"},
+		{2.5e6, UnitNS, "2.500ms"},
+		{3.5e3, UnitNS, "3.500µs"},
+		{42, UnitNS, "42ns"},
+		{123456, UnitCycles, "123456 cycles"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v, c.unit); got != c.want {
+			t.Errorf("formatValue(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}

@@ -9,9 +9,10 @@ import (
 // telemetry layer's contract (and the reason it can stay enabled in
 // production runs) is that kernels sum counts locally and flush once per
 // claimed chunk — one atomic per chunk, nothing per vertex or per edge. Any
-// telemetry.Sink method call lexically inside a for loop in the kernel
-// packages (internal/kernels, internal/sparse, internal/tensor) re-acquires
-// the sink per iteration and is flagged.
+// telemetry.Sink or telemetry.Histogram method call lexically inside a for
+// loop in the kernel packages (internal/kernels, internal/sparse,
+// internal/tensor) re-acquires the sink (or adds per-iteration atomics) and
+// is flagged.
 type HotLoopTelemetry struct {
 	// Module is the module path used to resolve covered packages.
 	Module string
@@ -25,7 +26,7 @@ func (*HotLoopTelemetry) Name() string { return "hotloop-telemetry" }
 
 // Doc implements Checker.
 func (*HotLoopTelemetry) Doc() string {
-	return "kernel packages must not call telemetry.Sink methods inside for loops (flush per chunk)"
+	return "kernel packages must not call telemetry.Sink or telemetry.Histogram methods inside for loops (flush per chunk)"
 }
 
 // Applies implements Checker.
@@ -54,9 +55,11 @@ func (c *HotLoopTelemetry) Check(pkg *Package) []Finding {
 			walk(n.Body, loopDepth+1)
 			return
 		case *ast.SelectorExpr:
-			if loopDepth > 0 && isSinkMethod(pkg.Info, n, telemetryPath) {
-				out = append(out, pkg.finding(c.Name(), n,
-					"telemetry.Sink.%s inside a for loop; accumulate locally and flush once per chunk", n.Sel.Name))
+			if loopDepth > 0 {
+				if recv, ok := telemetryRecv(pkg.Info, n, telemetryPath); ok {
+					out = append(out, pkg.finding(c.Name(), n,
+						"telemetry.%s.%s inside a for loop; accumulate locally and flush once per chunk", recv, n.Sel.Name))
+				}
 			}
 		}
 		for _, child := range childNodes(n) {
@@ -69,12 +72,19 @@ func (c *HotLoopTelemetry) Check(pkg *Package) []Finding {
 	return out
 }
 
-// isSinkMethod reports whether sel selects a method of telemetry.Sink
-// (directly or through a pointer).
-func isSinkMethod(info *types.Info, sel *ast.SelectorExpr, telemetryPath string) bool {
+// hotTelemetryTypes are the telemetry receivers whose methods touch shared
+// state per call: the Sink itself and the latency Histogram (three atomic
+// adds per Observe — per-edge use would serialize the cores on the bucket
+// cache lines).
+var hotTelemetryTypes = map[string]bool{"Sink": true, "Histogram": true}
+
+// telemetryRecv reports whether sel selects a method of one of the
+// telemetry hot types (directly or through a pointer), returning the
+// receiver type name.
+func telemetryRecv(info *types.Info, sel *ast.SelectorExpr, telemetryPath string) (string, bool) {
 	s, ok := info.Selections[sel]
 	if !ok || s.Kind() != types.MethodVal {
-		return false
+		return "", false
 	}
 	recv := s.Recv()
 	if ptr, ok := recv.(*types.Pointer); ok {
@@ -82,10 +92,13 @@ func isSinkMethod(info *types.Info, sel *ast.SelectorExpr, telemetryPath string)
 	}
 	named, ok := recv.(*types.Named)
 	if !ok {
-		return false
+		return "", false
 	}
 	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == telemetryPath && obj.Name() == "Sink"
+	if obj.Pkg() == nil || obj.Pkg().Path() != telemetryPath || !hotTelemetryTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
 }
 
 // childNodes returns n's direct children. ast.Inspect cannot be used in

@@ -3,7 +3,11 @@
 // iteration instead of flushed per chunk.
 package badloop
 
-import "graphite/internal/telemetry"
+import (
+	"time"
+
+	"graphite/internal/telemetry"
+)
 
 // Aggregate increments counters on the per-vertex and per-edge paths — the
 // exact overhead the telemetry layer's contract forbids.
@@ -32,6 +36,31 @@ func AggregateChunked(ptr []int32, tel *telemetry.Sink) {
 	}
 	tel.Add(telemetry.CtrVerticesAggregated, vertices)
 	tel.Add(telemetry.CtrEdgesAggregated, edges)
+}
+
+// ObservePerEdge records a latency sample per iteration — three atomic adds
+// on shared bucket cache lines per edge, which serializes the cores.
+func ObservePerEdge(ptr []int32, tel *telemetry.Sink) {
+	h := tel.Histogram("edge")
+	for v := 0; v+1 < len(ptr); v++ {
+		start := time.Now()
+		tel.Observe("vertex", time.Since(start)) // want hotloop-telemetry
+		for e := ptr[v]; e < ptr[v+1]; e++ {
+			h.Observe(time.Since(start)) // want hotloop-telemetry
+		}
+	}
+	for range ptr {
+		_ = h.Quantile(0.5) // want hotloop-telemetry
+	}
+}
+
+// ObserveChunked is the blessed shape: time the whole chunk, observe once.
+func ObserveChunked(ptr []int32, tel *telemetry.Sink) {
+	start := time.Now()
+	for v := 0; v+1 < len(ptr); v++ {
+		_ = v
+	}
+	tel.Observe("chunk", time.Since(start))
 }
 
 // Waived shows a reasoned waiver for a coarse outer loop where per-iteration

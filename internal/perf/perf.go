@@ -18,22 +18,24 @@ import (
 	"graphite/internal/memsim"
 )
 
-// TopDown is the Table 4 row for one execution.
+// TopDown is the Table 4 row for one execution. The JSON tags are part of
+// the benchfmt report schema (internal/benchfmt); renaming them is a schema
+// change and breaks that package's pinned fixture.
 type TopDown struct {
-	Retiring      float64 // fraction of pipeline slots doing useful work
-	FrontendBound float64
-	CoreBound     float64
-	MemoryBound   float64
+	Retiring      float64 `json:"retiring"` // fraction of pipeline slots doing useful work
+	FrontendBound float64 `json:"frontend_bound"`
+	CoreBound     float64 `json:"core_bound"`
+	MemoryBound   float64 `json:"memory_bound"`
 
 	// Attribution of the memory-bound share (fractions of all cycles).
-	L2Bound       float64
-	L3Bound       float64
-	DRAMBandwidth float64
-	DRAMLatency   float64
+	L2Bound       float64 `json:"l2_bound"`
+	L3Bound       float64 `json:"l3_bound"`
+	DRAMBandwidth float64 `json:"dram_bandwidth"`
+	DRAMLatency   float64 `json:"dram_latency"`
 
 	// FillBufferFull estimates how often the L1D fill buffers were fully
 	// occupied (§3, Table 4's last column).
-	FillBufferFull float64
+	FillBufferFull float64 `json:"fill_buffer_full"`
 }
 
 // frontendShare is the fixed small front-end-bound fraction observed on

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
 // Snapshot is a point-in-time copy of the sink's counters and per-worker
@@ -17,8 +18,24 @@ type Snapshot struct {
 	// Workers holds accounting for workers that claimed at least one
 	// chunk, ordered by worker id.
 	Workers []WorkerStats
+	// Latencies summarizes the per-phase latency histograms, ordered by
+	// phase name. Unlike the span ring these never drop samples.
+	Latencies []PhaseLatency
 	// Spans is the total number of spans recorded.
 	Spans int64
+	// SpansDropped counts spans evicted from the ring buffer: non-zero
+	// means PhaseTotals/WriteTrace cover a truncated window.
+	SpansDropped int64
+}
+
+// PhaseLatency is one phase's latency-histogram summary.
+type PhaseLatency struct {
+	Phase string
+	Count int64
+	Sum   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
 }
 
 // WorkerStats is one scheduler worker's accounting.
@@ -84,13 +101,33 @@ func (s *Sink) Snapshot() Snapshot {
 			BusySeconds: float64(w.busyNS.Load()) / 1e9,
 		})
 	}
-	snap.Spans = s.SpanCount()
+	for name, h := range s.hists.snapshot() {
+		if h.Count() == 0 {
+			continue
+		}
+		snap.Latencies = append(snap.Latencies, PhaseLatency{
+			Phase: name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	sort.Slice(snap.Latencies, func(i, j int) bool {
+		return snap.Latencies[i].Phase < snap.Latencies[j].Phase
+	})
+	s.mu.Lock()
+	snap.Spans = s.written
+	snap.SpansDropped = s.dropped
+	s.mu.Unlock()
 	return snap
 }
 
 // WriteMetrics writes the expvar/Prometheus-style plain-text snapshot:
-// one "name value" line per counter (stable, sorted key set) followed by
-// per-worker scheduler series with a {worker="N"} label.
+// one "name value" line per counter (stable, sorted key set), the
+// spans-dropped gauge, per-phase latency quantiles from the histograms,
+// and per-worker scheduler series with a {worker="N"} label.
 func (s *Sink) WriteMetrics(w io.Writer) error {
 	snap := s.Snapshot()
 	keys := make([]string, 0, len(snap.Counters))
@@ -100,6 +137,16 @@ func (s *Sink) WriteMetrics(w io.Writer) error {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if _, err := fmt.Fprintf(w, "%s %d\n", k, snap.Counters[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "graphite_spans_dropped_total %d\n", snap.SpansDropped); err != nil {
+		return err
+	}
+	for _, pl := range snap.Latencies {
+		if _, err := fmt.Fprintf(w,
+			"graphite_span_latency_ns{phase=%q,quantile=\"0.5\"} %d\ngraphite_span_latency_ns{phase=%q,quantile=\"0.95\"} %d\ngraphite_span_latency_ns{phase=%q,quantile=\"0.99\"} %d\ngraphite_span_latency_count{phase=%q} %d\n",
+			pl.Phase, int64(pl.P50), pl.Phase, int64(pl.P95), pl.Phase, int64(pl.P99), pl.Phase, pl.Count); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of the latency histograms. Bucket i
+// holds durations whose nanosecond count has bit length i (i.e. roughly
+// [2^(i-1), 2^i)), so 44 buckets span sub-nanosecond to ~2.4 hours — far
+// beyond any phase span this system records. Durations past the last bucket
+// clamp into it.
+const histBuckets = 44
+
+// Histogram is a log2-bucketed latency histogram. Recording is one bucket
+// index computation plus three atomic adds — no locks, no allocation — so it
+// is safe to feed from concurrent workers while a reader summarizes it.
+// All methods are nil-receiver safe (a nil histogram records nothing and
+// reports zeros), matching the Sink discipline.
+//
+// Like Sink counters, Observe must not be called inside kernel hot loops
+// (per vertex or per edge); record at span/chunk granularity. The
+// hotloop-telemetry lint checker enforces this for the kernel packages.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a nanosecond duration to its bucket.
+func bucketIndex(ns int64) int {
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketMin is the smallest nanosecond value bucket i holds.
+func bucketMin(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// bucketMax is the largest nanosecond value bucket i holds.
+func bucketMax(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1<<i - 1
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// within the covering bucket. With no observations it returns 0. The
+// estimate's relative error is bounded by the bucket width (at most 2x),
+// which is enough to separate microseconds from milliseconds from seconds —
+// the resolution serving-latency percentiles need.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketMin(i), bucketMax(i)
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(bucketMax(histBuckets - 1))
+}
+
+// reset zeroes the histogram in place. Not atomic with respect to concurrent
+// Observe calls; the Sink only calls it under its registration lock from
+// Reset, which callers already treat as a quiescent-point operation.
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sumNS.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// histSet is the sink's copy-on-write phase-name → histogram index. Readers
+// load the map pointer and index it lock-free; registration of a new phase
+// name copies the map under hmu and swaps the pointer.
+type histSet struct {
+	mu sync.Mutex
+	m  atomic.Pointer[map[string]*Histogram]
+}
+
+// get returns the histogram for name, registering it on first use.
+func (hs *histSet) get(name string) *Histogram {
+	if m := hs.m.Load(); m != nil {
+		if h := (*m)[name]; h != nil {
+			return h
+		}
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	old := hs.m.Load()
+	if old != nil {
+		if h := (*old)[name]; h != nil {
+			return h
+		}
+	}
+	next := make(map[string]*Histogram, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	h := &Histogram{}
+	next[name] = h
+	hs.m.Store(&next)
+	return h
+}
+
+// snapshot returns the current name → histogram map. The histograms are the
+// live ones (they keep accumulating); the map itself is immutable.
+func (hs *histSet) snapshot() map[string]*Histogram {
+	if m := hs.m.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// reset zeroes every registered histogram, keeping registrations so steady
+// phase names do not re-pay the copy-on-write insert after each Reset.
+func (hs *histSet) reset() {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if m := hs.m.Load(); m != nil {
+		for _, h := range *m {
+			h.reset()
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramNilSafe exercises every Histogram method on a nil receiver.
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram reported data")
+	}
+}
+
+// TestHistogramBuckets pins the log2 bucket mapping at its edges.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{1 << 50, histBuckets - 1}, // clamps into the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketMin(i) != bucketMax(i-1)+1 {
+			t.Fatalf("bucket %d: gap between max(%d)=%d and min=%d",
+				i, i-1, bucketMax(i-1), bucketMin(i))
+		}
+	}
+}
+
+// TestHistogramQuantiles checks the summary statistics against a known
+// distribution: quantile estimates must land within the observed value's
+// bucket (the documented 2x bound), and negative observations clamp to 0.
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations at ~1us, 9 at ~1ms, 1 at ~1s.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	wantSum := 90*time.Microsecond + 9*time.Millisecond + time.Second
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	within := func(q float64, target time.Duration) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < target/2 || got > target*2 {
+			t.Fatalf("quantile(%g) = %v, want within 2x of %v", q, got, target)
+		}
+	}
+	within(0.50, time.Microsecond)
+	within(0.95, time.Millisecond)
+	within(0.999, time.Second)
+	if h.Quantile(1) < time.Second/2 {
+		t.Fatalf("quantile(1) = %v, want ~1s", h.Quantile(1))
+	}
+
+	h.Observe(-time.Second) // clamps to bucket 0
+	if h.Quantile(0) != 0 {
+		t.Fatalf("quantile(0) after negative observation = %v, want 0", h.Quantile(0))
+	}
+}
+
+// TestSinkObserveAndSpanFeedHistograms verifies both record paths — explicit
+// Observe and Span.End — land in the per-phase histograms, that the metrics
+// text carries p50/p95/p99 lines, and that disabled/nil sinks record nothing.
+func TestSinkObserveAndSpanFeedHistograms(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 4; i++ {
+		s.Observe("rep", 10*time.Millisecond)
+	}
+	sp := s.Begin(PhaseAggregate)
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	if got := s.Histogram("rep").Count(); got != 4 {
+		t.Fatalf("rep count = %d, want 4", got)
+	}
+	if got := s.Histogram(PhaseAggregate).Count(); got != 1 {
+		t.Fatalf("aggregate count = %d, want 1", got)
+	}
+	if s.Histogram("nope") != nil {
+		t.Fatal("unknown phase returned a histogram")
+	}
+
+	snap := s.Snapshot()
+	if len(snap.Latencies) != 2 {
+		t.Fatalf("latencies = %+v, want 2 phases", snap.Latencies)
+	}
+	if snap.Latencies[0].Phase != PhaseAggregate || snap.Latencies[1].Phase != "rep" {
+		t.Fatalf("latencies not sorted by phase: %+v", snap.Latencies)
+	}
+	if p50 := snap.Latencies[1].P50; p50 < 5*time.Millisecond || p50 > 20*time.Millisecond {
+		t.Fatalf("rep p50 = %v, want ~10ms", p50)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graphite_span_latency_ns{phase="rep",quantile="0.5"} `,
+		`graphite_span_latency_ns{phase="rep",quantile="0.95"} `,
+		`graphite_span_latency_ns{phase="rep",quantile="0.99"} `,
+		`graphite_span_latency_count{phase="rep"} 4`,
+		`graphite_span_latency_count{phase="aggregate"} 1`,
+		"graphite_spans_dropped_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	s.SetEnabled(false)
+	s.Observe("rep", time.Second)
+	if got := s.Histogram("rep").Count(); got != 4 {
+		t.Fatalf("disabled sink recorded an observation (count=%d)", got)
+	}
+	var nilSink *Sink
+	nilSink.Observe("rep", time.Second)
+	if nilSink.Histogram("rep") != nil {
+		t.Fatal("nil sink returned a histogram")
+	}
+
+	s.SetEnabled(true)
+	s.Reset()
+	if got := s.Histogram("rep").Count(); got != 0 {
+		t.Fatalf("reset did not clear histogram (count=%d)", got)
+	}
+}
+
+// TestSpansDroppedCounter fills a tiny ring past capacity and checks the
+// silent-loss satellite: the drop count must surface in SpansDropped, the
+// snapshot, and the metrics text.
+func TestSpansDroppedCounter(t *testing.T) {
+	const capacity, total = 4, 11
+	s := New(capacity)
+	for i := 0; i < total; i++ {
+		sp := s.Begin(PhaseUpdate)
+		sp.End()
+	}
+	if got := s.SpansDropped(); got != total-capacity {
+		t.Fatalf("SpansDropped = %d, want %d", got, total-capacity)
+	}
+	snap := s.Snapshot()
+	if snap.Spans != total || snap.SpansDropped != total-capacity {
+		t.Fatalf("snapshot spans=%d dropped=%d, want %d/%d",
+			snap.Spans, snap.SpansDropped, total, total-capacity)
+	}
+	// The histograms see every span even though the ring dropped some.
+	if got := s.Histogram(PhaseUpdate).Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graphite_spans_dropped_total 7") {
+		t.Fatalf("metrics missing dropped count:\n%s", buf.String())
+	}
+	s.Reset()
+	if s.SpansDropped() != 0 {
+		t.Fatal("Reset did not clear the dropped count")
+	}
+}
+
+// TestConcurrentHistogramRecordingUnderRace is the -race stress test for the
+// histogram path: N goroutines record spans and direct observations while a
+// reader continuously calls WriteMetrics and PhaseTotals. Afterwards every
+// total must add up exactly — atomics may not lose updates.
+func TestConcurrentHistogramRecordingUnderRace(t *testing.T) {
+	const (
+		ringCap    = 64
+		writers    = 8
+		perWriter  = 400
+		totalSpans = writers * perWriter
+	)
+	s := New(ringCap)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.WriteMetrics(io.Discard); err != nil {
+				t.Errorf("WriteMetrics: %v", err)
+				return
+			}
+			_ = s.PhaseTotals()
+			_ = s.Snapshot()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sp := s.Begin(PhaseAggregate)
+				sp.End()
+				s.Observe("rep", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := s.SpanCount(); got != totalSpans {
+		t.Fatalf("span count = %d, want %d", got, totalSpans)
+	}
+	if got := s.SpansDropped(); got != totalSpans-ringCap {
+		t.Fatalf("dropped = %d, want %d", got, totalSpans-ringCap)
+	}
+	if got := s.Histogram(PhaseAggregate).Count(); got != totalSpans {
+		t.Fatalf("aggregate histogram count = %d, want %d", got, totalSpans)
+	}
+	if got := s.Histogram("rep").Count(); got != totalSpans {
+		t.Fatalf("rep histogram count = %d, want %d", got, totalSpans)
+	}
+	// The ring retains exactly its capacity, all of phase "aggregate".
+	if got := s.PhaseTotals()[PhaseAggregate]; got <= 0 {
+		t.Fatalf("phase total = %v, want > 0", got)
+	}
+	snap := s.Snapshot()
+	for _, pl := range snap.Latencies {
+		if pl.Count != totalSpans {
+			t.Fatalf("latency %q count = %d, want %d", pl.Phase, pl.Count, totalSpans)
+		}
+		if pl.P50 < 0 || pl.P95 < pl.P50 || pl.P99 < pl.P95 {
+			t.Fatalf("quantiles not monotone for %q: %+v", pl.Phase, pl)
+		}
+	}
+}

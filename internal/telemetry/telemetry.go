@@ -120,11 +120,13 @@ type Sink struct {
 	epoch    time.Time
 	counters [numCounters]atomic.Int64
 	workers  [MaxWorkers]workerSlot
+	hists    histSet
 
 	mu      sync.Mutex
 	events  []spanEvent
 	head    int   // next write position in the ring
 	written int64 // total spans ever recorded (>= len(events) once wrapped)
+	dropped int64 // spans evicted from the ring (written - retained)
 }
 
 // New returns an enabled sink whose span ring holds capacity events
@@ -162,10 +164,12 @@ func (s *Sink) Reset() {
 		s.workers[i].rows.Store(0)
 		s.workers[i].busyNS.Store(0)
 	}
+	s.hists.reset()
 	s.mu.Lock()
 	s.events = s.events[:0]
 	s.head = 0
 	s.written = 0
+	s.dropped = 0
 	s.mu.Unlock()
 }
 
@@ -234,7 +238,9 @@ func (s *Sink) Begin(name string) Span {
 	return sp
 }
 
-// End closes the span and records it.
+// End closes the span and records it: one ring event plus one observation
+// in the phase's latency histogram (the source of the p50/p95/p99 series in
+// WriteMetrics and the JSON benchmark reports).
 func (sp Span) End() {
 	if sp.region != nil {
 		sp.region.End()
@@ -243,7 +249,28 @@ func (sp Span) End() {
 		return
 	}
 	dur := int64(time.Since(sp.s.epoch)) - sp.start
+	sp.s.hists.get(sp.name).Observe(time.Duration(dur))
 	sp.s.record(spanEvent{name: sp.name, tid: sp.tid, startNS: sp.start, durNS: dur})
+}
+
+// Observe records one duration in the named phase's latency histogram
+// without opening a span — for measurements taken outside the sink (e.g.
+// the bench harness's per-rep wall clocks). Unlike spans, observations
+// never age out of a ring; the histogram keeps every sample's bucket.
+func (s *Sink) Observe(name string, d time.Duration) {
+	if !s.Enabled() {
+		return
+	}
+	s.hists.get(name).Observe(d)
+}
+
+// Histogram returns the named phase's latency histogram, or nil if nothing
+// was recorded under that name yet.
+func (s *Sink) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.hists.snapshot()[name]
 }
 
 // record appends to the ring, overwriting the oldest event when full. Span
@@ -256,6 +283,7 @@ func (s *Sink) record(ev spanEvent) {
 	} else {
 		s.events[s.head] = ev
 		s.head = (s.head + 1) % len(s.events)
+		s.dropped++
 	}
 	s.written++
 	s.mu.Unlock()
@@ -295,6 +323,19 @@ func (s *Sink) SpanCount() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.written
+}
+
+// SpansDropped returns how many recorded spans have been evicted from the
+// ring buffer to make room for newer ones. A non-zero value means
+// PhaseTotals and WriteTrace describe a truncated window; size the ring up
+// with New(capacity) if the full timeline matters.
+func (s *Sink) SpansDropped() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // PhaseTotals sums recorded span durations by phase name. Nested spans each

@@ -132,7 +132,7 @@ func TestWriteMetricsGolden(t *testing.T) {
 	s := New(0)
 	s.Add(CtrVerticesAggregated, 10)
 	s.Add(CtrEdgesAggregated, 55)
-	s.Add(CtrGEMMFLOPs, 1 << 20)
+	s.Add(CtrGEMMFLOPs, 1<<20)
 	s.WorkerClaim(0, 2, 8, 2*time.Second)
 	s.WorkerClaim(3, 1, 2, 500*time.Millisecond)
 
@@ -149,6 +149,7 @@ graphite_rows_decompressed_total 0
 graphite_sched_chunks_total 0
 graphite_sched_rows_total 0
 graphite_vertices_aggregated_total 10
+graphite_spans_dropped_total 0
 graphite_sched_worker_chunks_total{worker="0"} 2
 graphite_sched_worker_rows_total{worker="0"} 8
 graphite_sched_worker_busy_seconds{worker="0"} 2
