@@ -26,11 +26,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"graphite/internal/bench"
@@ -59,6 +62,13 @@ func main() {
 		threshold = flag.Float64("threshold", 0, "regression threshold as relative mean slowdown (default 0.10)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop the sweep between experiments: the current
+	// experiment finishes, later ones are skipped, and in structured mode
+	// the partial report is still flushed so completed measurements are
+	// never lost.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -105,7 +115,13 @@ func main() {
 	if structured {
 		file = &benchfmt.File{Version: benchfmt.Version, Env: benchfmt.CaptureEnv(*rev)}
 	}
+	interrupted := false
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			log.Printf("interrupted; skipping %s and later experiments", id)
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		runCfg := cfg
 		var sink *telemetry.Sink
@@ -134,7 +150,17 @@ func main() {
 		if err := benchfmt.WriteFile(*jsonOut, file); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("json: wrote %s\n", *jsonOut)
+		if interrupted {
+			fmt.Printf("json: wrote %s (partial: %d of %d experiments)\n",
+				*jsonOut, len(file.Experiments), len(ids))
+		} else {
+			fmt.Printf("json: wrote %s\n", *jsonOut)
+		}
+	}
+	if interrupted {
+		// Partial results are not comparable against a full baseline;
+		// exit with the conventional interrupted status instead.
+		os.Exit(130)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"graphite"
@@ -38,8 +42,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON profile of the run to this file (load in chrome://tracing or Perfetto)")
 		metrics  = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the run")
+		ckptOut  = flag.String("checkpoint", "", "write network weights to this file after training (and on SIGINT/SIGTERM, at the last completed epoch)")
+		resume   = flag.String("resume", "", "load network weights from this checkpoint file before running")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the run cooperatively: kernels drain at chunk
+	// granularity, the trainer finishes no partial epoch, and (with
+	// -checkpoint) the last completed epoch's weights are saved.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	kind, err := parseModel(*model)
 	if err != nil {
@@ -92,6 +104,18 @@ func main() {
 	fmt.Printf("network %s %v (%d parameters), impl %s, locality=%v\n",
 		kind, dims, eng.NumParams(), impl, *locality)
 
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.LoadCheckpoint(f); err != nil {
+			log.Fatalf("resuming from %s: %v", *resume, err)
+		}
+		f.Close()
+		fmt.Printf("resumed weights from %s\n", *resume)
+	}
+
 	x := graphite.RandomFeatures(g.NumVertices(), fin, *sparsity, *seed)
 	var labels []int32
 	if *train {
@@ -107,8 +131,11 @@ func main() {
 
 	if !*train {
 		start := time.Now()
-		logits, err := eng.Infer(w)
+		logits, err := eng.InferContext(ctx, w)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Fatal("inference interrupted")
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("inference: %v for %d vertices (%d logits/vertex)\n",
@@ -118,9 +145,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		interrupted := false
 		for e := 0; e < *epochs; e++ {
 			start := time.Now()
-			res, err := tr.Epoch()
+			res, err := tr.EpochContext(ctx)
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("interrupted after %d completed epochs\n", tr.CompletedEpochs())
+				interrupted = true
+				break
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -130,6 +163,23 @@ func main() {
 				res.Timings.Update.Round(time.Millisecond),
 				res.Timings.Fused.Round(time.Millisecond),
 				res.Timings.Backward.Round(time.Millisecond))
+		}
+		if *ckptOut != "" {
+			f, err := os.Create(*ckptOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := eng.SaveCheckpoint(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpoint: wrote %s at epoch %d (resume with -resume %s)\n",
+				*ckptOut, tr.CompletedEpochs(), *ckptOut)
+		}
+		if interrupted && *ckptOut == "" {
+			fmt.Println("note: no -checkpoint flag; the partial training progress is discarded")
 		}
 	}
 

@@ -1,0 +1,188 @@
+package graphite_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	graphite "graphite"
+)
+
+func faultEngine(t *testing.T, impl graphite.Implementation) (*graphite.Engine, *graphite.Workload) {
+	t.Helper()
+	eng, err := graphite.NewEngine(graphite.Config{
+		Model:   graphite.GCN,
+		Dims:    []int{8, 16, 4},
+		Impl:    impl,
+		Threads: 4,
+		Seed:    5,
+		Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphite.GenerateGraph(graphite.ProfileProducts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := graphite.RandomFeatures(g.NumVertices(), 8, 0.5, 6)
+	w, err := eng.NewWorkload(g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, w
+}
+
+// TestInferContainsWorkerPanic is the end-to-end panic-containment
+// acceptance test: a workload whose CSR is corrupted after validation (a
+// column index pointing past the feature matrix) panics inside a scheduler
+// worker goroutine; Engine.Infer must return an error wrapping a
+// *graphite.WorkerError — with the worker id, chunk bounds, and the
+// worker's stack — the process must survive, and the recovered-panic
+// telemetry counter must increment.
+func TestInferContainsWorkerPanic(t *testing.T) {
+	for _, impl := range []graphite.Implementation{graphite.Basic, graphite.Combined, graphite.DistGNNBaseline} {
+		eng, w := faultEngine(t, impl)
+		// Shape-corrupt the workload behind the loader's back: vertex 40's
+		// first edge now gathers a feature row that does not exist.
+		w.G.Col[w.G.Ptr[40]] = 1 << 28
+
+		logits, err := eng.Infer(w)
+		if err == nil {
+			t.Fatalf("%v: corrupted workload inferred successfully (%d rows)", impl, logits.Rows)
+		}
+		var we *graphite.WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("%v: err = %v (%T), want a wrapped *graphite.WorkerError", impl, err, err)
+		}
+		if we.Worker < 0 {
+			t.Errorf("%v: worker id %d not populated", impl, we.Worker)
+		}
+		// Chunk bounds are only known for chunk-scheduled kernels; fused
+		// variants run whole thread bodies (the cursor lives inside), so
+		// their WorkerError reports no range.
+		if impl != graphite.Combined && impl != graphite.Fusion && !(we.Start <= 40 && 40 < we.End) {
+			t.Errorf("%v: chunk [%d,%d) does not cover the corrupted vertex 40", impl, we.Start, we.End)
+		}
+		if len(we.Stack) == 0 {
+			t.Errorf("%v: no worker stack captured", impl)
+		}
+		if we.Recovered == nil {
+			t.Errorf("%v: recovered value missing", impl)
+		}
+		if got := eng.Metrics().Counters["graphite_panics_recovered_total"]; got < 1 {
+			t.Errorf("%v: panics-recovered counter = %d, want >= 1", impl, got)
+		}
+	}
+}
+
+// TestInferContextCancellation: cancelling an in-flight public-API
+// inference aborts with ctx's error at chunk granularity.
+func TestInferContextCancellation(t *testing.T) {
+	eng, w := faultEngine(t, graphite.Basic)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.InferContext(ctx, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The background-context path still works on the same engine.
+	if _, err := eng.Infer(w); err != nil {
+		t.Fatalf("background inference after cancelled one: %v", err)
+	}
+}
+
+// TestTrainInterruptCheckpointRoundTrip drives checkpoint-on-interrupt
+// through the public API: cancel a long TrainContext, save a checkpoint,
+// and load it into a fresh engine of the same configuration.
+func TestTrainInterruptCheckpointRoundTrip(t *testing.T) {
+	cfg := graphite.Config{Model: graphite.GCN, Dims: []int{8, 16, 4}, Impl: graphite.Basic, Threads: 2, Seed: 5}
+	eng, err := graphite.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphite.GenerateGraph(graphite.ProfileProducts, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := graphite.RandomFeatures(g.NumVertices(), 8, 0.5, 6)
+	labels := make([]int32, g.NumVertices())
+	for i := range labels {
+		labels[i] = int32(i % 4)
+	}
+	w, err := eng.NewWorkload(g, x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.NewTrainer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	results, err := tr.TrainContext(ctx, 100_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainContext err = %v after %d epochs, want context.Canceled", err, len(results))
+	}
+	if len(results) != tr.CompletedEpochs() {
+		t.Fatalf("results %d != completed epochs %d", len(results), tr.CompletedEpochs())
+	}
+
+	var ckpt bytes.Buffer
+	if err := eng.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatalf("checkpoint after interrupt: %v", err)
+	}
+	fresh, err := graphite.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatalf("loading interrupt checkpoint: %v", err)
+	}
+	// Both engines now hold the same weights: logits must agree exactly.
+	a, err := eng.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Infer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.Rows; v++ {
+		ra, rb := a.Row(v), b.Row(v)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("logits diverge at (%d,%d): %g vs %g", v, j, ra[j], rb[j])
+			}
+		}
+	}
+}
+
+// TestLoadCheckpointRejectsMismatchedEngine: a checkpoint only loads into
+// an engine whose configuration matches its architecture.
+func TestLoadCheckpointRejectsMismatchedEngine(t *testing.T) {
+	eng, err := graphite.NewEngine(graphite.Config{Model: graphite.GCN, Dims: []int{8, 16, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := eng.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	other, err := graphite.NewEngine(graphite.Config{Model: graphite.GCN, Dims: []int{8, 32, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = other.LoadCheckpoint(bytes.NewReader(ckpt.Bytes()))
+	if err == nil {
+		t.Fatal("dimension-mismatched checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "layer") {
+		t.Fatalf("error does not name the mismatched layer: %v", err)
+	}
+}

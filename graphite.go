@@ -27,6 +27,7 @@
 package graphite
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -34,6 +35,7 @@ import (
 	"graphite/internal/gnn"
 	"graphite/internal/graph"
 	"graphite/internal/locality"
+	"graphite/internal/sched"
 	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
 )
@@ -109,6 +111,13 @@ type Workload = gnn.Workload
 
 // EpochResult reports one training epoch.
 type EpochResult = gnn.EpochResult
+
+// WorkerError is a panic recovered inside a scheduler worker goroutine. API
+// calls that hit one (e.g. a shape-corrupted workload crashing a kernel)
+// return an error wrapping it — match with errors.As — instead of killing
+// the process; it carries the worker id, the chunk of the iteration space
+// it was executing, the recovered value, and the worker's stack.
+type WorkerError = sched.WorkerError
 
 // Config configures an Engine.
 type Config struct {
@@ -219,13 +228,51 @@ func (e *Engine) runOptions(w *Workload) gnn.RunOptions {
 	return opts
 }
 
-// Infer runs a full-batch forward pass and returns the logits.
+// Infer runs a full-batch forward pass and returns the logits. Kernel
+// worker panics are contained: the process survives and the error wraps a
+// *WorkerError.
 func (e *Engine) Infer(w *Workload) (*Matrix, error) {
-	st, err := gnn.Infer(e.net, w, e.runOptions(w))
+	return e.InferContext(context.Background(), w)
+}
+
+// InferContext is Infer under a context: cancellation aborts the pass at
+// kernel chunk granularity with ctx's error. A background context keeps the
+// kernels on their uncancellable fast path.
+func (e *Engine) InferContext(ctx context.Context, w *Workload) (*Matrix, error) {
+	st, err := gnn.InferContext(ctx, e.net, w, e.runOptions(w))
 	if err != nil {
 		return nil, err
 	}
 	return st.Logits(), nil
+}
+
+// SaveCheckpoint serialises the engine's network weights so an interrupted
+// or finished training run can resume later (LoadCheckpoint).
+func (e *Engine) SaveCheckpoint(w io.Writer) error { return e.net.Save(w) }
+
+// LoadCheckpoint replaces the engine's network weights with a checkpoint
+// written by SaveCheckpoint, after validating that its model kind and layer
+// dimensions match the engine's configuration.
+func (e *Engine) LoadCheckpoint(r io.Reader) error {
+	net, err := gnn.Load(r)
+	if err != nil {
+		return err
+	}
+	if net.Kind != e.net.Kind {
+		return fmt.Errorf("graphite: checkpoint is a %v model, engine is %v", net.Kind, e.net.Kind)
+	}
+	if net.NumLayers() != e.net.NumLayers() {
+		return fmt.Errorf("graphite: checkpoint has %d layers, engine has %d", net.NumLayers(), e.net.NumLayers())
+	}
+	for k, l := range net.Layers {
+		el := e.net.Layers[k]
+		if l.In() != el.In() || l.Out() != el.Out() {
+			return fmt.Errorf("graphite: checkpoint layer %d is %dx%d, engine expects %dx%d",
+				k, l.In(), l.Out(), el.In(), el.Out())
+		}
+	}
+	e.net = net
+	return nil
 }
 
 // Trainer drives full-batch training epochs.
@@ -245,8 +292,27 @@ func (e *Engine) NewTrainer(w *Workload) (*Trainer, error) {
 // Epoch runs one training epoch.
 func (t *Trainer) Epoch() (EpochResult, error) { return t.inner.Epoch() }
 
+// EpochContext runs one training epoch under a context. A cancelled epoch
+// never mutates the weights: the context is re-checked after backward,
+// before the optimizer step.
+func (t *Trainer) EpochContext(ctx context.Context) (EpochResult, error) {
+	return t.inner.EpochContext(ctx)
+}
+
 // Train runs the given number of epochs.
 func (t *Trainer) Train(epochs int) ([]EpochResult, error) { return t.inner.Train(epochs) }
+
+// TrainContext runs up to the given number of epochs under ctx. On
+// cancellation it returns the completed epochs' results plus ctx's error,
+// with the engine's weights at the last completed epoch — ready for
+// Engine.SaveCheckpoint.
+func (t *Trainer) TrainContext(ctx context.Context, epochs int) ([]EpochResult, error) {
+	return t.inner.TrainContext(ctx, epochs)
+}
+
+// CompletedEpochs returns how many epochs have completed their weight
+// update since the trainer was built.
+func (t *Trainer) CompletedEpochs() int { return t.inner.CompletedEpochs() }
 
 // Accuracy scores logits against labels (label < 0 = unlabeled).
 func Accuracy(logits *Matrix, labels []int32) float64 { return gnn.Accuracy(logits, labels) }

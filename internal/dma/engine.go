@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"graphite/internal/faultinject"
 	"graphite/internal/telemetry"
 )
 
@@ -45,9 +46,10 @@ func (c EngineConfig) StorageBytes() int {
 // is shared by the correctness tests and by the end-to-end DMA examples,
 // while timing.go models the cycle behaviour.
 type Engine struct {
-	cfg EngineConfig
-	buf []float32
-	tel *telemetry.Sink
+	cfg    EngineConfig
+	buf    []float32
+	tel    *telemetry.Sink
+	inject *faultinject.Injector
 }
 
 // NewEngine builds an engine.
@@ -66,6 +68,13 @@ func (e *Engine) Config() EngineConfig { return e.cfg }
 // factor, and input loads plus the output flush — the traffic §5.2's
 // engine takes over from the core).
 func (e *Engine) SetTelemetry(tel *telemetry.Sink) { e.tel = tel }
+
+// SetFaultInjector arms the engine's fault-injection sites for robustness
+// tests: "dma/descriptor" fires before a descriptor executes (modelling a
+// rejected or lost descriptor), "dma/block" fires per input block
+// (modelling a memory fault mid-transfer, which surfaces as a StatusFault
+// completion record exactly like an organic fault). A nil injector disarms.
+func (e *Engine) SetFaultInjector(in *faultinject.Injector) { e.inject = in }
 
 // trafficBytes returns the memory traffic of one descriptor execution.
 func trafficBytes(d *Descriptor) int64 {
@@ -87,6 +96,9 @@ func trafficBytes(d *Descriptor) int64 {
 // remaining operations are aborted"). The error return mirrors the fault
 // for the software driver.
 func (e *Engine) Execute(d *Descriptor, mem Memory) error {
+	if err := e.inject.Fault("dma/descriptor"); err != nil {
+		return fmt.Errorf("dma: descriptor rejected: %w", err)
+	}
 	if err := d.Validate(e.cfg.OutputBufferBytes); err != nil {
 		return err
 	}
@@ -130,6 +142,9 @@ func (e *Engine) Execute(d *Descriptor, mem Memory) error {
 }
 
 func (e *Engine) executeBlock(d *Descriptor, mem Memory, i uint64, buf []float32) error {
+	if err := e.inject.Fault("dma/block"); err != nil {
+		return err
+	}
 	idxSz := uint64(d.IdxT.Size())
 	valSz := uint64(d.ValT.Size())
 	idx, err := mem.LoadIdx(d.IDX+i*idxSz, d.IdxT)

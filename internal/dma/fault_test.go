@@ -1,0 +1,104 @@
+package dma
+
+import (
+	"errors"
+	"testing"
+
+	"graphite/internal/faultinject"
+)
+
+// faultFixture maps a two-block sum descriptor into a SliceMemory.
+func faultFixture(t *testing.T) (*Descriptor, *SliceMemory, []uint8) {
+	t.Helper()
+	var mem SliceMemory
+	in := []float32{1, 2, 3, 4, 10, 20, 30, 40}
+	out := make([]float32, 4)
+	idx := []int32{0, 1}
+	status := make([]uint8, 2)
+	for _, err := range []error{
+		mem.MapF32(0x1000, in), mem.MapF32(0x2000, out),
+		mem.MapI32(0x3000, idx), mem.MapU8(0x4000, status),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := &Descriptor{Red: RedSum, E: 4, S: 16, N: 2,
+		IDX: 0x3000, IN: 0x1000, OUT: 0x2000, STATUS: 0x4000}
+	return d, &mem, status
+}
+
+// TestEngineInjectedDescriptorFault proves the engine degrades gracefully
+// when a descriptor is rejected: the error wraps the injected fault, memory
+// is untouched, and the engine keeps working once the fault clears.
+func TestEngineInjectedDescriptorFault(t *testing.T) {
+	d, mem, status := faultFixture(t)
+	eng := NewEngine(DefaultEngineConfig())
+	in := faultinject.New(5)
+	in.FailAt("dma/descriptor", 1)
+	eng.SetFaultInjector(in)
+
+	if err := eng.Execute(d, mem); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if Status(status[0]) != StatusPending || Status(status[1]) != StatusPending {
+		t.Fatalf("rejected descriptor touched status records: %v", status)
+	}
+	// Fault cleared (FailAt fires once): the same descriptor now executes.
+	if err := eng.Execute(d, mem); err != nil {
+		t.Fatalf("post-fault execution failed: %v", err)
+	}
+	if Status(status[0]) != StatusOK || Status(status[1]) != StatusOK {
+		t.Fatalf("status after recovery %v, want all OK", status)
+	}
+}
+
+// TestEngineInjectedBlockFault proves an injected mid-transfer memory fault
+// surfaces exactly like an organic one: the faulting block's STATUS record
+// is StatusFault and the remaining operation is aborted (§5.2).
+func TestEngineInjectedBlockFault(t *testing.T) {
+	d, mem, status := faultFixture(t)
+	eng := NewEngine(DefaultEngineConfig())
+	in := faultinject.New(5)
+	in.FailAt("dma/block", 2)
+	eng.SetFaultInjector(in)
+
+	err := eng.Execute(d, mem)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if Status(status[0]) != StatusOK || Status(status[1]) != StatusFault {
+		t.Fatalf("status %v, want [OK Fault]", status)
+	}
+}
+
+// TestEngineProbabilisticFaultsDeterministic replays a probabilistic fault
+// storm twice under one seed and requires identical outcomes per descriptor
+// — the sim-determinism contract for the injection harness.
+func TestEngineProbabilisticFaultsDeterministic(t *testing.T) {
+	run := func() []bool {
+		d, mem, _ := faultFixture(t)
+		eng := NewEngine(DefaultEngineConfig())
+		in := faultinject.New(99)
+		in.SetProbability("dma/descriptor", 0.25)
+		eng.SetFaultInjector(in)
+		outcomes := make([]bool, 40)
+		for i := range outcomes {
+			outcomes[i] = eng.Execute(d, mem) == nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d diverged between identically-seeded runs", i)
+		}
+		if !a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("%d/%d faults; p=0.25 should fault some but not all", faults, len(a))
+	}
+}

@@ -1,0 +1,147 @@
+// Package faultinject is a seeded, deterministic fault-injection harness
+// for robustness tests. Production code paths that can fail in deployment
+// (DMA descriptor execution, graph loading, the training loop) expose a
+// named injection site; tests arm an Injector against those sites either
+// probabilistically (SetProbability, driven by a seeded RNG) or at an exact
+// call ordinal (FailAt), and assert the layer degrades gracefully instead
+// of corrupting state.
+//
+// A nil *Injector is inert: every Fault call on it returns nil, so
+// production paths carry injection sites at the cost of one nil check.
+// Determinism: with a fixed seed and an unchanged call sequence, the same
+// calls fault on every run (the RNG is serialized under the Injector's
+// mutex, and call ordinals are per-site).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the sentinel every injected fault wraps; test code matches
+// it with errors.Is to distinguish injected faults from organic failures.
+var ErrInjected = errors.New("injected fault")
+
+// Error reports one injected fault: which site fired and at which call
+// ordinal (1-based).
+type Error struct {
+	Site string
+	Call int
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: %s call %d: injected fault", e.Site, e.Call)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Injector arms named injection sites. The zero value and nil are inert.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	prob   map[string]float64
+	failAt map[string]int
+	calls  map[string]int
+	fired  map[string]int
+}
+
+// New returns an injector whose probabilistic faults are driven by a
+// deterministic RNG seeded with seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		prob:   make(map[string]float64),
+		failAt: make(map[string]int),
+		calls:  make(map[string]int),
+		fired:  make(map[string]int),
+	}
+}
+
+// SetProbability arms site to fault with probability p on every call.
+func (in *Injector) SetProbability(site string, p float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.prob[site] = p
+}
+
+// FailAt arms site to fault exactly on its n-th call (1-based). n <= 0
+// disarms.
+func (in *Injector) FailAt(site string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 0 {
+		delete(in.failAt, site)
+		return
+	}
+	in.failAt[site] = n
+}
+
+// Fault records one call at site and returns a non-nil *Error when the site
+// is armed to fire on this call. Safe on a nil receiver (returns nil) and
+// safe for concurrent use.
+func (in *Injector) Fault(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[site]++
+	call := in.calls[site]
+	fire := false
+	if at, ok := in.failAt[site]; ok && call == at {
+		fire = true
+	}
+	if p := in.prob[site]; p > 0 && in.rng.Float64() < p {
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	in.fired[site]++
+	return &Error{Site: site, Call: call}
+}
+
+// Calls returns how many times site has been reached.
+func (in *Injector) Calls(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[site]
+}
+
+// Fired returns how many faults site has injected.
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}
+
+// Reader wraps r so every Read first consults the injector at site; an
+// injected fault surfaces as the read error. It models torn/corrupt I/O for
+// loader robustness tests without touching the loader itself.
+func Reader(r io.Reader, in *Injector, site string) io.Reader {
+	return &faultReader{r: r, in: in, site: site}
+}
+
+type faultReader struct {
+	r    io.Reader
+	in   *Injector
+	site string
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if err := fr.in.Fault(fr.site); err != nil {
+		return 0, err
+	}
+	return fr.r.Read(p)
+}

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fault("any/site"); err != nil {
+		t.Fatalf("nil injector faulted: %v", err)
+	}
+	if in.Calls("any/site") != 0 || in.Fired("any/site") != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+func TestFailAtFiresExactlyOnce(t *testing.T) {
+	in := New(1)
+	in.FailAt("dma/descriptor", 3)
+	var firedAt []int
+	for i := 1; i <= 6; i++ {
+		if err := in.Fault("dma/descriptor"); err != nil {
+			firedAt = append(firedAt, i)
+			var fe *Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("err = %T, want *Error", err)
+			}
+			if fe.Site != "dma/descriptor" || fe.Call != 3 {
+				t.Fatalf("fault = %+v, want site dma/descriptor call 3", fe)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatal("injected fault does not match ErrInjected")
+			}
+		}
+	}
+	if len(firedAt) != 1 || firedAt[0] != 3 {
+		t.Fatalf("fired at calls %v, want [3]", firedAt)
+	}
+	if in.Calls("dma/descriptor") != 6 || in.Fired("dma/descriptor") != 1 {
+		t.Fatalf("calls=%d fired=%d, want 6/1", in.Calls("dma/descriptor"), in.Fired("dma/descriptor"))
+	}
+}
+
+// TestProbabilisticDeterminism is the fixed-seed contract: two injectors
+// with the same seed and call sequence fault on exactly the same calls.
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func() []int {
+		in := New(42)
+		in.SetProbability("graph/load", 0.3)
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if in.Fault("graph/load") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("p=0.3 over 200 calls never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire sequence diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	in := New(7)
+	in.FailAt("a", 1)
+	if err := in.Fault("b"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	if err := in.Fault("a"); err == nil {
+		t.Fatal("armed site did not fire")
+	}
+}
+
+func TestReaderInjectsReadFault(t *testing.T) {
+	in := New(3)
+	in.FailAt("loader/read", 2)
+	r := Reader(bytes.NewReader(bytes.Repeat([]byte{0xAA}, 64)), in, "loader/read")
+	buf := make([]byte, 16)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read failed: %v", err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want injected fault", err)
+	}
+	// Disarmed reader passes through, including EOF.
+	r = Reader(strings.NewReader("xy"), nil, "loader/read")
+	if b, err := io.ReadAll(r); err != nil || string(b) != "xy" {
+		t.Fatalf("nil-injector reader: %q, %v", b, err)
+	}
+}

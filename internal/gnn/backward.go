@@ -43,7 +43,11 @@ func NewGradients(net *Network) *Gradients {
 // backward pass benefits from the same techniques as the forward pass. The
 // "one more GEMM than the forward propagation" the paper mentions (§7.1.1)
 // is the dW product.
-func Backward(net *Network, w *Workload, st *ForwardState, dLogits *tensor.Matrix, grads *Gradients, opts RunOptions) error {
+//
+// Like Forward, escaped kernel panics convert to returned errors and
+// opts.Ctx is observed between layers and inside the aggregation kernels.
+func Backward(net *Network, w *Workload, st *ForwardState, dLogits *tensor.Matrix, grads *Gradients, opts RunOptions) (err error) {
+	defer contain(opts.Tel, &err)
 	k := net.NumLayers()
 	if len(st.A) != k || st.A[k-1] == nil {
 		return fmt.Errorf("gnn: forward state lacks aggregation matrices; run Forward with Train=true")
@@ -54,6 +58,9 @@ func Backward(net *Network, w *Workload, st *ForwardState, dLogits *tensor.Matri
 	gT, fT := w.Transposed()
 	dh := dLogits
 	for layerIdx := k - 1; layerIdx >= 0; layerIdx-- {
+		if cerr := ctxErr(opts.Ctx); cerr != nil {
+			return cerr
+		}
 		layer := net.Layers[layerIdx]
 		a := st.A[layerIdx]
 		relu := layerIdx < k-1
@@ -84,15 +91,19 @@ func Backward(net *Network, w *Workload, st *ForwardState, dLogits *tensor.Matri
 		gsp.End()
 		dhPrev := tensor.NewMatrix(dz.Rows, layer.In())
 		asp := opts.Tel.Begin(telemetry.PhaseBackwardAgg)
+		var aggErr error
 		switch opts.Impl {
 		case ImplDistGNN:
-			kernels.DistGNNTel(dhPrev, gT, fT, da, opts.Threads, opts.Tel)
+			aggErr = kernels.DistGNNCtx(opts.Ctx, dhPrev, gT, fT, da, opts.Threads, opts.Tel)
 		case ImplMKL:
-			sparse.SpMMTel(dhPrev, gT, fT, da, opts.Threads, opts.Tel)
+			aggErr = sparse.SpMMCtx(opts.Ctx, dhPrev, gT, fT, da, opts.Threads, opts.Tel)
 		default:
-			kernels.Basic(dhPrev, gT, fT, kernels.NewDenseSource(da), opts.kernelOptions())
+			aggErr = kernels.BasicCtx(opts.Ctx, dhPrev, gT, fT, kernels.NewDenseSource(da), opts.kernelOptions())
 		}
 		asp.End()
+		if aggErr != nil {
+			return aggErr
+		}
 		dh = dhPrev
 	}
 	st.Timings.Backward += time.Since(start)

@@ -76,8 +76,13 @@ func Load(r io.Reader) (*Network, error) {
 			return nil, fmt.Errorf("gnn: reading layer %d dims: %w", k, err)
 		}
 		rows, cols := int(dims[0]), int(dims[1])
-		if rows <= 0 || cols <= 0 || rows > 1<<24 || cols > 1<<24 {
+		if rows <= 0 || cols <= 0 || rows > 1<<20 || cols > 1<<20 {
 			return nil, fmt.Errorf("gnn: implausible layer %d dims %dx%d", k, rows, cols)
+		}
+		// Cap the parameter count before allocating: header-claimed sizes
+		// must not drive a multi-GB make on a corrupt file.
+		if rows*cols > 1<<24 {
+			return nil, fmt.Errorf("gnn: layer %d claims %d parameters, above the %d cap", k, rows*cols, 1<<24)
 		}
 		l := &Layer{W: tensor.NewMatrix(rows, cols), B: make([]float32, cols)}
 		for i := 0; i < rows; i++ {

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -68,6 +69,12 @@ func (im Impl) UsesFusion() bool { return im == ImplFused || im == ImplCombined 
 type RunOptions struct {
 	Impl    Impl
 	Threads int
+	// Ctx, when non-nil, is observed between layers and at scheduler chunk
+	// boundaries inside the kernels: cancellation aborts the run with
+	// ctx.Err() at chunk granularity. nil behaves like
+	// context.Background() and keeps the kernels on their uncancellable
+	// fast path (no per-row branches).
+	Ctx context.Context
 	// BlockSize is B in Algorithm 2 (default 64): vertices aggregated and
 	// then updated per fused block. Sized so the a-block stays in cache
 	// between the two phases (Fig. 5b).
@@ -166,8 +173,13 @@ type ForwardState struct {
 func (s *ForwardState) Logits() *tensor.Matrix { return s.H[len(s.H)-1] }
 
 // Forward runs the full K-layer forward pass with the selected
-// implementation.
-func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) {
+// implementation. Panics escaping the kernels — worker panics contained by
+// the scheduler as *sched.WorkerError, and caller-goroutine shape panics —
+// are converted to returned errors here, so a malformed workload cannot
+// kill the process. When opts.Ctx is set, cancellation aborts between
+// layers and at chunk boundaries inside each layer.
+func Forward(net *Network, w *Workload, opts RunOptions) (st *ForwardState, err error) {
+	defer contain(opts.Tel, &err)
 	if net.NumLayers() == 0 {
 		return nil, fmt.Errorf("gnn: empty network")
 	}
@@ -176,7 +188,7 @@ func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) 
 			net.Layers[0].In(), w.X.Cols)
 	}
 	k := net.NumLayers()
-	st := &ForwardState{
+	st = &ForwardState{
 		H:         make([]*tensor.Matrix, k),
 		HC:        make([]*compress.Matrix, k),
 		A:         make([]*tensor.Matrix, k),
@@ -201,6 +213,9 @@ func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) 
 	}
 
 	for layerIdx, layer := range net.Layers {
+		if cerr := ctxErr(opts.Ctx); cerr != nil {
+			return nil, cerr
+		}
 		if layer.In() != x.Cols {
 			return nil, fmt.Errorf("gnn: layer %d expects %d inputs, got %d", layerIdx, layer.In(), x.Cols)
 		}
@@ -239,8 +254,11 @@ func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) 
 
 		if opts.Impl.UsesFusion() {
 			fusp := opts.Tel.Begin(telemetry.PhaseFused)
-			a, fusedTime := fusedLayer(w, src, layer, ep, opts)
+			a, fusedTime, ferr := fusedLayer(w, src, layer, ep, opts)
 			fusp.End()
+			if ferr != nil {
+				return nil, ferr
+			}
 			st.Timings.Fused += fusedTime
 			if opts.Train {
 				st.A[layerIdx] = a
@@ -249,20 +267,27 @@ func Forward(net *Network, w *Workload, opts RunOptions) (*ForwardState, error) 
 			a := tensor.NewMatrix(n, layer.In())
 			asp := opts.Tel.Begin(telemetry.PhaseAggregate)
 			t0 := time.Now()
+			var aggErr error
 			switch opts.Impl {
 			case ImplDistGNN:
-				kernels.DistGNNTel(a, w.G, w.Factors, x, opts.Threads, opts.Tel)
+				aggErr = kernels.DistGNNCtx(opts.Ctx, a, w.G, w.Factors, x, opts.Threads, opts.Tel)
 			case ImplMKL:
-				sparse.SpMMTel(a, w.G, w.Factors, x, opts.Threads, opts.Tel)
+				aggErr = sparse.SpMMCtx(opts.Ctx, a, w.G, w.Factors, x, opts.Threads, opts.Tel)
 			default:
-				kernels.Basic(a, w.G, w.Factors, src, opts.kernelOptions())
+				aggErr = kernels.BasicCtx(opts.Ctx, a, w.G, w.Factors, src, opts.kernelOptions())
 			}
 			t1 := time.Now()
 			asp.End()
+			if aggErr != nil {
+				return nil, aggErr
+			}
 			usp := opts.Tel.Begin(telemetry.PhaseUpdate)
-			unfusedUpdate(a, layer, ep, opts)
+			uerr := unfusedUpdate(a, layer, ep, opts)
 			t2 := time.Now()
 			usp.End()
+			if uerr != nil {
+				return nil, uerr
+			}
 			st.Timings.Aggregate += t1.Sub(t0)
 			st.Timings.Update += t2.Sub(t1)
 			if opts.Train {
@@ -330,11 +355,13 @@ func (ep *epilogue) finishRow(z []float32, bias []float32, v int, rng *rand.Rand
 }
 
 // unfusedUpdate runs the whole update phase after a full aggregation:
-// z = a·W + b with activation/dropout/compression, parallel over rows.
-func unfusedUpdate(a *tensor.Matrix, layer *Layer, ep epilogue, opts RunOptions) {
+// z = a·W + b with activation/dropout/compression, parallel over rows. The
+// cursor observes opts.Ctx, so cancellation drains the workers at chunk
+// granularity; worker panics come back as *sched.WorkerError.
+func unfusedUpdate(a *tensor.Matrix, layer *Layer, ep epilogue, opts RunOptions) error {
 	axpyOut := kernels.MakeAXPY(layer.Out())
-	cur := sched.NewCursor(a.Rows, 64)
-	sched.ForEachThread(opts.Threads, func(thread int) {
+	cur := sched.NewCursorCtx(opts.Ctx, a.Rows, 64)
+	return sched.ForEachThreadTelCtx(opts.Ctx, opts.Threads, opts.Tel, func(thread int) {
 		rng := rand.New(rand.NewSource(ep.dropSeed + int64(thread)))
 		z := make([]float32, layer.Out())
 		var chunks, rows int64
@@ -388,7 +415,7 @@ func rowGEMM(z, row []float32, w *tensor.Matrix, axpy func(dst, src []float32, a
 // immediately updates it while the block's a-rows are still cache resident
 // (Fig. 5b). Inference reuses one per-thread a-buffer (Fig. 5c); training
 // writes a to its global rows and returns the matrix for backward.
-func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts RunOptions) (*tensor.Matrix, time.Duration) {
+func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts RunOptions) (*tensor.Matrix, time.Duration, error) {
 	n := w.G.NumVertices()
 	blockSz := opts.blockSize()
 	taskSz := blockSz * opts.blocksPerTask()
@@ -401,8 +428,8 @@ func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts
 	}
 	_, srcCompressed := src.(*kernels.CompressedSource)
 	start := time.Now()
-	cur := sched.NewCursor(n, taskSz)
-	sched.ForEachThread(opts.Threads, func(thread int) {
+	cur := sched.NewCursorCtx(opts.Ctx, n, taskSz)
+	err := sched.ForEachThreadTelCtx(opts.Ctx, opts.Threads, opts.Tel, func(thread int) {
 		rng := rand.New(rand.NewSource(ep.dropSeed + int64(thread)))
 		var aBuf *tensor.Matrix
 		if !opts.Train {
@@ -456,5 +483,5 @@ func fusedLayer(w *Workload, src kernels.Source, layer *Layer, ep epilogue, opts
 			}
 		}
 	})
-	return aFull, time.Since(start)
+	return aFull, time.Since(start), err
 }

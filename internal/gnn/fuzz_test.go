@@ -1,0 +1,50 @@
+package gnn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointLoad throws arbitrary bytes at the checkpoint parser.
+// Malformed input — bad magic, truncated headers, header-claimed sizes
+// exceeding the actual payload — must surface as errors, never panics or
+// unbounded allocations; a valid checkpoint must round-trip to an
+// equivalent network.
+func FuzzCheckpointLoad(f *testing.F) {
+	// Seed with a real checkpoint so the fuzzer starts past the magic.
+	net, err := NewNetwork(Config{Kind: GCN, Dims: []int{5, 4, 3}, Dropout: 0.2, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x4E, 0x4E, 0x47}) // magic alone, little-endian
+	// Magic + version but a layer count and dims the payload cannot back.
+	f.Add([]byte{
+		0x31, 0x4E, 0x4E, 0x47, 1, 0, 0, 0, 0, 0, 0, 0, 0xff, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 0xff, 0xff, 0xff, 0x7f,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must be a usable network: save it back and reload.
+		var out bytes.Buffer
+		if err := loaded.Save(&out); err != nil {
+			t.Fatalf("accepted checkpoint fails to re-save: %v", err)
+		}
+		again, err := Load(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-saved checkpoint fails to load: %v", err)
+		}
+		if again.NumLayers() != loaded.NumLayers() || again.NumParams() != loaded.NumParams() {
+			t.Fatalf("round trip changed shape: %d/%d layers, %d/%d params",
+				loaded.NumLayers(), again.NumLayers(), loaded.NumParams(), again.NumParams())
+		}
+	})
+}

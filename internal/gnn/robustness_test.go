@@ -1,0 +1,176 @@
+package gnn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphite/internal/faultinject"
+	"graphite/internal/graph"
+)
+
+// netsEqual compares two networks' parameters exactly. Training here is
+// bitwise deterministic (seeded init, seeded per-epoch dropout,
+// row-partitioned kernels), so "same number of completed epochs" must mean
+// "identical weights".
+func netsEqual(a, b *Network) bool {
+	if a.NumLayers() != b.NumLayers() {
+		return false
+	}
+	for k := range a.Layers {
+		la, lb := a.Layers[k], b.Layers[k]
+		if la.W.Rows != lb.W.Rows || la.W.Cols != lb.W.Cols {
+			return false
+		}
+		for i := 0; i < la.W.Rows; i++ {
+			ra, rb := la.W.Row(i), lb.W.Row(i)
+			for j := range ra {
+				if ra[j] != rb[j] {
+					return false
+				}
+			}
+		}
+		for j := range la.B {
+			if la.B[j] != lb.B[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func robustnessTrainer(t *testing.T, seed int64) *Trainer {
+	t.Helper()
+	w := testWorkload(t, GCN, graph.Products, 200, 8, true)
+	net, err := NewNetwork(Config{Kind: GCN, Dims: []int{8, 16, 4}, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(net, w, RunOptions{Impl: ImplBasic, Threads: 2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestTrainCancelCheckpointMatchesLastEpoch is the checkpoint-on-interrupt
+// contract: cancelling a multi-epoch TrainContext mid-run leaves the
+// network at the last COMPLETED epoch — provable by replaying a fresh,
+// identically-seeded trainer for exactly that many epochs and requiring
+// bitwise-identical weights — and the checkpoint saved afterwards loads
+// back to those weights.
+func TestTrainCancelCheckpointMatchesLastEpoch(t *testing.T) {
+	tr := robustnessTrainer(t, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	const epochs = 10_000 // far more than 30ms of work: the cancel lands mid-run
+	results, err := tr.TrainContext(ctx, epochs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainContext err = %v, want context.Canceled (finished %d epochs — workload too small?)", err, len(results))
+	}
+	completed := tr.CompletedEpochs()
+	if completed != len(results) {
+		t.Fatalf("CompletedEpochs = %d but %d results returned", completed, len(results))
+	}
+	if completed == 0 {
+		t.Skip("cancel landed before the first epoch completed; nothing to compare")
+	}
+
+	// Replay: a fresh identically-seeded trainer run for exactly the
+	// completed epochs must land on the same weights.
+	replay := robustnessTrainer(t, 21)
+	if _, err := replay.Train(completed); err != nil {
+		t.Fatal(err)
+	}
+	if !netsEqual(tr.Net, replay.Net) {
+		t.Fatalf("weights after cancellation at %d epochs differ from a clean %d-epoch run: the aborted epoch leaked a partial update", completed, completed)
+	}
+
+	// The checkpoint taken after the interrupt round-trips to those weights.
+	var buf bytes.Buffer
+	if err := tr.Net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("checkpoint written after interrupt does not load: %v", err)
+	}
+	if !netsEqual(loaded, replay.Net) {
+		t.Fatal("loaded checkpoint differs from the last completed epoch's weights")
+	}
+	t.Logf("cancelled after %d completed epochs; checkpoint matches replay", completed)
+}
+
+// TestEpochInjectedFaultPreservesWeights arms the trainer's "gnn/epoch"
+// site — after backward, before the optimizer step, the worst place for a
+// real fault — and proves the trainer errors without corrupting weights.
+func TestEpochInjectedFaultPreservesWeights(t *testing.T) {
+	tr := robustnessTrainer(t, 33)
+	tr.Inject = faultinject.New(1)
+	tr.Inject.FailAt("gnn/epoch", 3)
+
+	results, err := tr.TrainContext(context.Background(), 5)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if len(results) != 2 || tr.CompletedEpochs() != 2 {
+		t.Fatalf("completed %d epochs (results %d), want 2", tr.CompletedEpochs(), len(results))
+	}
+	replay := robustnessTrainer(t, 33)
+	if _, err := replay.Train(2); err != nil {
+		t.Fatal(err)
+	}
+	if !netsEqual(tr.Net, replay.Net) {
+		t.Fatal("fault during epoch 3 corrupted the epoch-2 weights")
+	}
+	// The fault was one-shot: training resumes where it stopped and now
+	// matches a clean 4-epoch run.
+	if _, err := tr.TrainContext(context.Background(), 2); err != nil {
+		t.Fatalf("resume after fault failed: %v", err)
+	}
+	if _, err := replay.Train(2); err != nil {
+		t.Fatal(err)
+	}
+	if !netsEqual(tr.Net, replay.Net) {
+		t.Fatal("resumed training diverged from the clean run")
+	}
+}
+
+// TestInferContextPreCancelled: a cancelled context aborts the forward pass
+// up front with ctx's error.
+func TestInferContextPreCancelled(t *testing.T) {
+	w := testWorkload(t, GCN, graph.Products, 100, 6, false)
+	net := testNet(t, GCN, []int{6, 4, 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := InferContext(ctx, net, w, RunOptions{Impl: ImplBasic}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEpochContextCancelledDuringForwardImpls: cancellation propagates out
+// of every implementation variant's kernels.
+func TestEpochContextCancelledDuringForwardImpls(t *testing.T) {
+	for _, impl := range Impls() {
+		w := testWorkload(t, GCN, graph.Products, 120, 6, true)
+		net := testNet(t, GCN, []int{6, 4, 4})
+		tr, err := NewTrainer(net, w, RunOptions{Impl: impl, Threads: 2}, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := net.Clone()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := tr.EpochContext(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", impl, err)
+		}
+		if !netsEqual(net, before) {
+			t.Fatalf("%v: cancelled epoch mutated weights", impl)
+		}
+	}
+}

@@ -52,15 +52,49 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	if n < 0 || e < 0 || n > maxReasonable || e > maxReasonable {
 		return nil, fmt.Errorf("graph: implausible header |V|=%d |E|=%d", n, e)
 	}
-	g := &CSR{Ptr: make([]int32, n+1), Col: make([]int32, e)}
-	if err := binary.Read(br, binary.LittleEndian, g.Ptr); err != nil {
+	ptr, err := readInt32s(br, n+1)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading row pointers: %w", err)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.Col); err != nil {
+	col, err := readInt32s(br, e)
+	if err != nil {
 		return nil, fmt.Errorf("graph: reading columns: %w", err)
 	}
+	g := &CSR{Ptr: ptr, Col: col}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("graph: binary file contains invalid CSR: %w", err)
 	}
 	return g, nil
+}
+
+// readInt32s reads count little-endian int32s in bounded chunks, growing
+// the result as data actually arrives. The header's claimed sizes are never
+// trusted with an upfront allocation: a corrupt or truncated file fails
+// with io.ErrUnexpectedEOF after at most one chunk of over-allocation,
+// instead of attempting a multi-GB make().
+func readInt32s(r io.Reader, count int) ([]int32, error) {
+	const chunkElems = 1 << 16 // 256KB reads
+	capHint := count
+	if capHint > chunkElems {
+		capHint = chunkElems
+	}
+	out := make([]int32, 0, capHint)
+	buf := make([]byte, 4*chunkElems)
+	for len(out) < count {
+		elems := count - len(out)
+		if elems > chunkElems {
+			elems = chunkElems
+		}
+		b := buf[:4*elems]
+		if _, err := io.ReadFull(r, b); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		for i := 0; i < elems; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(b[4*i:])))
+		}
+	}
+	return out, nil
 }

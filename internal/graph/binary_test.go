@@ -2,7 +2,12 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"testing"
+
+	"graphite/internal/faultinject"
 )
 
 func TestBinaryRoundTrip(t *testing.T) {
@@ -77,5 +82,60 @@ func TestReadBinaryRejectsCorruption(t *testing.T) {
 	bad[len(bad)-3] = 0x7F
 	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
 		t.Fatal("out-of-range column accepted")
+	}
+}
+
+// TestReadBinaryHeaderClaimsHugeSizes is the loader-hardening contract: a
+// header claiming billions of vertices/edges over a tiny payload must fail
+// with a read error after a bounded allocation, not attempt a multi-GB make.
+func TestReadBinaryHeaderClaimsHugeSizes(t *testing.T) {
+	for _, tc := range []struct{ n, e uint32 }{
+		{1 << 30, 8},        // huge vertex count
+		{8, 1 << 30},        // huge edge count
+		{1 << 30, 1 << 30},  // both
+		{1<<31 - 1, 1 << 8}, // at the sanity bound
+	} {
+		var buf bytes.Buffer
+		for _, h := range []uint32{binaryMagic, 1, tc.n, tc.e} {
+			binary.Write(&buf, binary.LittleEndian, h)
+		}
+		// A handful of payload bytes, nowhere near the claimed sizes.
+		buf.Write(make([]byte, 64))
+		g, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err == nil {
+			t.Fatalf("|V|=%d |E|=%d over 64 payload bytes accepted: %d vertices", tc.n, tc.e, g.NumVertices())
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("|V|=%d |E|=%d: err = %v, want unexpected EOF", tc.n, tc.e, err)
+		}
+	}
+}
+
+// TestReadBinaryInjectedFault wires the loader through the fault-injection
+// harness: an I/O fault mid-read must surface as an error wrapping the
+// injected fault, never a partial or corrupt CSR.
+func TestReadBinaryInjectedFault(t *testing.T) {
+	g, err := GenerateProfile(Products, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(11)
+	in.FailAt("graph/read", 2)
+	_, err = ReadBinary(faultinject.Reader(bytes.NewReader(buf.Bytes()), in, "graph/read"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if in.Fired("graph/read") != 1 {
+		t.Fatalf("fired %d times, want 1", in.Fired("graph/read"))
+	}
+	// Same seed, same call pattern: the fault is reproducible.
+	in2 := faultinject.New(11)
+	in2.FailAt("graph/read", 2)
+	if _, err := ReadBinary(faultinject.Reader(bytes.NewReader(buf.Bytes()), in2, "graph/read")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("replay err = %v, want injected fault", err)
 	}
 }

@@ -29,8 +29,11 @@ type GoroutineCapture struct {
 // worker goroutines.
 var spawnFuncs = map[string]bool{
 	"Dynamic": true, "DynamicTel": true,
+	"DynamicCtx": true, "DynamicTelCtx": true,
 	"Static": true, "StaticTel": true,
-	"ForEachThread": true,
+	"StaticCtx": true, "StaticTelCtx": true,
+	"ForEachThread": true, "ForEachThreadCtx": true,
+	"ForEachThreadTelCtx": true,
 }
 
 // Name implements Checker.

@@ -26,7 +26,7 @@ var simPkgs = []string{"internal/memsim", "internal/simgnn"}
 
 // seededPkgs get only the global-rand rule: they may time themselves (their
 // timings are outputs, not inputs), but all randomness must be injected.
-var seededPkgs = []string{"internal/tensor", "internal/gnn", "internal/locality"}
+var seededPkgs = []string{"internal/tensor", "internal/gnn", "internal/locality", "internal/faultinject"}
 
 // bannedRandFuncs are the math/rand (and math/rand/v2) top-level functions
 // backed by the shared global source. Constructors (New, NewSource, NewZipf,

@@ -48,6 +48,7 @@ func Checkers(module string) []Checker {
 		&HotLoopTelemetry{Module: module},
 		&AtomicAlign{},
 		&GoroutineCapture{Module: module},
+		&GoroutineRecover{Module: module},
 	}
 }
 

@@ -46,6 +46,7 @@ var goldenCases = []struct {
 	{"hotloop", "graphite/internal/kernels/goldenbad", "hotloop-telemetry"},
 	{"atomicalign", "graphite/internal/goldenbadalign", "atomic-alignment"},
 	{"capture", "graphite/internal/goldenbadcapture", "goroutine-capture"},
+	{"gorecover", "graphite/internal/goldenbadgorecover", "goroutine-recover"},
 }
 
 // TestGolden runs each checker over its known-bad package and requires the

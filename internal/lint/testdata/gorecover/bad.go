@@ -1,0 +1,39 @@
+// Package badgorecover is golden-test input for the goroutine-recover
+// checker: library code spawning goroutines directly instead of through
+// internal/sched, so a panic in the spawned function kills the process
+// rather than surfacing as a *sched.WorkerError.
+package badgorecover
+
+import "sync"
+
+// FireAndForget launches an unsupervised goroutine.
+func FireAndForget(work func()) {
+	go work() // want goroutine-recover
+}
+
+// HandRolledPool re-implements a worker pool outside the scheduler.
+func HandRolledPool(n int, body func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) { // want goroutine-recover
+			defer wg.Done()
+			body(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BoundLaunch spawns through a named function literal; still a bare
+// goroutine.
+func BoundLaunch(done chan<- struct{}) {
+	f := func() { close(done) }
+	go f() // want goroutine-recover
+}
+
+// SupervisedExternally is allowed to keep its goroutine because it carries a
+// suppression naming its recovery story.
+func SupervisedExternally(work func()) {
+	//lint:ignore goroutine-recover wrapped in recover by the caller's supervisor
+	go work()
+}

@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphite/internal/telemetry"
+)
+
+// WorkerError is a panic recovered inside a scheduler worker, carrying
+// enough context to diagnose the failing workload without crashing the
+// process: which worker died, which chunk of the iteration space it was
+// executing, the recovered value, and the worker's stack at the point of
+// the panic. The first panicking worker wins; the others drain at the next
+// chunk boundary.
+type WorkerError struct {
+	// Worker is the panicking worker's id.
+	Worker int
+	// Start, End bound the chunk the worker was executing (half-open).
+	Start, End int
+	// Recovered is the value recover() returned.
+	Recovered any
+	// Stack is the panicking worker's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("sched: worker %d panicked on chunk [%d,%d): %v", e.Worker, e.Start, e.End, e.Recovered)
+}
+
+// ctxDone returns ctx's done channel, or nil when ctx is nil or can never
+// be cancelled (context.Background / context.TODO). A nil channel removes
+// every cancellation branch from the workers, so the uncancellable fast
+// path pays nothing per chunk beyond the panic-stop flag.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// DynamicCtx is Dynamic with cooperative cancellation and panic
+// containment: workers observe ctx at chunk boundaries (chunk granularity
+// bounds cancellation latency) and a panic in any worker is captured into a
+// *WorkerError instead of killing the process. It returns the first
+// worker's *WorkerError, ctx.Err() when cancelled, or nil.
+func DynamicCtx(ctx context.Context, n, chunk, threads int, body func(start, end int)) error {
+	return DynamicTelCtx(ctx, n, chunk, threads, nil, func(_, start, end int) { body(start, end) })
+}
+
+// DynamicTelCtx is the scheduler's dynamic core: DynamicTel plus
+// cancellation and panic containment. Every other Dynamic entry point is a
+// thin wrapper around it. Recovered panics are counted on tel's
+// panics-recovered counter.
+func DynamicTelCtx(ctx context.Context, n, chunk, threads int, tel *telemetry.Sink, body func(worker, start, end int)) error {
+	if n <= 0 {
+		return ctxErr(ctx)
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	// Never spawn more workers than there are chunks to claim: a worker
+	// beyond ceil(n/chunk) would only bump the cursor and exit.
+	if maxWorkers := (n + chunk - 1) / chunk; threads > maxWorkers {
+		threads = maxWorkers
+	}
+	run := func(worker, start, end int) {
+		if tel.Enabled() {
+			t0 := time.Now()
+			body(worker, start, end)
+			tel.WorkerClaim(worker, 1, int64(end-start), time.Since(t0))
+			tel.Add(telemetry.CtrSchedChunks, 1)
+			tel.Add(telemetry.CtrSchedRows, int64(end-start))
+			return
+		}
+		body(worker, start, end)
+	}
+
+	done := ctxDone(ctx)
+	var cursor atomic.Int64
+	g := newContainGroup(tel)
+	worker := func(id int) {
+		cs, ce := -1, -1
+		defer g.capture(id, &cs, &ce)
+		for !g.stopped() {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+			start := int(cursor.Add(int64(chunk))) - chunk
+			if start >= n {
+				return
+			}
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			cs, ce = start, end
+			run(id, start, end)
+		}
+	}
+	if threads == 1 {
+		g.wg.Add(1)
+		worker(0)
+	} else {
+		g.wg.Add(threads)
+		for t := 0; t < threads; t++ {
+			go worker(t)
+		}
+	}
+	return g.wait(ctx)
+}
+
+// StaticCtx is Static with panic containment and a cancellation check
+// before each worker starts its range. Static hands each worker one
+// contiguous block, so a cancellation arriving mid-block is only observed
+// once the block completes — use DynamicCtx when cancellation latency
+// matters.
+func StaticCtx(ctx context.Context, n, threads int, body func(start, end int)) error {
+	return StaticTelCtx(ctx, n, threads, nil, func(_, start, end int) { body(start, end) })
+}
+
+// StaticTelCtx is the static-partitioning core: StaticTel plus cancellation
+// and panic containment.
+func StaticTelCtx(ctx context.Context, n, threads int, tel *telemetry.Sink, body func(worker, start, end int)) error {
+	if n <= 0 {
+		return ctxErr(ctx)
+	}
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	run := func(worker, start, end int) {
+		if tel.Enabled() {
+			t0 := time.Now()
+			body(worker, start, end)
+			tel.WorkerClaim(worker, 1, int64(end-start), time.Since(t0))
+			tel.Add(telemetry.CtrSchedChunks, 1)
+			tel.Add(telemetry.CtrSchedRows, int64(end-start))
+			return
+		}
+		body(worker, start, end)
+	}
+
+	done := ctxDone(ctx)
+	per := (n + threads - 1) / threads
+	g := newContainGroup(tel)
+	worker := func(id, s, e int) {
+		cs, ce := s, e
+		defer g.capture(id, &cs, &ce)
+		if g.stopped() || s >= e {
+			return
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		run(id, s, e)
+	}
+	if threads == 1 {
+		g.wg.Add(1)
+		worker(0, 0, n)
+	} else {
+		g.wg.Add(threads)
+		for t := 0; t < threads; t++ {
+			start := t * per
+			end := start + per
+			if end > n {
+				end = n
+			}
+			go worker(t, start, end)
+		}
+	}
+	return g.wait(ctx)
+}
+
+// ForEachThreadCtx is ForEachThread with panic containment: body(thread)
+// runs once per worker thread, a panic in any body is captured into a
+// *WorkerError, and ctx is checked before each body starts. Bodies that
+// loop over a Cursor should build it with NewCursorCtx so cancellation is
+// also observed at chunk boundaries inside the loop.
+func ForEachThreadCtx(ctx context.Context, threads int, body func(thread int)) error {
+	return ForEachThreadTelCtx(ctx, threads, nil, body)
+}
+
+// ForEachThreadTelCtx is ForEachThreadCtx counting recovered panics on tel.
+func ForEachThreadTelCtx(ctx context.Context, threads int, tel *telemetry.Sink, body func(thread int)) error {
+	if threads <= 0 {
+		threads = DefaultThreads()
+	}
+	done := ctxDone(ctx)
+	g := newContainGroup(tel)
+	worker := func(id int) {
+		cs, ce := -1, -1
+		defer g.capture(id, &cs, &ce)
+		if g.stopped() {
+			return
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+		body(id)
+	}
+	if threads == 1 {
+		g.wg.Add(1)
+		worker(0)
+	} else {
+		g.wg.Add(threads)
+		for t := 0; t < threads; t++ {
+			go worker(t)
+		}
+	}
+	return g.wait(ctx)
+}
+
+// containGroup coordinates a set of workers that contain panics: the first
+// recovered panic is kept as a *WorkerError, and a stop flag drains the
+// remaining workers at their next chunk boundary.
+type containGroup struct {
+	wg   sync.WaitGroup
+	tel  *telemetry.Sink
+	stop atomic.Bool
+	once sync.Once
+	werr *WorkerError
+}
+
+func newContainGroup(tel *telemetry.Sink) *containGroup {
+	return &containGroup{tel: tel}
+}
+
+// stopped reports whether a worker has panicked; the others bail out at the
+// next chunk boundary. One atomic load per chunk — nothing per row.
+func (g *containGroup) stopped() bool { return g.stop.Load() }
+
+// capture is each worker's deferred recover handler. cs/ce point at the
+// worker's current chunk bounds so the error reports where it died.
+func (g *containGroup) capture(worker int, cs, ce *int) {
+	if r := recover(); r != nil {
+		g.once.Do(func() {
+			g.werr = &WorkerError{Worker: worker, Start: *cs, End: *ce, Recovered: r, Stack: debug.Stack()}
+		})
+		g.stop.Store(true)
+		g.tel.Inc(telemetry.CtrPanicsRecovered)
+	}
+	g.wg.Done()
+}
+
+// wait blocks until all workers finish and returns the first worker panic,
+// else the context error, else nil. The WaitGroup orders the werr write
+// before the read.
+func (g *containGroup) wait(ctx context.Context) error {
+	g.wg.Wait()
+	if g.werr != nil {
+		return g.werr
+	}
+	return ctxErr(ctx)
+}
+
+// ctxErr is ctx.Err() tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// NewCursorCtx returns a cursor over [0, n) whose Next additionally
+// observes ctx: once ctx is cancelled, Next reports exhaustion, so worker
+// loops drain at chunk granularity. A background context adds a single nil
+// check per claim.
+func NewCursorCtx(ctx context.Context, n, chunk int) *Cursor {
+	c := NewCursor(n, chunk)
+	c.done = ctxDone(ctx)
+	return c
+}

@@ -7,13 +7,20 @@
 // behaviour: Dynamic hands out fixed-size chunks from an atomic cursor so
 // that fast threads keep pulling work, while Static pre-partitions the
 // iteration space (used as an ablation baseline).
+//
+// All worker goroutines in the module are spawned here (enforced by the
+// goroutine-recover lint rule), because this is where panics are contained:
+// a panic inside a worker is captured into a *WorkerError instead of
+// killing the process. The context-aware variants (DynamicCtx, StaticCtx,
+// ForEachThreadCtx and the Tel forms) return it as an error alongside
+// cooperative cancellation; the plain variants re-panic it on the calling
+// goroutine, where the gnn layer's API boundary converts it to an error.
 package sched
 
 import (
+	"context"
 	"runtime"
-	"sync"
 	"sync/atomic"
-	"time"
 
 	"graphite/internal/telemetry"
 )
@@ -29,7 +36,8 @@ func DefaultThreads() int {
 // OpenMP's schedule(dynamic, chunk): each worker atomically claims the next
 // chunk when it finishes its current one, which balances power-law degree
 // skew across threads. body must be safe to call concurrently on disjoint
-// ranges.
+// ranges. A panic in body re-panics on the calling goroutine as a
+// *WorkerError.
 func Dynamic(n, chunk, threads int, body func(start, end int)) {
 	DynamicTel(n, chunk, threads, nil, func(_, start, end int) { body(start, end) })
 }
@@ -40,56 +48,7 @@ func Dynamic(n, chunk, threads int, body func(start, end int)) {
 // can quantify load imbalance across workers. A nil/disabled sink adds a
 // single branch per chunk and nothing per row.
 func DynamicTel(n, chunk, threads int, tel *telemetry.Sink, body func(worker, start, end int)) {
-	if n <= 0 {
-		return
-	}
-	if chunk <= 0 {
-		chunk = 1
-	}
-	if threads <= 0 {
-		threads = DefaultThreads()
-	}
-	run := func(worker, start, end int) {
-		if tel.Enabled() {
-			t0 := time.Now()
-			body(worker, start, end)
-			tel.WorkerClaim(worker, 1, int64(end-start), time.Since(t0))
-			tel.Add(telemetry.CtrSchedChunks, 1)
-			tel.Add(telemetry.CtrSchedRows, int64(end-start))
-			return
-		}
-		body(worker, start, end)
-	}
-	if threads == 1 {
-		for start := 0; start < n; start += chunk {
-			end := start + chunk
-			if end > n {
-				end = n
-			}
-			run(0, start, end)
-		}
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				start := int(cursor.Add(int64(chunk))) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				run(worker, start, end)
-			}
-		}(t)
-	}
-	wg.Wait()
+	mustRun(DynamicTelCtx(context.Background(), n, chunk, threads, tel, body))
 }
 
 // Static runs body(start, end) over [0, n) with a contiguous block per
@@ -104,47 +63,7 @@ func Static(n, threads int, body func(start, end int)) {
 // resulting busy-time imbalance against DynamicTel's is the §4.1 argument
 // for dynamic scheduling in numbers.
 func StaticTel(n, threads int, tel *telemetry.Sink, body func(worker, start, end int)) {
-	if n <= 0 {
-		return
-	}
-	if threads <= 0 {
-		threads = DefaultThreads()
-	}
-	if threads > n {
-		threads = n
-	}
-	run := func(worker, start, end int) {
-		if tel.Enabled() {
-			t0 := time.Now()
-			body(worker, start, end)
-			tel.WorkerClaim(worker, 1, int64(end-start), time.Since(t0))
-			tel.Add(telemetry.CtrSchedChunks, 1)
-			tel.Add(telemetry.CtrSchedRows, int64(end-start))
-			return
-		}
-		body(worker, start, end)
-	}
-	if threads == 1 {
-		run(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	per := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		start := t * per
-		end := start + per
-		if end > n {
-			end = n
-		}
-		go func(worker, s, e int) {
-			defer wg.Done()
-			if s < e {
-				run(worker, s, e)
-			}
-		}(t, start, end)
-	}
-	wg.Wait()
+	mustRun(StaticTelCtx(context.Background(), n, threads, tel, body))
 }
 
 // ForEachThread runs body(threadID) once on each of the given number of
@@ -153,29 +72,26 @@ func StaticTel(n, threads int, tel *telemetry.Sink, body func(worker, start, end
 // use this to own their thread loop while still claiming tasks dynamically
 // through a Cursor.
 func ForEachThread(threads int, body func(thread int)) {
-	if threads <= 0 {
-		threads = DefaultThreads()
+	mustRun(ForEachThreadTelCtx(context.Background(), threads, nil, body))
+}
+
+// mustRun re-raises a contained worker panic for the entry points without
+// an error return. With a background context the core can only fail by
+// worker panic, so callers keep the historical panic semantics — now with
+// worker id, chunk bounds, and the worker's stack attached.
+func mustRun(err error) {
+	if err != nil {
+		panic(err)
 	}
-	if threads == 1 {
-		body(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func(id int) {
-			defer wg.Done()
-			body(id)
-		}(t)
-	}
-	wg.Wait()
 }
 
 // Cursor is a dynamic task cursor shared by worker threads. Next returns
-// half-open chunk bounds until the iteration space is exhausted.
+// half-open chunk bounds until the iteration space is exhausted — or, for
+// cursors built with NewCursorCtx, until the context is cancelled.
 type Cursor struct {
 	n     int
 	chunk int
+	done  <-chan struct{}
 	pos   atomic.Int64
 }
 
@@ -189,8 +105,15 @@ func NewCursor(n, chunk int) *Cursor {
 }
 
 // Next claims the next chunk. It returns ok=false when the space is
-// exhausted.
+// exhausted or the cursor's context (NewCursorCtx) is cancelled.
 func (c *Cursor) Next() (start, end int, ok bool) {
+	if c.done != nil {
+		select {
+		case <-c.done:
+			return 0, 0, false
+		default:
+		}
+	}
 	s := int(c.pos.Add(int64(c.chunk))) - c.chunk
 	if s >= c.n {
 		return 0, 0, false

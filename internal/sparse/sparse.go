@@ -13,6 +13,7 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -133,6 +134,14 @@ func SpMM(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix,
 
 // SpMMTel is SpMM with kernel counters and per-worker scheduler accounting.
 func SpMMTel(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix, threads int, tel *telemetry.Sink) {
+	if err := SpMMCtx(context.Background(), out, g, factors, h, threads, tel); err != nil {
+		panic(err)
+	}
+}
+
+// SpMMCtx is SpMMTel observing ctx at chunk boundaries and returning worker
+// panics as *sched.WorkerError instead of crashing.
+func SpMMCtx(ctx context.Context, out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matrix, threads int, tel *telemetry.Sink) error {
 	if out.Rows != g.NumVertices() || h.Rows != g.NumVertices() {
 		panic(fmt.Sprintf("sparse: SpMM rows out=%d h=%d graph=%d", out.Rows, h.Rows, g.NumVertices()))
 	}
@@ -142,7 +151,7 @@ func SpMMTel(out *tensor.Matrix, g *graph.CSR, factors []float32, h *tensor.Matr
 	if len(factors) != g.NumEdges() {
 		panic(fmt.Sprintf("sparse: factor array length %d, want %d", len(factors), g.NumEdges()))
 	}
-	sched.DynamicTel(g.NumVertices(), 64, threads, tel, func(_, start, end int) {
+	return sched.DynamicTelCtx(ctx, g.NumVertices(), 64, threads, tel, func(_, start, end int) {
 		var edges int64
 		for v := start; v < end; v++ {
 			dst := out.Row(v)

@@ -57,6 +57,11 @@ const (
 	CtrSchedChunks
 	// CtrSchedRows counts rows handed out by the scheduler.
 	CtrSchedRows
+	// CtrPanicsRecovered counts worker panics contained by the scheduler
+	// or the gnn API boundary instead of crashing the process. Non-zero
+	// means a workload hit a kernel invariant violation and was rejected
+	// with a *sched.WorkerError; alert on it, don't ignore it.
+	CtrPanicsRecovered
 
 	numCounters
 )
@@ -73,6 +78,7 @@ var counterNames = [numCounters]string{
 	CtrDMADescriptors:     "graphite_dma_descriptors_total",
 	CtrSchedChunks:        "graphite_sched_chunks_total",
 	CtrSchedRows:          "graphite_sched_rows_total",
+	CtrPanicsRecovered:    "graphite_panics_recovered_total",
 }
 
 // Name returns the counter's metrics key.

@@ -144,6 +144,7 @@ func TestWriteMetricsGolden(t *testing.T) {
 graphite_dma_descriptors_total 0
 graphite_edges_aggregated_total 55
 graphite_gemm_flops_total 1048576
+graphite_panics_recovered_total 0
 graphite_rows_compressed_total 0
 graphite_rows_decompressed_total 0
 graphite_sched_chunks_total 0
