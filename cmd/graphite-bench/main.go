@@ -38,6 +38,7 @@ import (
 
 	"graphite/internal/bench"
 	"graphite/internal/benchfmt"
+	"graphite/internal/obsrv"
 	"graphite/internal/telemetry"
 )
 
@@ -60,6 +61,7 @@ func main() {
 		against   = flag.String("against", "", "with -baseline: compare this stored report instead of running experiments")
 		rev       = flag.String("rev", "", "git revision recorded in the report's environment fingerprint")
 		threshold = flag.Float64("threshold", 0, "regression threshold as relative mean slowdown (default 0.10)")
+		listen    = flag.String("listen", "", "serve the live observability plane on this host:port while experiments run; per-experiment progress streams as JSON lines on /events")
 	)
 	flag.Parse()
 
@@ -111,6 +113,20 @@ func main() {
 	if *traceOut != "" || *metrics {
 		cfg.Telemetry = telemetry.New(0)
 	}
+	// The observability plane scrapes whichever sink the current experiment
+	// writes; without -trace/-metrics/-json a sweep-wide sink is created so
+	// -listen alone still exposes live counters.
+	var obs *obsrv.Server
+	if *listen != "" {
+		if cfg.Telemetry == nil && !structured {
+			cfg.Telemetry = telemetry.New(0)
+		}
+		obs = obsrv.NewServer(obsrv.Options{Sink: cfg.Telemetry})
+		if err := obs.Start(*listen); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observability: http://%s/metrics (experiment progress on /events)\n\n", obs.Addr())
+	}
 	var file *benchfmt.File
 	if structured {
 		file = &benchfmt.File{Version: benchfmt.Version, Env: benchfmt.CaptureEnv(*rev)}
@@ -132,19 +148,46 @@ func main() {
 			// experiments whose kernels are not telemetry-instrumented.
 			sink = telemetry.New(0)
 			runCfg.Telemetry = sink
+			if obs != nil {
+				// Scrapers follow the active experiment; rates and SLO
+				// windows re-baseline across the swap.
+				obs.SetSink(sink)
+			}
+		}
+		if obs != nil {
+			obs.Publish(obsrv.Event{Kind: "experiment", Experiment: id, Status: "start"})
 		}
 		sp := sink.Begin("experiment/" + id)
 		rep, err := bench.Run(id, runCfg)
 		sp.End()
+		wallMS := float64(time.Since(start).Microseconds()) / 1e3
 		if err != nil {
+			if obs != nil {
+				obs.Publish(obsrv.Event{Kind: "experiment", Experiment: id, Status: "error", WallMS: wallMS, Detail: err.Error()})
+			}
 			log.Printf("%s: %v", id, err)
 			os.Exit(1)
+		}
+		if obs != nil {
+			obs.Publish(obsrv.Event{Kind: "experiment", Experiment: id, Status: "done", WallMS: wallMS})
 		}
 		fmt.Println(rep)
 		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		if structured {
 			file.Experiments = append(file.Experiments, rep.Experiment(sink))
 		}
+	}
+	if obs != nil {
+		status := "done"
+		if interrupted {
+			status = "interrupted"
+		}
+		obs.Publish(obsrv.Event{Kind: "sweep", Status: status})
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := obs.Shutdown(sctx); err != nil {
+			log.Printf("observability shutdown: %v", err)
+		}
+		cancel()
 	}
 	if *jsonOut != "" {
 		if err := benchfmt.WriteFile(*jsonOut, file); err != nil {

@@ -1,0 +1,183 @@
+// Command graphite-top is a terminal monitor for the live observability
+// plane: it polls a graphite /metrics endpoint and renders a per-phase
+// rate/latency table, throughput gauges, and SLO burn state.
+//
+//	graphite-top -addr 127.0.0.1:9090
+//	graphite-top -addr 127.0.0.1:9090 -interval 2s -count 10
+//	graphite-top -addr 127.0.0.1:9090 -once
+//
+// The exposition is parsed strictly (internal/obsrv.ParseExposition): any
+// payload a real Prometheus server would reject makes graphite-top exit
+// non-zero, which is how the CI smoke job gates the /metrics contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"graphite/internal/obsrv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphite-top: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9090", "host:port of a graphite -listen observability plane")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		count    = flag.Int("count", 0, "number of polls before exiting (0 = until interrupted)")
+		once     = flag.Bool("once", false, "poll once, print one table, exit (shorthand for -count 1; used as a CI exposition gate)")
+		clear    = flag.Bool("clear", true, "redraw in place with ANSI clear between polls")
+	)
+	flag.Parse()
+	polls := *count
+	if *once {
+		polls = 1
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var prev *frame
+	for n := 0; polls == 0 || n < polls; n++ {
+		if n > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := fetch(client, *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *clear && polls != 1 && n > 0 {
+			fmt.Print("\033[H\033[2J")
+		}
+		render(os.Stdout, cur, prev)
+		prev = cur
+	}
+}
+
+// frame is one parsed poll of the /metrics endpoint.
+type frame struct {
+	at     time.Time
+	expo   *obsrv.Exposition
+	phases []string
+}
+
+// fetch scrapes and strictly validates one exposition.
+func fetch(client *http.Client, addr string) (*frame, error) {
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	expo, err := obsrv.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("malformed exposition from %s: %w", addr, err)
+	}
+	f := &frame{at: time.Now(), expo: expo}
+	seen := map[string]bool{}
+	for _, s := range expo.Family("graphite_phase_latency_seconds_count") {
+		if p := s.Labels["phase"]; p != "" && !seen[p] {
+			seen[p] = true
+			f.phases = append(f.phases, p)
+		}
+	}
+	sort.Strings(f.phases)
+	return f, nil
+}
+
+// val reads one sample, defaulting to 0 when absent.
+func (f *frame) val(name string, labels map[string]string) float64 {
+	v, _ := f.expo.Value(name, labels)
+	return v
+}
+
+// render prints one monitor frame; prev (may be nil) supplies the count
+// deltas behind the RATE/S column.
+func render(w *os.File, cur, prev *frame) {
+	up := time.Duration(cur.val("graphite_uptime_seconds", nil) * float64(time.Second))
+	fmt.Fprintf(w, "graphite-top  scrape %d  up %s  GOMAXPROCS %d  ready=%v\n",
+		int64(cur.val("graphite_scrapes_total", nil)),
+		up.Round(time.Second),
+		int64(cur.val("graphite_gomaxprocs", nil)),
+		cur.val("graphite_ready", nil) == 1)
+	fmt.Fprintf(w, "throughput  %s vertices/s  %s edges/s  %s bytes/s\n\n",
+		compact(cur.val("graphite_throughput_vertices_per_second", nil)),
+		compact(cur.val("graphite_throughput_edges_per_second", nil)),
+		compact(cur.val("graphite_throughput_bytes_per_second", nil)))
+
+	fmt.Fprintf(w, "%-24s %10s %10s %9s %9s %9s %9s\n",
+		"PHASE", "COUNT", "RATE/S", "P50", "P95", "P99", "INFLIGHT")
+	for _, phase := range cur.phases {
+		pl := map[string]string{"phase": phase}
+		n := cur.val("graphite_phase_latency_seconds_count", pl)
+		rate := "-"
+		if prev != nil {
+			if dt := cur.at.Sub(prev.at).Seconds(); dt > 0 {
+				d := n - prev.val("graphite_phase_latency_seconds_count", pl)
+				rate = compact(d / dt)
+			}
+		}
+		q := func(qv string) string {
+			return durCell(cur.val("graphite_phase_latency_quantile_seconds",
+				map[string]string{"phase": phase, "quantile": qv}))
+		}
+		fmt.Fprintf(w, "%-24s %10d %10s %9s %9s %9s %9d\n",
+			phase, int64(n), rate, q("0.5"), q("0.95"), q("0.99"),
+			int64(cur.val("graphite_phase_inflight_spans", pl)))
+	}
+
+	slos := cur.expo.Family("graphite_slo_burn_rate")
+	if len(slos) > 0 {
+		fmt.Fprintln(w)
+		for _, s := range slos {
+			pl := s.Labels
+			state := "ok"
+			if cur.val("graphite_slo_breach", pl) == 1 {
+				state = "BREACH"
+			}
+			fmt.Fprintf(w, "slo  %s p%s < %s: now %s  burn %.2f  %s\n",
+				pl["phase"], pl["quantile"],
+				durCell(cur.val("graphite_slo_threshold_seconds", pl)),
+				durCell(cur.val("graphite_slo_quantile_seconds", pl)),
+				cur.val("graphite_slo_burn_rate", pl), state)
+		}
+	}
+}
+
+// durCell renders a seconds value as a compact duration table cell.
+func durCell(secs float64) string {
+	if secs == 0 {
+		return "-"
+	}
+	d := time.Duration(secs * float64(time.Second))
+	switch {
+	case d < time.Microsecond:
+		return d.String()
+	case d < time.Millisecond:
+		return d.Round(10 * time.Nanosecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}
+
+// compact renders a rate with SI-style suffixes.
+func compact(v float64) string {
+	switch {
+	case v >= 1e9:
+		return strconv.FormatFloat(v/1e9, 'f', 2, 64) + "G"
+	case v >= 1e6:
+		return strconv.FormatFloat(v/1e6, 'f', 2, 64) + "M"
+	case v >= 1e3:
+		return strconv.FormatFloat(v/1e3, 'f', 2, 64) + "k"
+	default:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+}

@@ -44,6 +44,9 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the run")
 		ckptOut  = flag.String("checkpoint", "", "write network weights to this file after training (and on SIGINT/SIGTERM, at the last completed epoch)")
 		resume   = flag.String("resume", "", "load network weights from this checkpoint file before running")
+		listen   = flag.String("listen", "", "serve the live observability plane on this host:port while the run executes (/metrics, /healthz, /readyz, /trace, /debug/pprof)")
+		sloFlag  = flag.String("slo", "", "comma-separated latency SLOs tracked by -listen, each phase:quantile:threshold (e.g. epoch:0.99:250ms)")
+		linger   = flag.Bool("linger", false, "with -listen: keep serving the observability endpoints after the run completes, until interrupted")
 	)
 	flag.Parse()
 
@@ -87,7 +90,20 @@ func main() {
 	cfg := graphite.Config{
 		Model: kind, Dims: dims, Impl: impl, Threads: *threads,
 		LocalityOrder: *locality, Dropout: *dropout, Seed: *seed,
-		Metrics: *metrics,
+		Metrics: *metrics, Listen: *listen,
+	}
+	if *sloFlag != "" {
+		if *listen == "" {
+			log.Fatal("-slo needs -listen (the SLO series are served, not printed)")
+		}
+		slos, err := graphite.ParseSLOs(*sloFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.SLOs = slos
+	}
+	if *linger && *listen == "" {
+		log.Fatal("-linger needs -listen")
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -103,6 +119,24 @@ func main() {
 	}
 	fmt.Printf("network %s %v (%d parameters), impl %s, locality=%v\n",
 		kind, dims, eng.NumParams(), impl, *locality)
+
+	// The observability plane serves until the signal context is cancelled;
+	// with -linger that keeps the endpoints scrapeable after the run.
+	var serveErr chan error
+	if *listen != "" {
+		serveErr = make(chan error, 1)
+		go func() { serveErr <- eng.Serve(ctx) }()
+		for eng.ObservabilityAddr() == "" {
+			select {
+			case err := <-serveErr:
+				log.Fatal(err)
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		fmt.Printf("observability: http://%s/metrics (also /healthz /readyz /events /trace /debug/pprof)\n",
+			eng.ObservabilityAddr())
+	}
 
 	if *resume != "" {
 		f, err := os.Open(*resume)
@@ -195,6 +229,17 @@ func main() {
 	if *metrics {
 		fmt.Println("metrics:")
 		if err := eng.WriteMetrics(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if serveErr != nil {
+		if *linger {
+			fmt.Println("linger: observability endpoints stay up until interrupted (Ctrl-C)")
+		}
+		if !*linger {
+			stop() // cancel the signal context so Serve drains now
+		}
+		if err := <-serveErr; err != nil {
 			log.Fatal(err)
 		}
 	}

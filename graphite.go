@@ -31,10 +31,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"graphite/internal/gnn"
 	"graphite/internal/graph"
 	"graphite/internal/locality"
+	"graphite/internal/obsrv"
 	"graphite/internal/sched"
 	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
@@ -148,13 +152,39 @@ type Config struct {
 	// span export; implied by Trace. Read results via Metrics() or
 	// WriteMetrics.
 	Metrics bool
+	// Listen, when non-empty, is the host:port the live observability
+	// plane binds when Serve is called (":9090", "127.0.0.1:0"). Setting
+	// it implies Metrics: the /metrics, probe, trace, and pprof endpoints
+	// scrape this engine's telemetry while it runs. Runs without Listen
+	// pay nothing — the plane is strictly read-side.
+	Listen string
+	// SLOs are latency objectives the observability plane tracks and
+	// exposes as graphite_slo_* series (burn rate, breach state). Ignored
+	// unless Listen is set.
+	SLOs []SLO
 }
+
+// SLO is a latency service-level objective tracked by the observability
+// plane: "the Quantile-th percentile of phase latency stays under
+// Threshold". See obsrv.SLO for field semantics.
+type SLO = obsrv.SLO
+
+// ParseSLO parses the "phase:quantile:threshold" flag form, e.g.
+// "epoch:0.99:250ms".
+func ParseSLO(s string) (SLO, error) { return obsrv.ParseSLO(s) }
+
+// ParseSLOs parses a comma-separated list of ParseSLO forms.
+func ParseSLOs(s string) ([]SLO, error) { return obsrv.ParseSLOs(s) }
 
 // Engine runs GNN inference and builds trainers with a fixed configuration.
 type Engine struct {
 	cfg Config
 	net *gnn.Network
 	tel *telemetry.Sink
+
+	inflight atomic.Int64 // API calls currently executing, feeds /readyz
+	obsMu    sync.Mutex
+	obs      *obsrv.Server
 }
 
 // NewEngine validates the config and initialises the network weights.
@@ -166,11 +196,84 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.LearningRate == 0 {
 		cfg.LearningRate = 0.1
 	}
+	for _, o := range cfg.SLOs {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{cfg: cfg, net: net}
-	if cfg.Trace != nil || cfg.Metrics {
+	if cfg.Trace != nil || cfg.Metrics || cfg.Listen != "" {
 		e.tel = telemetry.New(0)
 	}
 	return e, nil
+}
+
+// Serve binds the Config.Listen address and runs the live observability
+// plane — /metrics (Prometheus text format), /healthz, /readyz, /events,
+// /trace, /debug/pprof — until ctx is cancelled, then drains and returns.
+// The readiness probe reflects engine state: ready while serving, with the
+// number of in-flight runs as detail, 503 once the drain begins.
+//
+// Serve blocks; run it in its own goroutine alongside the workload. The
+// bound address (useful with port 0) is available from ObservabilityAddr as
+// soon as Serve is up.
+func (e *Engine) Serve(ctx context.Context) error {
+	if e.cfg.Listen == "" {
+		return fmt.Errorf("graphite: Serve needs Config.Listen")
+	}
+	e.obsMu.Lock()
+	if e.obs != nil {
+		e.obsMu.Unlock()
+		return fmt.Errorf("graphite: observability plane already serving on %s", e.obs.Addr())
+	}
+	var srv *obsrv.Server
+	srv = obsrv.NewServer(obsrv.Options{
+		Sink: e.tel,
+		SLOs: e.cfg.SLOs,
+		Ready: func() (bool, string) {
+			if !srv.Serving() {
+				return false, "draining"
+			}
+			if n := e.inflight.Load(); n > 0 {
+				return true, fmt.Sprintf("%d runs in flight", n)
+			}
+			return true, "idle"
+		},
+	})
+	if err := srv.Start(e.cfg.Listen); err != nil {
+		e.obsMu.Unlock()
+		return err
+	}
+	e.obs = srv
+	e.obsMu.Unlock()
+
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	e.obsMu.Lock()
+	e.obs = nil
+	e.obsMu.Unlock()
+	return err
+}
+
+// ObservabilityAddr returns the bound address of the observability plane
+// ("127.0.0.1:43117"), or "" when Serve is not running. With Listen port 0
+// this is how callers learn the kernel-picked port.
+func (e *Engine) ObservabilityAddr() string {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	if e.obs == nil {
+		return ""
+	}
+	return e.obs.Addr()
+}
+
+// beginRun marks one API run in flight for the readiness probe; the
+// returned func ends it.
+func (e *Engine) beginRun() func() {
+	e.inflight.Add(1)
+	return func() { e.inflight.Add(-1) }
 }
 
 // Metrics is a point-in-time copy of the engine's kernel counters and
@@ -239,6 +342,7 @@ func (e *Engine) Infer(w *Workload) (*Matrix, error) {
 // kernel chunk granularity with ctx's error. A background context keeps the
 // kernels on their uncancellable fast path.
 func (e *Engine) InferContext(ctx context.Context, w *Workload) (*Matrix, error) {
+	defer e.beginRun()()
 	st, err := gnn.InferContext(ctx, e.net, w, e.runOptions(w))
 	if err != nil {
 		return nil, err
@@ -278,6 +382,7 @@ func (e *Engine) LoadCheckpoint(r io.Reader) error {
 // Trainer drives full-batch training epochs.
 type Trainer struct {
 	inner *gnn.Trainer
+	eng   *Engine
 }
 
 // NewTrainer builds a trainer over a labeled workload.
@@ -286,27 +391,35 @@ func (e *Engine) NewTrainer(w *Workload) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trainer{inner: tr}, nil
+	return &Trainer{inner: tr, eng: e}, nil
 }
 
 // Epoch runs one training epoch.
-func (t *Trainer) Epoch() (EpochResult, error) { return t.inner.Epoch() }
+func (t *Trainer) Epoch() (EpochResult, error) {
+	defer t.eng.beginRun()()
+	return t.inner.Epoch()
+}
 
 // EpochContext runs one training epoch under a context. A cancelled epoch
 // never mutates the weights: the context is re-checked after backward,
 // before the optimizer step.
 func (t *Trainer) EpochContext(ctx context.Context) (EpochResult, error) {
+	defer t.eng.beginRun()()
 	return t.inner.EpochContext(ctx)
 }
 
 // Train runs the given number of epochs.
-func (t *Trainer) Train(epochs int) ([]EpochResult, error) { return t.inner.Train(epochs) }
+func (t *Trainer) Train(epochs int) ([]EpochResult, error) {
+	defer t.eng.beginRun()()
+	return t.inner.Train(epochs)
+}
 
 // TrainContext runs up to the given number of epochs under ctx. On
 // cancellation it returns the completed epochs' results plus ctx's error,
 // with the engine's weights at the last completed epoch — ready for
 // Engine.SaveCheckpoint.
 func (t *Trainer) TrainContext(ctx context.Context, epochs int) ([]EpochResult, error) {
+	defer t.eng.beginRun()()
 	return t.inner.TrainContext(ctx, epochs)
 }
 

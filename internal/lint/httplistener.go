@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HTTPListener confines network listener creation to the observability
+// plane: internal/obsrv is the only package that may bind sockets or start
+// HTTP servers. Everywhere else — library packages and commands alike — the
+// plane is reached through obsrv.Server (or graphite.Engine.Serve), so
+// there is exactly one place where ports are opened, probes are registered,
+// and shutdown is wired to context cancellation. Scattered ListenAndServe
+// calls are how a codebase grows unmonitored, undrainable listeners.
+type HTTPListener struct {
+	// Module is the module path; every package of the module except
+	// internal/obsrv is covered.
+	Module string
+}
+
+// bannedHTTPFuncs are the net/http package-level functions that bind a
+// socket or serve on one.
+var bannedHTTPFuncs = map[string]bool{
+	"ListenAndServe":    true,
+	"ListenAndServeTLS": true,
+	"Serve":             true,
+	"ServeTLS":          true,
+}
+
+// bannedNetFuncs are the net package-level functions that create listeners.
+var bannedNetFuncs = map[string]bool{
+	"Listen":       true,
+	"ListenTCP":    true,
+	"ListenUnix":   true,
+	"ListenPacket": true,
+	"ListenUDP":    true,
+	"ListenIP":     true,
+	"ListenConfig": true,
+}
+
+// bannedServerMethods are the http.Server methods that bind or serve.
+var bannedServerMethods = map[string]bool{
+	"ListenAndServe":    true,
+	"ListenAndServeTLS": true,
+	"Serve":             true,
+	"ServeTLS":          true,
+}
+
+// Name implements Checker.
+func (*HTTPListener) Name() string { return "http-listener" }
+
+// Doc implements Checker.
+func (*HTTPListener) Doc() string {
+	return "listener creation (net.Listen*, http.ListenAndServe, http.Server serving) is confined to internal/obsrv"
+}
+
+// Applies implements Checker.
+func (c *HTTPListener) Applies(importPath string) bool {
+	if importPath == c.Module+"/internal/obsrv" {
+		return false
+	}
+	return importPath == c.Module || strings.HasPrefix(importPath, c.Module+"/")
+}
+
+// Check implements Checker.
+func (c *HTTPListener) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgSelector(pkg.Info, sel); ok {
+				switch {
+				case path == "net/http" && bannedHTTPFuncs[name]:
+					out = append(out, pkg.finding(c.Name(), sel,
+						"http.%s binds a listener outside internal/obsrv; serve through obsrv.Server (or Engine.Serve)", name))
+				case path == "net" && bannedNetFuncs[name]:
+					out = append(out, pkg.finding(c.Name(), sel,
+						"net.%s creates a listener outside internal/obsrv; route sockets through the observability plane", name))
+				}
+				return true
+			}
+			// Method calls and method values on net/http.Server.
+			if s, ok := pkg.Info.Selections[sel]; ok && bannedServerMethods[sel.Sel.Name] {
+				if named, ok := derefNamed(s.Recv()); ok &&
+					named.Obj().Pkg() != nil &&
+					named.Obj().Pkg().Path() == "net/http" &&
+					named.Obj().Name() == "Server" {
+					out = append(out, pkg.finding(c.Name(), sel,
+						"(*http.Server).%s outside internal/obsrv; serve through obsrv.Server (or Engine.Serve)", sel.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// derefNamed unwraps pointers to the receiver's named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}

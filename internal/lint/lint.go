@@ -49,6 +49,7 @@ func Checkers(module string) []Checker {
 		&AtomicAlign{},
 		&GoroutineCapture{Module: module},
 		&GoroutineRecover{Module: module},
+		&HTTPListener{Module: module},
 	}
 }
 

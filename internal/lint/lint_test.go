@@ -47,6 +47,7 @@ var goldenCases = []struct {
 	{"atomicalign", "graphite/internal/goldenbadalign", "atomic-alignment"},
 	{"capture", "graphite/internal/goldenbadcapture", "goroutine-capture"},
 	{"gorecover", "graphite/internal/goldenbadgorecover", "goroutine-recover"},
+	{"httplistener", "graphite/internal/goldenbadhttp", "http-listener"},
 }
 
 // TestGolden runs each checker over its known-bad package and requires the

@@ -1,0 +1,48 @@
+// Package goldenbadhttp exercises the http-listener checker: every way of
+// binding a socket or serving HTTP outside internal/obsrv must be flagged,
+// and client-side or handler-side use of net/http must not be.
+package goldenbadhttp
+
+import (
+	"net"
+	"net/http"
+)
+
+func serveDirectly() {
+	_ = http.ListenAndServe(":8080", nil)             // want http-listener
+	_ = http.ListenAndServeTLS(":443", "c", "k", nil) // want http-listener
+}
+
+func serveOnListener(ln net.Listener) {
+	_ = http.Serve(ln, nil)              // want http-listener
+	_ = http.ServeTLS(ln, nil, "c", "k") // want http-listener
+}
+
+func rawListeners() {
+	ln, _ := net.Listen("tcp", ":9090") // want http-listener
+	_ = ln
+	_, _ = net.ListenPacket("udp", ":53") // want http-listener
+}
+
+func serverMethods() {
+	srv := &http.Server{Addr: ":8080"}
+	_ = srv.ListenAndServe() // want http-listener
+	var ln net.Listener
+	_ = srv.Serve(ln) // want http-listener
+}
+
+func suppressed() {
+	//lint:ignore http-listener exercising the suppression path
+	_ = http.ListenAndServe(":8081", nil)
+}
+
+// clientAndHandlerUseIsFine shows the checker leaves the rest of net/http
+// alone: clients, handlers, muxes, and requests are not listener creation.
+func clientAndHandlerUseIsFine() {
+	_, _ = http.Get("http://127.0.0.1:9090/metrics")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusTeapot)
+	})
+	_, _ = net.Dial("tcp", "127.0.0.1:9090")
+}

@@ -1,0 +1,149 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Event is one structured progress record on the /events stream. The bench
+// harness publishes experiment lifecycle events; other producers may reuse
+// the shape with their own Kind.
+type Event struct {
+	// Seq is the server-assigned monotonic sequence number.
+	Seq int64 `json:"seq"`
+	// Time is the server-assigned publish time.
+	Time time.Time `json:"time"`
+	// Kind classifies the event ("experiment", "sweep", ...).
+	Kind string `json:"kind"`
+	// Experiment is the bench experiment id, when applicable.
+	Experiment string `json:"experiment,omitempty"`
+	// Status is the lifecycle state ("start", "done", "error", ...).
+	Status string `json:"status,omitempty"`
+	// WallMS is the measured wall time in milliseconds, when applicable.
+	WallMS float64 `json:"wall_ms,omitempty"`
+	// Detail carries free-form context (error text, progress notes).
+	Detail string `json:"detail,omitempty"`
+}
+
+// eventBufCap bounds the replay buffer a new /events subscriber receives.
+const eventBufCap = 256
+
+// subBufCap bounds each subscriber's in-flight queue; a stalled consumer
+// drops events rather than blocking publishers.
+const subBufCap = 64
+
+// broadcaster fans published events out to /events subscribers and keeps a
+// bounded replay buffer so late subscribers see recent history.
+type broadcaster struct {
+	mu     sync.Mutex
+	seq    int64
+	buf    []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+// publish stamps and fans out one event. Publishing never blocks: slow
+// subscribers lose events (their stream stays ordered, with seq gaps).
+func (b *broadcaster) publish(now time.Time, ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.seq++
+	ev.Seq = b.seq
+	ev.Time = now
+	if len(b.buf) == eventBufCap {
+		copy(b.buf, b.buf[1:])
+		b.buf = b.buf[:eventBufCap-1]
+	}
+	b.buf = append(b.buf, ev)
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe registers a consumer and returns the replay history, the live
+// channel, and a cancel function. After close(), the returned channel is
+// already closed.
+func (b *broadcaster) subscribe() (history []Event, ch chan Event, cancel func()) {
+	ch = make(chan Event, subBufCap)
+	b.mu.Lock()
+	history = append([]Event(nil), b.buf...)
+	if b.closed {
+		close(ch)
+	} else {
+		if b.subs == nil {
+			b.subs = make(map[chan Event]struct{})
+		}
+		b.subs[ch] = struct{}{}
+	}
+	b.mu.Unlock()
+	return history, ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// close ends all live streams; subsequent publishes are dropped.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+// handleEvents streams events as JSON lines (application/x-ndjson): the
+// replay buffer first, then live events until the client disconnects or the
+// server shuts down.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	history, ch, cancel := s.events.subscribe()
+	defer cancel()
+	for _, ev := range history {
+		if enc.Encode(ev) != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // server shutting down
+			}
+			if enc.Encode(ev) != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package obsrv
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphite/internal/telemetry"
+)
+
+// expoState is one coherent scrape: everything /metrics renders, captured
+// under the server lock so the exposition is internally consistent.
+type expoState struct {
+	build       map[string]string
+	gomaxprocs  int
+	uptime      time.Duration
+	hasUptime   bool
+	scrapes     int64
+	ready       bool
+	snap        telemetry.Snapshot
+	hists       []histExpo
+	throughputs []rateSample
+	sloStates   []sloState
+	windowSecs  float64
+}
+
+// histExpo is one phase histogram prepared for exposition.
+type histExpo struct {
+	Phase   string
+	Buckets []telemetry.HistBucket
+	Count   int64
+	Sum     time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+}
+
+// rateSample is one EWMA throughput gauge.
+type rateSample struct {
+	Metric string
+	Rate   float64
+}
+
+// expoWriter accumulates exposition lines, remembering the first write
+// error so call sites stay linear.
+type expoWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (ew *expoWriter) line(parts ...string) {
+	if ew.err != nil {
+		return
+	}
+	for _, p := range parts {
+		if _, ew.err = ew.w.WriteString(p); ew.err != nil {
+			return
+		}
+	}
+	ew.err = ew.w.WriteByte('\n')
+}
+
+// header emits the # HELP and # TYPE preamble of one metric family.
+func (ew *expoWriter) header(name, help, typ string) {
+	ew.line("# HELP ", name, " ", help)
+	ew.line("# TYPE ", name, " ", typ)
+}
+
+// labelEscaper escapes Prometheus label values.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labels renders a {k="v",...} block from pre-ordered key/value pairs.
+func labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fnum renders a float the way Prometheus clients expect (shortest exact
+// form; +Inf for infinities).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func inum(v int64) string { return strconv.FormatInt(v, 10) }
+
+// seconds converts a duration to a float second string.
+func seconds(d time.Duration) string { return fnum(d.Seconds()) }
+
+// counterHelp documents the kernel counters for scrape UIs; unknown names
+// fall back to a generic line.
+var counterHelp = map[string]string{
+	"graphite_vertices_aggregated_total": "vertex rows produced by aggregation",
+	"graphite_edges_aggregated_total":    "edges traversed by aggregation",
+	"graphite_rows_compressed_total":     "feature rows compressed",
+	"graphite_rows_decompressed_total":   "compressed-row expansions consumed by kernels",
+	"graphite_gemm_flops_total":          "dense-equivalent FLOPs of update and backward GEMMs",
+	"graphite_dma_bytes_moved_total":     "bytes moved by the DMA engine model",
+	"graphite_dma_descriptors_total":     "DMA aggregation descriptors executed",
+	"graphite_sched_chunks_total":        "dynamically claimed scheduler chunks",
+	"graphite_sched_rows_total":          "rows handed out by the scheduler",
+	"graphite_panics_recovered_total":    "worker panics contained into structured errors",
+}
+
+// quantileGauges are the fixed percentile gauges derived from each phase
+// histogram.
+var quantileGauges = []struct {
+	Label string
+	Pick  func(histExpo) time.Duration
+}{
+	{"0.5", func(h histExpo) time.Duration { return h.P50 }},
+	{"0.95", func(h histExpo) time.Duration { return h.P95 }},
+	{"0.99", func(h histExpo) time.Duration { return h.P99 }},
+}
+
+// writeExposition renders the scrape in Prometheus text format (version
+// 0.0.4). The order is deterministic: build/process gauges, kernel
+// counters, span accounting, per-worker series, in-flight gauges, phase
+// histograms with quantile gauges, EWMA throughput, then SLO series.
+func writeExposition(w io.Writer, st expoState) error {
+	ew := &expoWriter{w: bufio.NewWriter(w)}
+
+	ew.header("graphite_build_info", "build metadata; value is always 1", "gauge")
+	keys := make([]string, 0, len(st.build))
+	for k := range st.build {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kv := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		kv = append(kv, k, st.build[k])
+	}
+	ew.line("graphite_build_info", labels(kv...), " 1")
+
+	ew.header("graphite_gomaxprocs", "worker parallelism bound of the process", "gauge")
+	ew.line("graphite_gomaxprocs ", inum(int64(st.gomaxprocs)))
+	if st.hasUptime {
+		ew.header("graphite_uptime_seconds", "seconds since the observability server started", "gauge")
+		ew.line("graphite_uptime_seconds ", fnum(st.uptime.Seconds()))
+	}
+	ew.header("graphite_scrapes_total", "metrics scrapes served", "counter")
+	ew.line("graphite_scrapes_total ", inum(st.scrapes))
+	ew.header("graphite_ready", "readiness probe state (1 ready, 0 draining)", "gauge")
+	ready := "0"
+	if st.ready {
+		ready = "1"
+	}
+	ew.line("graphite_ready ", ready)
+
+	names := make([]string, 0, len(st.snap.Counters))
+	for name := range st.snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		help := counterHelp[name]
+		if help == "" {
+			help = "graphite kernel counter"
+		}
+		ew.header(name, help, "counter")
+		ew.line(name, " ", inum(st.snap.Counters[name]))
+	}
+
+	ew.header("graphite_spans_recorded_total", "telemetry spans recorded (including ring-evicted)", "counter")
+	ew.line("graphite_spans_recorded_total ", inum(st.snap.Spans))
+	ew.header("graphite_spans_dropped_total", "spans evicted from the trace ring buffer", "counter")
+	ew.line("graphite_spans_dropped_total ", inum(st.snap.SpansDropped))
+
+	if len(st.snap.Workers) > 0 {
+		ew.header("graphite_sched_worker_chunks_total", "scheduler chunks claimed per worker", "counter")
+		for _, ws := range st.snap.Workers {
+			ew.line("graphite_sched_worker_chunks_total", labels("worker", inum(int64(ws.Worker))), " ", inum(ws.Chunks))
+		}
+		ew.header("graphite_sched_worker_rows_total", "rows executed per worker", "counter")
+		for _, ws := range st.snap.Workers {
+			ew.line("graphite_sched_worker_rows_total", labels("worker", inum(int64(ws.Worker))), " ", inum(ws.Rows))
+		}
+		ew.header("graphite_sched_worker_busy_seconds_total", "wall time spent inside claimed chunks per worker", "counter")
+		for _, ws := range st.snap.Workers {
+			ew.line("graphite_sched_worker_busy_seconds_total", labels("worker", inum(int64(ws.Worker))), " ", fnum(ws.BusySeconds))
+		}
+	}
+
+	if len(st.snap.Inflight) > 0 {
+		ew.header("graphite_phase_inflight_spans", "currently open telemetry spans per phase", "gauge")
+		for _, pi := range st.snap.Inflight {
+			ew.line("graphite_phase_inflight_spans", labels("phase", pi.Phase), " ", inum(pi.Count))
+		}
+		ew.header("graphite_phase_inflight_seconds", "elapsed time of currently open spans per phase", "gauge")
+		for _, pi := range st.snap.Inflight {
+			ew.line("graphite_phase_inflight_seconds", labels("phase", pi.Phase), " ", seconds(pi.Elapsed))
+		}
+	}
+
+	if len(st.hists) > 0 {
+		ew.header("graphite_phase_latency_seconds", "phase span latency distribution (log2 buckets)", "histogram")
+		for _, h := range st.hists {
+			writeHistogram(ew, h)
+		}
+		ew.header("graphite_phase_latency_quantile_seconds", "estimated phase latency percentiles from the log2 histogram", "gauge")
+		for _, h := range st.hists {
+			for _, q := range quantileGauges {
+				ew.line("graphite_phase_latency_quantile_seconds",
+					labels("phase", h.Phase, "quantile", q.Label), " ", seconds(q.Pick(h)))
+			}
+		}
+	}
+
+	for _, ts := range st.throughputs {
+		ew.header(ts.Metric, "EWMA throughput derived from counter deltas between scrapes", "gauge")
+		ew.line(ts.Metric, " ", fnum(ts.Rate))
+	}
+
+	writeSLOs(ew, st)
+	if ew.err != nil {
+		return ew.err
+	}
+	return ew.w.Flush()
+}
+
+// writeHistogram renders one phase's cumulative _bucket/_sum/_count series.
+// Empty buckets outside the occupied range are trimmed (cumulative bucket
+// semantics stay exact; the +Inf bucket always closes the series and equals
+// _count).
+func writeHistogram(ew *expoWriter, h histExpo) {
+	first, last := len(h.Buckets), -1
+	for i, b := range h.Buckets {
+		if b.Count > 0 {
+			if i < first {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum int64
+	for i := first; i >= 0 && i <= last; i++ {
+		b := h.Buckets[i]
+		cum += b.Count
+		ew.line("graphite_phase_latency_seconds_bucket",
+			labels("phase", h.Phase, "le", seconds(b.Upper)), " ", inum(cum))
+	}
+	ew.line("graphite_phase_latency_seconds_bucket",
+		labels("phase", h.Phase, "le", "+Inf"), " ", inum(h.Count))
+	ew.line("graphite_phase_latency_seconds_sum", labels("phase", h.Phase), " ", seconds(h.Sum))
+	ew.line("graphite_phase_latency_seconds_count", labels("phase", h.Phase), " ", inum(h.Count))
+}
+
+// writeSLOs renders the SLO series: configuration, current quantile
+// estimate, cumulative good/bad accounting, and the sliding-window burn
+// rate (1.0 = consuming error budget exactly as fast as allowed).
+func writeSLOs(ew *expoWriter, st expoState) {
+	if len(st.sloStates) == 0 {
+		return
+	}
+	ew.header("graphite_slo_window_seconds", "sliding window of the SLO burn-rate accounting", "gauge")
+	ew.line("graphite_slo_window_seconds ", fnum(st.windowSecs))
+
+	type series struct {
+		name, help, typ string
+		value           func(sloState) string
+	}
+	for _, sr := range []series{
+		{"graphite_slo_threshold_seconds", "configured latency threshold of the objective", "gauge",
+			func(s sloState) string { return seconds(s.SLO.Threshold) }},
+		{"graphite_slo_quantile_seconds", "current estimated latency at the objective's target quantile", "gauge",
+			func(s sloState) string { return seconds(s.Quantile) }},
+		{"graphite_slo_observations_total", "observations counted toward the objective", "counter",
+			func(s sloState) string { return inum(s.Total) }},
+		{"graphite_slo_bad_total", "observations above the objective threshold (log2-bucket lower bound)", "counter",
+			func(s sloState) string { return inum(s.Bad) }},
+		{"graphite_slo_burn_rate", "windowed error-budget burn rate (1 = at budget)", "gauge",
+			func(s sloState) string { return fnum(s.BurnRate) }},
+		{"graphite_slo_breach", "1 when the current quantile estimate exceeds the threshold", "gauge",
+			func(s sloState) string {
+				if s.Breach {
+					return "1"
+				}
+				return "0"
+			}},
+	} {
+		ew.header(sr.name, sr.help, sr.typ)
+		for _, s := range st.sloStates {
+			ew.line(sr.name, labels("phase", s.SLO.Phase, "quantile", fnum(s.SLO.Quantile)), " ", sr.value(s))
+		}
+	}
+}

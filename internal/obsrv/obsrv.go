@@ -1,0 +1,433 @@
+// Package obsrv is the live observability plane: an embeddable HTTP server
+// that exposes the telemetry.Sink's counters, per-worker scheduler
+// accounting, and log2 latency histograms as Prometheus text-format
+// /metrics, tracks latency SLOs with sliding-window burn rates, streams
+// structured progress events, and serves the standard operational probes
+// (/healthz, /readyz, /debug/pprof, an on-demand Chrome-trace snapshot).
+//
+// The paper's methodology is measurement-first; PR 1 and PR 3 made this
+// reproduction observable post-mortem (trace files, JSON reports). This
+// package makes the same signals scrapeable while a run executes, which is
+// what the production serving layer (ROADMAP item 1) mounts request SLOs
+// on, and what lets phase-shifting bottlenecks (Wu et al.) be seen live.
+//
+// The plane is strictly read-side: scraping reads the same atomics the
+// kernels write, so a run with no listener configured pays nothing — no new
+// allocations and no new branches on the kernel hot path (the sink's
+// nil/disabled guard is unchanged). Scrape-derived state (EWMA throughput,
+// SLO windows) lives in the server, never in the sink.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text format (counters, histograms with
+//	               _bucket/_sum/_count, p50/p95/p99 gauges, SLO series,
+//	               EWMA throughput, build info)
+//	/healthz       liveness probe (200 while the server runs)
+//	/readyz        readiness probe (wired to engine state; 503 on drain)
+//	/events        structured progress events as streaming JSON lines
+//	/trace         Chrome trace_event JSON snapshot of recorded spans
+//	/debug/pprof/  the standard runtime profiles
+package obsrv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphite/internal/telemetry"
+)
+
+// Options configures a Server. The zero value of every field is usable: a
+// nil Sink serves zero-valued metrics, probes default to the server's own
+// lifecycle, and window/decay constants take the defaults below.
+type Options struct {
+	// Sink is the telemetry source scraped by /metrics. It may be swapped
+	// at runtime with SetSink (the bench harness does, per experiment).
+	Sink *telemetry.Sink
+	// SLOs are the latency objectives tracked per scrape.
+	SLOs []SLO
+	// Window is the SLO burn-rate sliding window (default 5m).
+	Window time.Duration
+	// EWMATau is the throughput EWMA time constant (default 30s): the
+	// weight of a scrape delta decays as exp(-age/tau).
+	EWMATau time.Duration
+	// Ready, when non-nil, backs /readyz. The default reports ready while
+	// the server is serving and not ready once shutdown begins.
+	Ready func() (ok bool, detail string)
+	// Healthy, when non-nil, backs /healthz. The default reports healthy
+	// while the process serves.
+	Healthy func() (ok bool, detail string)
+	// BuildLabels overrides or extends the graphite_build_info labels.
+	// Tests pin them; production code leaves this nil.
+	BuildLabels map[string]string
+}
+
+// Default tuning constants.
+const (
+	DefaultWindow  = 5 * time.Minute
+	DefaultEWMATau = 30 * time.Second
+)
+
+// Server is the observability HTTP server. Create with NewServer, bind with
+// Start (or mount Handler under a test server), stop with Shutdown.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	hs      *http.Server
+	ln      net.Listener
+	now     func() time.Time // injected by tests for golden scrapes
+	build   map[string]string
+	events  broadcaster
+	serving atomic.Bool
+	started time.Time
+
+	mu       sync.Mutex
+	sink     *telemetry.Sink
+	scrapes  int64
+	lastTime time.Time
+	lastCtr  map[string]int64
+	rates    map[string]*ewma
+	slos     []*sloTracker
+}
+
+// NewServer builds a server over the given options. It does not listen yet.
+func NewServer(opts Options) *Server {
+	if opts.Window <= 0 {
+		opts.Window = DefaultWindow
+	}
+	if opts.EWMATau <= 0 {
+		opts.EWMATau = DefaultEWMATau
+	}
+	s := &Server{
+		opts:  opts,
+		now:   time.Now,
+		build: buildLabels(opts.BuildLabels),
+		sink:  opts.Sink,
+		rates: make(map[string]*ewma),
+	}
+	for _, o := range opts.SLOs {
+		s.slos = append(s.slos, &sloTracker{slo: o})
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Start binds addr (host:port; port 0 picks a free one — read it back with
+// Addr) and serves in the background until Shutdown. It returns once the
+// listener is bound, so Addr is valid immediately after.
+func (s *Server) Start(addr string) error {
+	if s.ln != nil {
+		return fmt.Errorf("obsrv: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obsrv: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.started = s.now()
+	// The handler chain must never write to the process's stderr; real
+	// serve errors surface through Shutdown instead.
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          log.New(io.Discard, "", 0),
+	}
+	s.serving.Store(true)
+	//lint:ignore goroutine-recover the HTTP accept loop is process-lifetime infrastructure; net/http already recovers handler panics, and an accept-loop panic must surface rather than be converted to a WorkerError
+	go func() {
+		_ = s.hs.Serve(ln) // http.ErrServerClosed on Shutdown
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43117"), or "" before
+// Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Handler returns the server's route table, for mounting under a test
+// server without binding a port.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serving reports whether the server is accepting requests (true between
+// Start and Shutdown).
+func (s *Server) Serving() bool { return s.serving.Load() }
+
+// Shutdown drains in-flight requests and stops the listener. The readiness
+// probe flips to 503 immediately, so load balancers stop routing while the
+// drain completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.serving.Store(false)
+	if s.hs == nil {
+		return nil
+	}
+	s.events.close()
+	return s.hs.Shutdown(ctx)
+}
+
+// SetSink atomically swaps the scraped telemetry sink and re-baselines all
+// scrape-derived state (EWMA rates, SLO windows): counter deltas across a
+// swap are meaningless and must not spike the gauges.
+func (s *Server) SetSink(sink *telemetry.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+	s.lastCtr = nil
+	s.lastTime = time.Time{}
+	s.rates = make(map[string]*ewma)
+	for _, tr := range s.slos {
+		tr.rebaseline()
+	}
+}
+
+// Publish emits a structured progress event to all /events subscribers.
+// Safe before Start and after Shutdown (events are then dropped or only
+// buffered).
+func (s *Server) Publish(ev Event) { s.events.publish(s.now(), ev) }
+
+// throughputSeries maps EWMA gauge names to the counters whose scrape
+// deltas feed them.
+var throughputSeries = []struct {
+	Metric  string
+	Counter telemetry.Counter
+}{
+	{"graphite_throughput_vertices_per_second", telemetry.CtrVerticesAggregated},
+	{"graphite_throughput_edges_per_second", telemetry.CtrEdgesAggregated},
+	{"graphite_throughput_bytes_per_second", telemetry.CtrDMABytesMoved},
+}
+
+// scrape captures one coherent exposition state: the sink snapshot plus the
+// scrape-derived EWMA and SLO series, updated under the server lock.
+func (s *Server) scrape() expoState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.scrapes++
+	sink := s.sink
+	snap := sink.Snapshot()
+	hists := sink.Histograms()
+
+	st := expoState{
+		build:       s.build,
+		gomaxprocs:  runtime.GOMAXPROCS(0),
+		uptime:      now.Sub(s.started),
+		scrapes:     s.scrapes,
+		ready:       s.readyNow(),
+		snap:        snap,
+		windowSecs:  s.opts.Window.Seconds(),
+		throughputs: make([]rateSample, 0, len(throughputSeries)),
+		sloStates:   make([]sloState, 0, len(s.slos)),
+	}
+	if !s.started.IsZero() {
+		st.hasUptime = true
+	}
+
+	// EWMA throughput from counter deltas between scrapes.
+	dt := time.Duration(0)
+	if !s.lastTime.IsZero() {
+		dt = now.Sub(s.lastTime)
+	}
+	if s.lastCtr == nil {
+		s.lastCtr = make(map[string]int64, len(throughputSeries))
+	}
+	for _, ts := range throughputSeries {
+		cur := snap.Counters[ts.Counter.Name()]
+		r := s.rates[ts.Metric]
+		if r == nil {
+			r = &ewma{}
+			s.rates[ts.Metric] = r
+		}
+		if prev, ok := s.lastCtr[ts.Counter.Name()]; ok && dt > 0 {
+			r.update(cur-prev, dt, s.opts.EWMATau)
+		}
+		s.lastCtr[ts.Counter.Name()] = cur
+		st.throughputs = append(st.throughputs, rateSample{Metric: ts.Metric, Rate: r.rate})
+	}
+	s.lastTime = now
+
+	// SLO accounting against the live histograms.
+	for _, tr := range s.slos {
+		st.sloStates = append(st.sloStates, tr.observe(now, s.opts.Window, hists[tr.slo.Phase]))
+	}
+	sort.Slice(st.sloStates, func(i, j int) bool {
+		a, b := st.sloStates[i].SLO, st.sloStates[j].SLO
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Quantile < b.Quantile
+	})
+
+	// Histogram expositions, sorted by phase.
+	for name, h := range hists {
+		if h.Count() == 0 {
+			continue
+		}
+		st.hists = append(st.hists, histExpo{
+			Phase:   name,
+			Buckets: h.Buckets(),
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			P50:     h.Quantile(0.50),
+			P95:     h.Quantile(0.95),
+			P99:     h.Quantile(0.99),
+		})
+	}
+	sort.Slice(st.hists, func(i, j int) bool { return st.hists[i].Phase < st.hists[j].Phase })
+	return st
+}
+
+// readyNow evaluates the readiness probe under the server lock.
+func (s *Server) readyNow() bool {
+	if s.opts.Ready != nil {
+		ok, _ := s.opts.Ready()
+		return ok
+	}
+	return s.serving.Load()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.scrape()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = writeExposition(w, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ok, detail := true, "serving"
+	if s.opts.Healthy != nil {
+		ok, detail = s.opts.Healthy()
+	} else if !s.serving.Load() {
+		ok, detail = false, "shutting down"
+	}
+	writeProbe(w, ok, detail, s.now().Sub(s.started))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ok, detail := s.serving.Load(), "serving"
+	if !ok {
+		detail = "draining"
+	}
+	if s.opts.Ready != nil {
+		ok, detail = s.opts.Ready()
+	}
+	writeProbe(w, ok, detail, s.now().Sub(s.started))
+}
+
+// writeProbe renders a probe result as a small stable text body.
+func writeProbe(w http.ResponseWriter, ok bool, detail string, uptime time.Duration) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	status, verdict := http.StatusOK, "ok"
+	if !ok {
+		status, verdict = http.StatusServiceUnavailable, "unavailable"
+	}
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "%s %s uptime=%s\n", verdict, detail, uptime.Round(time.Millisecond))
+}
+
+// handleTrace serves an on-demand Chrome trace_event snapshot of the spans
+// recorded so far — the same payload Config.Trace writes post-mortem, but
+// available mid-run.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sink := s.sink
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="graphite-trace.json"`)
+	if err := sink.WriteTrace(w); err != nil {
+		// Headers are out; nothing recoverable to do beyond dropping the
+		// connection, which the client sees as a truncated body.
+		return
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `graphite observability plane
+/metrics       Prometheus text exposition
+/healthz       liveness probe
+/readyz        readiness probe
+/events        progress events (JSON lines, streaming)
+/trace         Chrome trace_event snapshot of recorded spans
+/debug/pprof/  runtime profiles
+`)
+}
+
+// buildLabels assembles the graphite_build_info label set: go version,
+// platform, and the VCS revision when the binary carries one.
+func buildLabels(extra map[string]string) map[string]string {
+	labels := map[string]string{
+		"goversion": runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+		"revision":  "unknown",
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				labels["revision"] = kv.Value
+			}
+		}
+	}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	return labels
+}
+
+// ewma is an exponentially weighted moving average over irregular scrape
+// intervals: the smoothing factor adapts to the gap so slow and fast
+// scrapers converge to the same rate.
+type ewma struct {
+	rate float64
+	init bool
+}
+
+// update folds one counter delta observed over dt into the rate.
+func (e *ewma) update(delta int64, dt, tau time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	if delta < 0 {
+		delta = 0 // counter reset between scrapes
+	}
+	inst := float64(delta) / dt.Seconds()
+	if !e.init {
+		e.rate, e.init = inst, true
+		return
+	}
+	alpha := 1 - math.Exp(-dt.Seconds()/tau.Seconds())
+	e.rate += alpha * (inst - e.rate)
+}

@@ -1,0 +1,548 @@
+package obsrv
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphite/internal/telemetry"
+)
+
+// fixedBuild pins the build_info labels so golden output is host-independent.
+var fixedBuild = map[string]string{
+	"goversion": "go1.22.0",
+	"goos":      "linux",
+	"goarch":    "amd64",
+	"revision":  "deadbeef",
+}
+
+// newGoldenServer builds a server over a scripted clock starting at t0 and
+// stepping by dt per now() call (one call per scrape/publish).
+func newGoldenServer(sink *telemetry.Sink, slos []SLO, t0 time.Time, dt time.Duration) *Server {
+	s := NewServer(Options{
+		Sink:        sink,
+		SLOs:        slos,
+		Window:      time.Minute,
+		EWMATau:     30 * time.Second,
+		BuildLabels: fixedBuild,
+	})
+	next := t0
+	s.now = func() time.Time {
+		t := next
+		next = next.Add(dt)
+		return t
+	}
+	return s
+}
+
+// scrapeText renders one /metrics scrape through the real handler.
+func scrapeText(t *testing.T, s *Server) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// TestExpositionGolden pins the full Prometheus exposition byte-for-byte:
+// deterministic sink contents, fixed build labels, scripted clock. Any
+// format change must update this golden deliberately.
+func TestExpositionGolden(t *testing.T) {
+	sink := telemetry.New(0)
+	sink.Add(telemetry.CtrVerticesAggregated, 1000)
+	sink.Add(telemetry.CtrEdgesAggregated, 5000)
+	sink.Add(telemetry.CtrDMABytesMoved, 4096)
+	sink.WorkerClaim(0, 2, 8, 2*time.Second)
+	sink.WorkerClaim(1, 1, 2, 500*time.Millisecond)
+	sink.Observe(telemetry.PhaseAggregate, 100*time.Microsecond)
+	sink.Observe(telemetry.PhaseAggregate, 200*time.Microsecond)
+	sink.Observe(telemetry.PhaseAggregate, 400*time.Microsecond)
+
+	// Pin the process-level gauge the golden would otherwise vary on.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	t0 := time.Unix(1700000000, 0)
+	s := newGoldenServer(sink, []SLO{{Phase: telemetry.PhaseAggregate, Quantile: 0.95, Threshold: time.Millisecond}}, t0, 10*time.Second)
+
+	// First scrape establishes EWMA and SLO baselines.
+	if _, err := ParseExposition(strings.NewReader(scrapeText(t, s))); err != nil {
+		t.Fatalf("first scrape invalid: %v", err)
+	}
+
+	// Between scrapes: throughput deltas and one SLO-violating observation.
+	sink.Add(telemetry.CtrVerticesAggregated, 500)
+	sink.Add(telemetry.CtrDMABytesMoved, 1024)
+	sink.Observe(telemetry.PhaseAggregate, 2*time.Millisecond)
+
+	got := scrapeText(t, s)
+	if _, err := ParseExposition(strings.NewReader(got)); err != nil {
+		t.Fatalf("scrape fails strict parse: %v\n%s", err, got)
+	}
+	if got != goldenExposition {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+// TestScrapeStress races 8 writer goroutines (counters, Observe,
+// WorkerClaim, spans) against continuous /metrics scrapes and asserts the
+// final scrape carries the exact totals. Run under -race this doubles as
+// the concurrency audit of the scrape path.
+func TestScrapeStress(t *testing.T) {
+	sink := telemetry.New(0)
+	s := NewServer(Options{Sink: sink})
+	const writers = 8
+	const perWriter = 500
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := scrapeText(t, s)
+				if _, err := ParseExposition(strings.NewReader(body)); err != nil {
+					t.Errorf("concurrent scrape invalid: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sink.Add(telemetry.CtrEdgesAggregated, 3)
+				sink.Observe(telemetry.PhaseAggregate, time.Duration(i%7+1)*time.Microsecond)
+				sink.WorkerClaim(w, 1, 4, time.Microsecond)
+				sp := sink.Begin(telemetry.PhaseUpdate)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	expo, err := ParseExposition(strings.NewReader(scrapeText(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, labels map[string]string, want float64) {
+		t.Helper()
+		got, ok := expo.Value(name, labels)
+		if !ok {
+			t.Fatalf("missing %s%v", name, labels)
+		}
+		if got != want {
+			t.Fatalf("%s%v = %v, want %v", name, labels, got, want)
+		}
+	}
+	check("graphite_edges_aggregated_total", nil, float64(writers*perWriter*3))
+	check("graphite_phase_latency_seconds_count", map[string]string{"phase": telemetry.PhaseAggregate}, float64(writers*perWriter))
+	check("graphite_phase_latency_seconds_count", map[string]string{"phase": telemetry.PhaseUpdate}, float64(writers*perWriter))
+	check("graphite_spans_recorded_total", nil, float64(writers*perWriter))
+	for w := 0; w < writers; w++ {
+		check("graphite_sched_worker_rows_total", map[string]string{"worker": fmt.Sprint(w)}, float64(perWriter*4))
+	}
+	// Every scrape in flight parsed; the +Inf bucket must equal the count.
+	inf, ok := expo.Value("graphite_phase_latency_seconds_bucket",
+		map[string]string{"phase": telemetry.PhaseAggregate, "le": "+Inf"})
+	if !ok || inf != float64(writers*perWriter) {
+		t.Fatalf("+Inf bucket = %v ok=%v", inf, ok)
+	}
+}
+
+// TestProbesAndLifecycle runs a real listener end to end: probes answer,
+// readiness drains on shutdown, and Addr reports the bound port.
+func TestProbesAndLifecycle(t *testing.T) {
+	sink := telemetry.New(0)
+	s := NewServer(Options{Sink: sink})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" {
+		t.Fatal("no bound address after Start")
+	}
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		return resp.StatusCode, b.String()
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	if code, _ := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	if code, body := get("/trace"); code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Fatalf("trace = %d, valid JSON = %v", code, json.Valid([]byte(body)))
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if s.Serving() {
+		t.Fatal("still serving after shutdown")
+	}
+	// Double Start is rejected.
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+}
+
+// TestReadyProbeWiring checks a custom Ready hook drives /readyz and the
+// graphite_ready gauge.
+func TestReadyProbeWiring(t *testing.T) {
+	ready := true
+	s := NewServer(Options{
+		Sink:  telemetry.New(0),
+		Ready: func() (bool, string) { return ready, "custom" },
+	})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready readyz = %d", rec.Code)
+	}
+	ready = false
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unready readyz = %d", rec.Code)
+	}
+	expo, err := ParseExposition(strings.NewReader(scrapeText(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := expo.Value("graphite_ready", nil); !ok || v != 0 {
+		t.Fatalf("graphite_ready = %v ok=%v, want 0", v, ok)
+	}
+}
+
+// TestEventsStream covers the /events contract: replay of buffered events,
+// live delivery, and JSON-lines framing.
+func TestEventsStream(t *testing.T) {
+	s := NewServer(Options{Sink: telemetry.New(0)})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	s.Publish(Event{Kind: "experiment", Experiment: "fig2", Status: "start"})
+	s.Publish(Event{Kind: "experiment", Experiment: "fig2", Status: "done", WallMS: 12.5})
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	read := func() Event {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("events stream ended early: %v", sc.Err())
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		return ev
+	}
+	ev1, ev2 := read(), read()
+	if ev1.Status != "start" || ev2.Status != "done" || ev2.WallMS != 12.5 {
+		t.Fatalf("replayed events = %+v %+v", ev1, ev2)
+	}
+	if ev2.Seq <= ev1.Seq {
+		t.Fatalf("sequence not monotonic: %d then %d", ev1.Seq, ev2.Seq)
+	}
+	// A live event published after connect arrives on the same stream.
+	s.Publish(Event{Kind: "sweep", Status: "done"})
+	if ev := read(); ev.Kind != "sweep" {
+		t.Fatalf("live event = %+v", ev)
+	}
+}
+
+// TestSLOTrackerWindow drives the tracker with a scripted clock: breaches
+// accumulate, the burn rate reflects only the window, and a sink reset
+// rebaselines instead of going negative.
+func TestSLOTrackerWindow(t *testing.T) {
+	h := &telemetry.Histogram{}
+	tr := &sloTracker{slo: SLO{Phase: "epoch", Quantile: 0.9, Threshold: time.Millisecond}}
+	t0 := time.Unix(1700000000, 0)
+	window := time.Minute
+
+	// 10 good observations, first scrape.
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	st := tr.observe(t0, window, h)
+	if st.BurnRate != 0 || st.Breach {
+		t.Fatalf("baseline state = %+v", st)
+	}
+
+	// One bad observation inside the window: 1 bad / 1 new obs over a 0.1
+	// budget → burn 10.
+	h.Observe(10 * time.Millisecond)
+	st = tr.observe(t0.Add(10*time.Second), window, h)
+	if st.Bad != 1 || math.Abs(st.BurnRate-10) > 1e-9 {
+		t.Fatalf("burn state = %+v, want bad=1 burn=10", st)
+	}
+
+	// Far in the future the window no longer covers the breach: plenty of
+	// new good observations, burn decays.
+	for i := 0; i < 89; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	st = tr.observe(t0.Add(10*time.Minute), window, h)
+	if st.BurnRate != 0 {
+		t.Fatalf("stale breach still burning: %+v", st)
+	}
+
+	// Histogram reset: totals go backwards, tracker must rebaseline.
+	h2 := &telemetry.Histogram{}
+	h2.Observe(100 * time.Microsecond)
+	st = tr.observe(t0.Add(11*time.Minute), window, h2)
+	if st.BurnRate != 0 || st.Total != 1 {
+		t.Fatalf("post-reset state = %+v", st)
+	}
+}
+
+// TestParseSLO pins the flag syntax.
+func TestParseSLO(t *testing.T) {
+	o, err := ParseSLO("epoch:0.99:250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Phase != "epoch" || o.Quantile != 0.99 || o.Threshold != 250*time.Millisecond {
+		t.Fatalf("parsed = %+v", o)
+	}
+	if _, err := ParseSLOs("epoch:0.99:250ms, aggregate:0.5:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "epoch", "epoch:2:1ms", "epoch:0.5:-1ms", "epoch:0.5:xyz", ":0.5:1ms"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParserRejectsMalformed feeds the strict parser known-bad payloads:
+// the CI smoke job depends on these being caught.
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "9metric 1\n",
+		"bad value":          "metric one\n",
+		"bad label name":     `metric{9l="x"} 1` + "\n",
+		"unquoted label":     `metric{l=x} 1` + "\n",
+		"unterminated label": `metric{l="x} 1` + "\n",
+		"duplicate label":    `metric{l="x",l="y"} 1` + "\n",
+		"dup TYPE":           "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"TYPE after samples": "m 1\n# TYPE m counter\n",
+		"unknown type":       "# TYPE m sideways\n",
+		"hist no +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"hist not cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"hist count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n",
+		"hist missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 1` + "\nh_count 1\n",
+	}
+	for name, payload := range cases {
+		if _, err := ParseExposition(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, payload)
+		}
+	}
+	// And a healthy payload with label escapes and timestamps passes.
+	good := "# HELP m a metric\n# TYPE m gauge\n" +
+		`m{l="a\"b\\c\nd"} 1.5 1700000000000` + "\n" +
+		"# TYPE h histogram\n" +
+		`h_bucket{le="0.1"} 1` + "\n" + `h_bucket{le="+Inf"} 2` + "\n" +
+		"h_sum 0.3\nh_count 2\n"
+	expo, err := ParseExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good payload rejected: %v", err)
+	}
+	if v, ok := expo.Value("m", map[string]string{"l": "a\"b\\c\nd"}); !ok || v != 1.5 {
+		t.Fatalf("escaped label sample = %v ok=%v", v, ok)
+	}
+}
+
+// TestSetSinkRebaselines swaps sinks mid-flight and checks rates and SLO
+// windows restart instead of spiking on the counter discontinuity.
+func TestSetSinkRebaselines(t *testing.T) {
+	a := telemetry.New(0)
+	a.Add(telemetry.CtrVerticesAggregated, 1_000_000)
+	t0 := time.Unix(1700000000, 0)
+	s := newGoldenServer(a, nil, t0, 10*time.Second)
+	scrapeText(t, s) // baseline on sink a
+
+	b := telemetry.New(0) // fresh sink: counters restart from zero
+	s.SetSink(b)
+	b.Add(telemetry.CtrVerticesAggregated, 50)
+	expo, err := ParseExposition(strings.NewReader(scrapeText(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First scrape after the swap re-baselines: the 1M→50 discontinuity
+	// must not appear as a rate.
+	if v, ok := expo.Value("graphite_throughput_vertices_per_second", nil); !ok || v != 0 {
+		t.Fatalf("post-swap rate = %v ok=%v, want 0", v, ok)
+	}
+	if v, ok := expo.Value("graphite_vertices_aggregated_total", nil); !ok || v != 50 {
+		t.Fatalf("post-swap counter = %v ok=%v, want 50", v, ok)
+	}
+}
+
+// goldenExposition is the byte-exact expected /metrics payload of
+// TestExpositionGolden's second scrape. Regenerate deliberately when the
+// exposition contract changes (the test prints got on mismatch).
+const goldenExposition = `# HELP graphite_build_info build metadata; value is always 1
+# TYPE graphite_build_info gauge
+graphite_build_info{goarch="amd64",goos="linux",goversion="go1.22.0",revision="deadbeef"} 1
+# HELP graphite_gomaxprocs worker parallelism bound of the process
+# TYPE graphite_gomaxprocs gauge
+graphite_gomaxprocs 4
+# HELP graphite_scrapes_total metrics scrapes served
+# TYPE graphite_scrapes_total counter
+graphite_scrapes_total 2
+# HELP graphite_ready readiness probe state (1 ready, 0 draining)
+# TYPE graphite_ready gauge
+graphite_ready 0
+# HELP graphite_dma_bytes_moved_total bytes moved by the DMA engine model
+# TYPE graphite_dma_bytes_moved_total counter
+graphite_dma_bytes_moved_total 5120
+# HELP graphite_dma_descriptors_total DMA aggregation descriptors executed
+# TYPE graphite_dma_descriptors_total counter
+graphite_dma_descriptors_total 0
+# HELP graphite_edges_aggregated_total edges traversed by aggregation
+# TYPE graphite_edges_aggregated_total counter
+graphite_edges_aggregated_total 5000
+# HELP graphite_gemm_flops_total dense-equivalent FLOPs of update and backward GEMMs
+# TYPE graphite_gemm_flops_total counter
+graphite_gemm_flops_total 0
+# HELP graphite_panics_recovered_total worker panics contained into structured errors
+# TYPE graphite_panics_recovered_total counter
+graphite_panics_recovered_total 0
+# HELP graphite_rows_compressed_total feature rows compressed
+# TYPE graphite_rows_compressed_total counter
+graphite_rows_compressed_total 0
+# HELP graphite_rows_decompressed_total compressed-row expansions consumed by kernels
+# TYPE graphite_rows_decompressed_total counter
+graphite_rows_decompressed_total 0
+# HELP graphite_sched_chunks_total dynamically claimed scheduler chunks
+# TYPE graphite_sched_chunks_total counter
+graphite_sched_chunks_total 0
+# HELP graphite_sched_rows_total rows handed out by the scheduler
+# TYPE graphite_sched_rows_total counter
+graphite_sched_rows_total 0
+# HELP graphite_vertices_aggregated_total vertex rows produced by aggregation
+# TYPE graphite_vertices_aggregated_total counter
+graphite_vertices_aggregated_total 1500
+# HELP graphite_spans_recorded_total telemetry spans recorded (including ring-evicted)
+# TYPE graphite_spans_recorded_total counter
+graphite_spans_recorded_total 0
+# HELP graphite_spans_dropped_total spans evicted from the trace ring buffer
+# TYPE graphite_spans_dropped_total counter
+graphite_spans_dropped_total 0
+# HELP graphite_sched_worker_chunks_total scheduler chunks claimed per worker
+# TYPE graphite_sched_worker_chunks_total counter
+graphite_sched_worker_chunks_total{worker="0"} 2
+graphite_sched_worker_chunks_total{worker="1"} 1
+# HELP graphite_sched_worker_rows_total rows executed per worker
+# TYPE graphite_sched_worker_rows_total counter
+graphite_sched_worker_rows_total{worker="0"} 8
+graphite_sched_worker_rows_total{worker="1"} 2
+# HELP graphite_sched_worker_busy_seconds_total wall time spent inside claimed chunks per worker
+# TYPE graphite_sched_worker_busy_seconds_total counter
+graphite_sched_worker_busy_seconds_total{worker="0"} 2
+graphite_sched_worker_busy_seconds_total{worker="1"} 0.5
+# HELP graphite_phase_latency_seconds phase span latency distribution (log2 buckets)
+# TYPE graphite_phase_latency_seconds histogram
+graphite_phase_latency_seconds_bucket{phase="aggregate",le="0.000131071"} 1
+graphite_phase_latency_seconds_bucket{phase="aggregate",le="0.000262143"} 2
+graphite_phase_latency_seconds_bucket{phase="aggregate",le="0.000524287"} 3
+graphite_phase_latency_seconds_bucket{phase="aggregate",le="0.001048575"} 3
+graphite_phase_latency_seconds_bucket{phase="aggregate",le="0.002097151"} 4
+graphite_phase_latency_seconds_bucket{phase="aggregate",le="+Inf"} 4
+graphite_phase_latency_seconds_sum{phase="aggregate"} 0.0027
+graphite_phase_latency_seconds_count{phase="aggregate"} 4
+# HELP graphite_phase_latency_quantile_seconds estimated phase latency percentiles from the log2 histogram
+# TYPE graphite_phase_latency_quantile_seconds gauge
+graphite_phase_latency_quantile_seconds{phase="aggregate",quantile="0.5"} 0.000262143
+graphite_phase_latency_quantile_seconds{phase="aggregate",quantile="0.95"} 0.002097151
+graphite_phase_latency_quantile_seconds{phase="aggregate",quantile="0.99"} 0.002097151
+# HELP graphite_throughput_vertices_per_second EWMA throughput derived from counter deltas between scrapes
+# TYPE graphite_throughput_vertices_per_second gauge
+graphite_throughput_vertices_per_second 50
+# HELP graphite_throughput_edges_per_second EWMA throughput derived from counter deltas between scrapes
+# TYPE graphite_throughput_edges_per_second gauge
+graphite_throughput_edges_per_second 0
+# HELP graphite_throughput_bytes_per_second EWMA throughput derived from counter deltas between scrapes
+# TYPE graphite_throughput_bytes_per_second gauge
+graphite_throughput_bytes_per_second 102.4
+# HELP graphite_slo_window_seconds sliding window of the SLO burn-rate accounting
+# TYPE graphite_slo_window_seconds gauge
+graphite_slo_window_seconds 60
+# HELP graphite_slo_threshold_seconds configured latency threshold of the objective
+# TYPE graphite_slo_threshold_seconds gauge
+graphite_slo_threshold_seconds{phase="aggregate",quantile="0.95"} 0.001
+# HELP graphite_slo_quantile_seconds current estimated latency at the objective's target quantile
+# TYPE graphite_slo_quantile_seconds gauge
+graphite_slo_quantile_seconds{phase="aggregate",quantile="0.95"} 0.002097151
+# HELP graphite_slo_observations_total observations counted toward the objective
+# TYPE graphite_slo_observations_total counter
+graphite_slo_observations_total{phase="aggregate",quantile="0.95"} 4
+# HELP graphite_slo_bad_total observations above the objective threshold (log2-bucket lower bound)
+# TYPE graphite_slo_bad_total counter
+graphite_slo_bad_total{phase="aggregate",quantile="0.95"} 1
+# HELP graphite_slo_burn_rate windowed error-budget burn rate (1 = at budget)
+# TYPE graphite_slo_burn_rate gauge
+graphite_slo_burn_rate{phase="aggregate",quantile="0.95"} 19.999999999999982
+# HELP graphite_slo_breach 1 when the current quantile estimate exceeds the threshold
+# TYPE graphite_slo_breach gauge
+graphite_slo_breach{phase="aggregate",quantile="0.95"} 1
+`

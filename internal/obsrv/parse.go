@@ -1,0 +1,374 @@
+package obsrv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	// Name is the full sample name, including _bucket/_sum/_count suffixes.
+	Name string
+	// Labels holds the sample's label pairs.
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Exposition is a parsed Prometheus text-format payload.
+type Exposition struct {
+	// Samples holds every sample line in input order.
+	Samples []Sample
+	// Types maps family names to their declared # TYPE.
+	Types map[string]string
+	// Help maps family names to their # HELP text.
+	Help map[string]string
+}
+
+// Value returns the value of the sample with the given name whose labels
+// exactly match want (nil matches only a label-free sample).
+func (e *Exposition) Value(name string, want map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name || len(s.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Family returns all samples with the given exact name, in input order.
+func (e *Exposition) Family(name string) []Sample {
+	var out []Sample
+	for _, s := range e.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// validTypes are the metric types the text format allows.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// ParseExposition parses and validates Prometheus text format (version
+// 0.0.4). It is strict: malformed names, labels, values, duplicate or
+// late # TYPE lines, and inconsistent histogram series (missing +Inf
+// bucket, non-cumulative buckets, +Inf disagreeing with _count) are all
+// errors. The CI smoke job and graphite-top use it as the exposition
+// gate, so anything /metrics emits that a real Prometheus server would
+// reject fails loudly here.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	sampledFamilies := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := e.parseComment(line, sampledFamilies); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		e.Samples = append(e.Samples, s)
+		sampledFamilies[familyOf(s.Name)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := e.validateHistograms(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseComment handles # HELP and # TYPE lines; other comments pass.
+func (e *Exposition) parseComment(line string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := e.Types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		e.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if len(fields) == 4 {
+			e.Help[name] = fields[3]
+		}
+	}
+	return nil
+}
+
+// parseSample parses one `name{labels} value` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		var err error
+		if s.Labels, err = parseLabels(rest[1:end]); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		// One value plus an optional timestamp.
+		return s, fmt.Errorf("want `value [timestamp]` after name in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses the inside of a {…} block.
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without value")
+		}
+		name := strings.TrimSpace(s[:eq])
+		if !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		val, rest, err := scanQuoted(s)
+		if err != nil {
+			return nil, fmt.Errorf("label %q: %w", name, err)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val
+		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// scanQuoted consumes a double-quoted, backslash-escaped string at the
+// start of s and returns its unescaped value and the remainder.
+func scanQuoted(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf strips histogram/summary sample suffixes to the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// validateHistograms checks every family declared `histogram`: each label
+// group needs cumulative, non-decreasing buckets ending in a +Inf bucket
+// that equals its _count sample.
+func (e *Exposition) validateHistograms() error {
+	for fam, typ := range e.Types {
+		if typ != "histogram" {
+			continue
+		}
+		type group struct {
+			buckets []Sample
+			count   *Sample
+			hasSum  bool
+		}
+		groups := make(map[string]*group)
+		key := func(labels map[string]string) string {
+			kv := make([]string, 0, len(labels))
+			for k, v := range labels {
+				if k == "le" {
+					continue
+				}
+				kv = append(kv, k+"="+v)
+			}
+			sort.Strings(kv)
+			return strings.Join(kv, ",")
+		}
+		for i := range e.Samples {
+			s := &e.Samples[i]
+			base := key(s.Labels)
+			g := groups[base]
+			if g == nil {
+				g = &group{}
+				groups[base] = g
+			}
+			switch s.Name {
+			case fam + "_bucket":
+				if _, ok := s.Labels["le"]; !ok {
+					return fmt.Errorf("histogram %s bucket without le label", fam)
+				}
+				g.buckets = append(g.buckets, *s)
+			case fam + "_count":
+				g.count = s
+			case fam + "_sum":
+				g.hasSum = true
+			}
+		}
+		for base, g := range groups {
+			if len(g.buckets) == 0 && g.count == nil && !g.hasSum {
+				continue // samples of other families sharing no series here
+			}
+			if len(g.buckets) == 0 {
+				return fmt.Errorf("histogram %s{%s} has no buckets", fam, base)
+			}
+			var prev float64 = -1
+			var inf *Sample
+			for i := range g.buckets {
+				b := g.buckets[i]
+				if b.Labels["le"] == "+Inf" {
+					inf = &g.buckets[i]
+					continue
+				}
+				le, err := strconv.ParseFloat(b.Labels["le"], 64)
+				if err != nil {
+					return fmt.Errorf("histogram %s{%s} bad le %q", fam, base, b.Labels["le"])
+				}
+				_ = le
+				if b.Value < prev {
+					return fmt.Errorf("histogram %s{%s} buckets not cumulative", fam, base)
+				}
+				prev = b.Value
+			}
+			if inf == nil {
+				return fmt.Errorf("histogram %s{%s} missing +Inf bucket", fam, base)
+			}
+			if inf.Value < prev {
+				return fmt.Errorf("histogram %s{%s} +Inf bucket below finite buckets", fam, base)
+			}
+			if g.count == nil {
+				return fmt.Errorf("histogram %s{%s} missing _count", fam, base)
+			}
+			if g.count.Value != inf.Value {
+				return fmt.Errorf("histogram %s{%s} +Inf bucket %v != count %v", fam, base, inf.Value, g.count.Value)
+			}
+			if !g.hasSum {
+				return fmt.Errorf("histogram %s{%s} missing _sum", fam, base)
+			}
+		}
+	}
+	return nil
+}

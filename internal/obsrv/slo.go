@@ -1,0 +1,155 @@
+package obsrv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"graphite/internal/telemetry"
+)
+
+// SLO is one latency service-level objective: "the Quantile-th percentile
+// of the named telemetry phase stays under Threshold". The tracker derives
+// compliance from the phase's log2 latency histogram, so "bad" observation
+// counts are the bucket-resolution lower bound of true threshold breaches.
+type SLO struct {
+	// Phase is the telemetry span/histogram name the objective covers
+	// (telemetry.PhaseEpoch, "experiment/fig2", ...).
+	Phase string
+	// Quantile is the target quantile in (0, 1), e.g. 0.99.
+	Quantile float64
+	// Threshold is the latency the target quantile must stay under.
+	Threshold time.Duration
+}
+
+// Validate reports whether the objective is well-formed.
+func (o SLO) Validate() error {
+	if o.Phase == "" {
+		return fmt.Errorf("obsrv: SLO has empty phase")
+	}
+	if o.Quantile <= 0 || o.Quantile >= 1 {
+		return fmt.Errorf("obsrv: SLO %s quantile %v outside (0, 1)", o.Phase, o.Quantile)
+	}
+	if o.Threshold <= 0 {
+		return fmt.Errorf("obsrv: SLO %s threshold %v must be positive", o.Phase, o.Threshold)
+	}
+	return nil
+}
+
+// String renders the flag form understood by ParseSLO.
+func (o SLO) String() string {
+	return fmt.Sprintf("%s:%g:%s", o.Phase, o.Quantile, o.Threshold)
+}
+
+// ParseSLO parses the "phase:quantile:threshold" flag form, e.g.
+// "epoch:0.99:250ms".
+func ParseSLO(s string) (SLO, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return SLO{}, fmt.Errorf("obsrv: SLO %q: want phase:quantile:threshold (e.g. epoch:0.99:250ms)", s)
+	}
+	q, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return SLO{}, fmt.Errorf("obsrv: SLO %q: bad quantile: %v", s, err)
+	}
+	d, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return SLO{}, fmt.Errorf("obsrv: SLO %q: bad threshold: %v", s, err)
+	}
+	o := SLO{Phase: parts[0], Quantile: q, Threshold: d}
+	if err := o.Validate(); err != nil {
+		return SLO{}, err
+	}
+	return o, nil
+}
+
+// ParseSLOs parses a comma-separated list of ParseSLO forms. Empty input
+// yields no objectives.
+func ParseSLOs(s string) ([]SLO, error) {
+	var out []SLO
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		o, err := ParseSLO(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// sloSample is one scrape-time observation of the cumulative totals.
+type sloSample struct {
+	t     time.Time
+	total int64
+	bad   int64
+}
+
+// sloState is one objective's rendered scrape state.
+type sloState struct {
+	SLO SLO
+	// Quantile is the current latency estimate at the target quantile.
+	Quantile time.Duration
+	// Total and Bad are cumulative observation counts (Bad = above
+	// threshold, bucket-resolution lower bound).
+	Total, Bad int64
+	// BurnRate is the windowed error-budget burn: the fraction of window
+	// observations above threshold, divided by the error budget
+	// (1 - Quantile). 1.0 means the budget is being consumed exactly as
+	// fast as the objective allows; above 1 the objective is failing.
+	BurnRate float64
+	// Breach is true when the current quantile estimate exceeds the
+	// threshold (and at least one observation exists).
+	Breach bool
+}
+
+// sloTracker accumulates one objective's sliding window across scrapes.
+// Scrape cadence defines the sample resolution: the burn rate compares the
+// newest sample against the oldest sample still inside the window.
+type sloTracker struct {
+	slo     SLO
+	samples []sloSample
+}
+
+// rebaseline discards the window (sink swap or reset).
+func (tr *sloTracker) rebaseline() { tr.samples = nil }
+
+// observe folds the phase histogram's current totals into the window and
+// returns the objective's rendered state. h may be nil (phase not recorded
+// yet); telemetry histogram methods are nil-safe and report zeros.
+func (tr *sloTracker) observe(now time.Time, window time.Duration, h *telemetry.Histogram) sloState {
+	total := h.Count()
+	bad := h.CountAbove(tr.slo.Threshold)
+	if n := len(tr.samples); n > 0 && total < tr.samples[n-1].total {
+		// The histogram went backwards (Sink.Reset between scrapes): the
+		// old window is from a different life, drop it.
+		tr.samples = nil
+	}
+	tr.samples = append(tr.samples, sloSample{t: now, total: total, bad: bad})
+
+	// Evict samples older than the window, but keep the newest such sample
+	// as the delta baseline so the window always spans close to `window`.
+	cut := now.Add(-window)
+	lo := 0
+	for lo+1 < len(tr.samples) && !tr.samples[lo+1].t.After(cut) {
+		lo++
+	}
+	tr.samples = tr.samples[lo:]
+
+	base := tr.samples[0]
+	dTotal, dBad := total-base.total, bad-base.bad
+	st := sloState{
+		SLO:      tr.slo,
+		Quantile: h.Quantile(tr.slo.Quantile),
+		Total:    total,
+		Bad:      bad,
+	}
+	if budget := 1 - tr.slo.Quantile; dTotal > 0 && budget > 0 {
+		st.BurnRate = (float64(dBad) / float64(dTotal)) / budget
+	}
+	st.Breach = total > 0 && st.Quantile > tr.slo.Threshold
+	return st
+}

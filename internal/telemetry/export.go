@@ -21,6 +21,10 @@ type Snapshot struct {
 	// Latencies summarizes the per-phase latency histograms, ordered by
 	// phase name. Unlike the span ring these never drop samples.
 	Latencies []PhaseLatency
+	// Inflight reports spans open at snapshot time (count and elapsed time
+	// per phase, ordered by phase name), so a live scrape in the middle of
+	// a long phase does not read as idle.
+	Inflight []PhaseInflight
 	// Spans is the total number of spans recorded.
 	Spans int64
 	// SpansDropped counts spans evicted from the ring buffer: non-zero
@@ -117,6 +121,7 @@ func (s *Sink) Snapshot() Snapshot {
 	sort.Slice(snap.Latencies, func(i, j int) bool {
 		return snap.Latencies[i].Phase < snap.Latencies[j].Phase
 	})
+	snap.Inflight = s.Inflight()
 	s.mu.Lock()
 	snap.Spans = s.written
 	snap.SpansDropped = s.dropped

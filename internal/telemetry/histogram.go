@@ -85,6 +85,48 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sumNS.Load())
 }
 
+// HistBucket is one log2 latency bucket as seen by exporters: Count
+// observations whose duration is <= Upper and greater than the previous
+// bucket's Upper (bucket 0 holds exactly-zero durations).
+type HistBucket struct {
+	Upper time.Duration
+	Count int64
+}
+
+// Buckets returns all bucket counts in ascending bound order, including
+// empty ones, so exporters can render a complete cumulative distribution
+// (Prometheus _bucket series). The last bucket is open-ended in practice:
+// durations past its bound clamp into it.
+func (h *Histogram) Buckets() []HistBucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]HistBucket, histBuckets)
+	for i := range out {
+		out[i] = HistBucket{Upper: time.Duration(bucketMax(i)), Count: h.buckets[i].Load()}
+	}
+	return out
+}
+
+// CountAbove returns the number of observations recorded in buckets that lie
+// entirely above d — a lower bound on the true count of observations slower
+// than d, off by at most the contents of d's own bucket (log2 resolution).
+// The SLO tracker uses it to count threshold breaches from bucket counts
+// alone, without retaining raw samples.
+func (h *Histogram) CountAbove(d time.Duration) int64 {
+	if h == nil {
+		return 0
+	}
+	ns := int64(d)
+	var n int64
+	for i := 0; i < histBuckets; i++ {
+		if bucketMin(i) > ns {
+			n += h.buckets[i].Load()
+		}
+	}
+	return n
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
 // within the covering bucket. With no observations it returns 0. The
 // estimate's relative error is bounded by the bucket width (at most 2x),

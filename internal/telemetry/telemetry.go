@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime/pprof"
 	"runtime/trace"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -114,6 +115,14 @@ type spanEvent struct {
 	durNS   int64
 }
 
+// openSpan is one in-flight span tracked between Begin and End, so live
+// metric scrapes can report elapsed time of phases that have not finished
+// yet (a long epoch must not read as idle).
+type openSpan struct {
+	name    string
+	startNS int64
+}
+
 // DefaultSpanCapacity is the ring-buffer size used when New is given a
 // non-positive capacity. Spans are phase-granular (per layer, per epoch),
 // so 32Ki events covers thousands of epochs before wrapping.
@@ -133,6 +142,8 @@ type Sink struct {
 	head    int   // next write position in the ring
 	written int64 // total spans ever recorded (>= len(events) once wrapped)
 	dropped int64 // spans evicted from the ring (written - retained)
+	open    map[uint64]openSpan
+	nextID  uint64 // last open-span id handed out (under mu)
 }
 
 // New returns an enabled sink whose span ring holds capacity events
@@ -157,7 +168,11 @@ func (s *Sink) SetEnabled(on bool) {
 	}
 }
 
-// Reset clears counters, worker accounting, and recorded spans.
+// Reset clears counters, worker accounting, recorded spans, the per-phase
+// latency histograms, and the spans-dropped counter, so a metrics scrape
+// after Reset never reports stale totals or quantiles. Spans currently in
+// flight survive (they are live state, not history): their eventual End
+// still records, and Inflight keeps reporting them.
 func (s *Sink) Reset() {
 	if s == nil {
 		return
@@ -228,11 +243,14 @@ type Span struct {
 	name   string
 	tid    int32
 	start  int64
+	id     uint64
 }
 
 // Begin opens a phase span. It also opens a runtime/trace region of the
 // same name when `go tool trace` collection is active, so both timelines
-// stay phase-aligned. End the returned span exactly once.
+// stay phase-aligned. End the returned span exactly once. Until End, the
+// span is visible as in-flight elapsed time in PhaseTotals and
+// Snapshot.Inflight, so live scrapes see long-running phases.
 func (s *Sink) Begin(name string) Span {
 	if !s.Enabled() {
 		return Span{}
@@ -241,6 +259,14 @@ func (s *Sink) Begin(name string) Span {
 	if trace.IsEnabled() {
 		sp.region = trace.StartRegion(context.Background(), name)
 	}
+	s.mu.Lock()
+	s.nextID++
+	sp.id = s.nextID
+	if s.open == nil {
+		s.open = make(map[uint64]openSpan, 16)
+	}
+	s.open[sp.id] = openSpan{name: name, startNS: sp.start}
+	s.mu.Unlock()
 	return sp
 }
 
@@ -256,7 +282,7 @@ func (sp Span) End() {
 	}
 	dur := int64(time.Since(sp.s.epoch)) - sp.start
 	sp.s.hists.get(sp.name).Observe(time.Duration(dur))
-	sp.s.record(spanEvent{name: sp.name, tid: sp.tid, startNS: sp.start, durNS: dur})
+	sp.s.record(spanEvent{name: sp.name, tid: sp.tid, startNS: sp.start, durNS: dur}, sp.id)
 }
 
 // Observe records one duration in the named phase's latency histogram
@@ -279,11 +305,13 @@ func (s *Sink) Histogram(name string) *Histogram {
 	return s.hists.snapshot()[name]
 }
 
-// record appends to the ring, overwriting the oldest event when full. Span
-// frequency is phase-granular, so a mutex (not a lock-free ring) keeps the
-// export logic simple without measurable contention.
-func (s *Sink) record(ev spanEvent) {
+// record appends to the ring, overwriting the oldest event when full, and
+// retires the span's open-table entry. Span frequency is phase-granular, so
+// a mutex (not a lock-free ring) keeps the export logic simple without
+// measurable contention.
+func (s *Sink) record(ev spanEvent, id uint64) {
 	s.mu.Lock()
+	delete(s.open, id)
 	if len(s.events) < cap(s.events) {
 		s.events = append(s.events, ev)
 	} else {
@@ -344,19 +372,77 @@ func (s *Sink) SpansDropped() int64 {
 	return s.dropped
 }
 
-// PhaseTotals sums recorded span durations by phase name. Nested spans each
-// contribute their own duration, so sum leaf phases (aggregate, update,
-// fused, ...) rather than mixing them with their enclosing layer/epoch
-// spans.
+// PhaseTotals sums recorded span durations by phase name, including the
+// elapsed-so-far time of spans still in flight — a live scrape in the middle
+// of a long epoch sees the running phase's time, not an idle system. Nested
+// spans each contribute their own duration, so sum leaf phases (aggregate,
+// update, fused, ...) rather than mixing them with their enclosing
+// layer/epoch spans.
 func (s *Sink) PhaseTotals() map[string]time.Duration {
 	if s == nil {
 		return nil
 	}
+	now := int64(time.Since(s.epoch))
 	totals := make(map[string]time.Duration)
 	for _, ev := range s.snapshotEvents() {
 		totals[ev.name] += time.Duration(ev.durNS)
 	}
+	s.mu.Lock()
+	for _, op := range s.open {
+		if el := now - op.startNS; el > 0 {
+			totals[op.name] += time.Duration(el)
+		}
+	}
+	s.mu.Unlock()
 	return totals
+}
+
+// PhaseInflight is one phase's currently-open spans: how many are running
+// and their summed elapsed time at the moment of the call.
+type PhaseInflight struct {
+	Phase   string
+	Count   int64
+	Elapsed time.Duration
+}
+
+// Inflight reports currently-open spans grouped by phase, sorted by phase
+// name. Open spans survive Reset (they are live state, not history); their
+// elapsed time still counts from their original Begin.
+func (s *Sink) Inflight() []PhaseInflight {
+	if s == nil {
+		return nil
+	}
+	now := int64(time.Since(s.epoch))
+	agg := make(map[string]*PhaseInflight)
+	s.mu.Lock()
+	for _, op := range s.open {
+		pi := agg[op.name]
+		if pi == nil {
+			pi = &PhaseInflight{Phase: op.name}
+			agg[op.name] = pi
+		}
+		pi.Count++
+		if el := now - op.startNS; el > 0 {
+			pi.Elapsed += time.Duration(el)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]PhaseInflight, 0, len(agg))
+	for _, pi := range agg {
+		out = append(out, *pi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}
+
+// Histograms returns the current phase-name → latency-histogram map. The
+// histograms are the live ones (they keep accumulating); the map itself is
+// an immutable snapshot. Nil-safe: a nil sink returns nil.
+func (s *Sink) Histograms() map[string]*Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.hists.snapshot()
 }
 
 // layerNameCache pre-renders the common layer span names so per-layer spans

@@ -365,6 +365,149 @@ func TestResetClearsEverything(t *testing.T) {
 	}
 }
 
+// TestResetClearsHistogramsAndDropped is the regression test for the live
+// observability plane: a scrape taken after Reset must never report stale
+// latency quantiles or a stale spans-dropped count from before the reset.
+func TestResetClearsHistogramsAndDropped(t *testing.T) {
+	const capacity = 4
+	s := New(capacity)
+	for i := 0; i < capacity+5; i++ {
+		sp := s.Begin(PhaseAggregate)
+		sp.End()
+	}
+	s.Observe(PhaseUpdate, 3*time.Millisecond)
+	if s.SpansDropped() == 0 {
+		t.Fatal("setup: expected dropped spans before reset")
+	}
+	if s.Histogram(PhaseAggregate).Count() == 0 || s.Histogram(PhaseUpdate).Count() == 0 {
+		t.Fatal("setup: expected histogram observations before reset")
+	}
+
+	s.Reset()
+
+	if got := s.SpansDropped(); got != 0 {
+		t.Fatalf("spans dropped = %d after reset, want 0", got)
+	}
+	for name, h := range s.Histograms() {
+		if h.Count() != 0 || h.Sum() != 0 {
+			t.Fatalf("histogram %q count=%d sum=%v after reset, want zeros", name, h.Count(), h.Sum())
+		}
+		if q := h.Quantile(0.99); q != 0 {
+			t.Fatalf("histogram %q p99 = %v after reset, want 0", name, q)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap.Latencies) != 0 {
+		t.Fatalf("snapshot latencies = %+v after reset, want none", snap.Latencies)
+	}
+	if snap.SpansDropped != 0 {
+		t.Fatalf("snapshot spans dropped = %d after reset, want 0", snap.SpansDropped)
+	}
+	// The sink must still record after Reset, including re-registered phases.
+	sp := s.Begin(PhaseAggregate)
+	sp.End()
+	if got := s.Histogram(PhaseAggregate).Count(); got != 1 {
+		t.Fatalf("histogram count = %d after post-reset span, want 1", got)
+	}
+}
+
+// TestInflightSpansVisible checks open spans surface in PhaseTotals,
+// Inflight, and Snapshot while they run, and retire once ended.
+func TestInflightSpansVisible(t *testing.T) {
+	s := New(0)
+	sp := s.Begin(PhaseEpoch)
+	time.Sleep(2 * time.Millisecond)
+
+	totals := s.PhaseTotals()
+	if totals[PhaseEpoch] < time.Millisecond {
+		t.Fatalf("open span invisible in PhaseTotals: %v", totals[PhaseEpoch])
+	}
+	inflight := s.Inflight()
+	if len(inflight) != 1 || inflight[0].Phase != PhaseEpoch || inflight[0].Count != 1 {
+		t.Fatalf("inflight = %+v, want one open %s span", inflight, PhaseEpoch)
+	}
+	if inflight[0].Elapsed < time.Millisecond {
+		t.Fatalf("inflight elapsed = %v, want >= 1ms", inflight[0].Elapsed)
+	}
+	snap := s.Snapshot()
+	if len(snap.Inflight) != 1 || snap.Inflight[0].Phase != PhaseEpoch {
+		t.Fatalf("snapshot inflight = %+v", snap.Inflight)
+	}
+
+	sp.End()
+	if got := s.Inflight(); len(got) != 0 {
+		t.Fatalf("inflight after End = %+v, want empty", got)
+	}
+	// The completed span now counts once (not double) in PhaseTotals.
+	done := s.PhaseTotals()[PhaseEpoch]
+	if done < 2*time.Millisecond || done > time.Second {
+		t.Fatalf("completed span total = %v", done)
+	}
+	if got := s.SpanCount(); got != 1 {
+		t.Fatalf("span count = %d, want 1", got)
+	}
+}
+
+// TestInflightSurvivesReset pins the Reset contract for open spans: they
+// stay visible as in-flight (live state), and their End still records into
+// the post-reset histograms.
+func TestInflightSurvivesReset(t *testing.T) {
+	s := New(0)
+	sp := s.Begin(PhaseForward)
+	s.Reset()
+	if got := s.Inflight(); len(got) != 1 || got[0].Phase != PhaseForward {
+		t.Fatalf("inflight after reset = %+v, want the open span", got)
+	}
+	sp.End()
+	if got := s.Histogram(PhaseForward).Count(); got != 1 {
+		t.Fatalf("post-reset End recorded %d observations, want 1", got)
+	}
+	if got := s.Inflight(); len(got) != 0 {
+		t.Fatalf("inflight after End = %+v, want empty", got)
+	}
+}
+
+// TestHistogramBuckets checks the exported bucket view: complete coverage,
+// cumulative count equals Count, and CountAbove's lower-bound semantics.
+func TestHistogramBucketExport(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+
+	bs := h.Buckets()
+	if len(bs) != histBuckets {
+		t.Fatalf("bucket count = %d, want %d", len(bs), histBuckets)
+	}
+	var total int64
+	lastUpper := time.Duration(-1)
+	for _, b := range bs {
+		if b.Upper <= lastUpper {
+			t.Fatalf("bucket bounds not ascending: %v after %v", b.Upper, lastUpper)
+		}
+		lastUpper = b.Upper
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket sum = %d, Count = %d", total, h.Count())
+	}
+	if got := h.CountAbove(time.Millisecond); got != 2 {
+		t.Fatalf("CountAbove(1ms) = %d, want 2", got)
+	}
+	if got := h.CountAbove(0); got != 4 {
+		t.Fatalf("CountAbove(0) = %d, want 4 (zero-duration bucket excluded)", got)
+	}
+	if got := h.CountAbove(time.Hour * 10); got != 0 {
+		t.Fatalf("CountAbove(10h) = %d, want 0", got)
+	}
+	var nilH *Histogram
+	if nilH.Buckets() != nil || nilH.CountAbove(0) != 0 {
+		t.Fatal("nil histogram bucket accessors not nil-safe")
+	}
+}
+
 // TestWorkerClaimClamping checks out-of-range worker ids fold into the valid
 // slot range instead of panicking.
 func TestWorkerClaimClamping(t *testing.T) {

@@ -1,0 +1,139 @@
+package graphite
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"graphite/internal/obsrv"
+)
+
+// serveEngine starts the engine's observability plane and waits for it to
+// bind, returning the base URL and a stop func that also waits for Serve to
+// return.
+func serveEngine(t *testing.T, e *Engine) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- e.Serve(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.ObservabilityAddr() == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("Serve never bound: %v", <-errc)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	addr := e.ObservabilityAddr()
+	return "http://" + addr, func() error {
+		cancel()
+		return <-errc
+	}
+}
+
+// TestEngineServeExposesMetrics is the end-to-end contract of Config.Listen:
+// a run's counters and histograms are scrapeable mid-flight as valid
+// Prometheus text, the probes answer, and cancelling the Serve context
+// drains cleanly.
+func TestEngineServeExposesMetrics(t *testing.T) {
+	g, err := GenerateGraph(ProfileProducts, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := RandomFeatures(g.NumVertices(), 16, 0.5, 1)
+	eng, err := NewEngine(Config{
+		Model:  GCN,
+		Dims:   []int{16, 8, 4},
+		Listen: "127.0.0.1:0",
+		SLOs:   []SLO{{Phase: "epoch", Quantile: 0.99, Threshold: time.Minute}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, stop := serveEngine(t, eng)
+
+	w, err := eng.NewWorkload(g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Infer(w); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	expo, err := obsrv.ParseExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	if v, ok := expo.Value("graphite_vertices_aggregated_total", nil); !ok || v <= 0 {
+		t.Fatalf("vertices counter = %v ok=%v after Infer", v, ok)
+	}
+	if fam := expo.Family("graphite_phase_latency_seconds_count"); len(fam) == 0 {
+		t.Fatal("no phase latency histograms after Infer")
+	}
+	if _, ok := expo.Value("graphite_slo_burn_rate",
+		map[string]string{"phase": "epoch", "quantile": "0.99"}); !ok {
+		t.Fatal("configured SLO series missing")
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.HasPrefix(body, "ok idle") {
+		t.Fatalf("/readyz = %d %q, want ok idle", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if eng.ObservabilityAddr() != "" {
+		t.Fatal("address still bound after Serve returned")
+	}
+}
+
+// TestEngineServeGuards pins the error paths: Serve without Listen, double
+// Serve, and invalid SLOs at construction.
+func TestEngineServeGuards(t *testing.T) {
+	eng, err := NewEngine(Config{Model: GCN, Dims: []int{4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Serve(context.Background()); err == nil {
+		t.Fatal("Serve without Listen succeeded")
+	}
+
+	eng2, err := NewEngine(Config{Model: GCN, Dims: []int{4, 2}, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop := serveEngine(t, eng2)
+	if err := eng2.Serve(context.Background()); err == nil {
+		t.Fatal("second Serve succeeded")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewEngine(Config{Model: GCN, Dims: []int{4, 2}, SLOs: []SLO{{Phase: "", Quantile: 0.5, Threshold: time.Second}}}); err == nil {
+		t.Fatal("invalid SLO accepted")
+	}
+}
