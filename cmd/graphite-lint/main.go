@@ -4,9 +4,17 @@
 //
 // Usage:
 //
-//	go run ./cmd/graphite-lint ./...          # whole module
+//	go run ./cmd/graphite-lint ./...          # whole module, AST checkers
 //	go run ./cmd/graphite-lint ./internal/gnn # specific packages
 //	go run ./cmd/graphite-lint -list          # describe the checkers
+//	go run ./cmd/graphite-lint -json ./...    # findings as ndjson
+//
+// The compiler-diagnostics engine audits the kernel packages' heap escapes
+// and residual bounds checks against committed baselines
+// (internal/lint/baseline/*.txt):
+//
+//	go run ./cmd/graphite-lint -compiler-diag             # diff against baselines
+//	go run ./cmd/graphite-lint -compiler-diag -update-baseline
 //
 // Findings print one per line as file:line: [check-name] message, and the
 // process exits 1 when anything is found (2 on load errors). Individual
@@ -28,6 +36,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the checkers and exit")
 	check := flag.String("check", "", "comma-separated checker names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as ndjson (one object per line) instead of text")
+	compilerDiag := flag.Bool("compiler-diag", false, "also audit kernel-package escape/bounds-check diagnostics against baselines")
+	baselineDir := flag.String("baseline", "", "compiler-diag baseline directory (default: <module>/internal/lint/baseline)")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the compiler-diag baselines from the current build and exit")
 	flag.Parse()
 
 	loader, err := lint.NewLoader(".")
@@ -38,6 +50,15 @@ func main() {
 	if *list {
 		for _, c := range checkers {
 			fmt.Printf("%-20s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+	if *baselineDir == "" {
+		*baselineDir = filepath.Join(loader.Root, "internal", "lint", "baseline")
+	}
+	if *updateBaseline {
+		if err := updateBaselines(loader.Root, *baselineDir); err != nil {
+			fail(err)
 		}
 		return
 	}
@@ -64,19 +85,58 @@ func main() {
 		fail(err)
 	}
 	findings := lint.Run(pkgs, checkers)
+	if *compilerDiag {
+		diagFindings, skipped, err := lint.CompilerDiagGate(loader.Root, *baselineDir, lint.CompilerDiagPkgs)
+		if err != nil {
+			fail(err)
+		}
+		for _, s := range skipped {
+			fmt.Fprintf(os.Stderr, "graphite-lint: compiler-diag skipped %s\n", s)
+		}
+		findings = append(findings, diagFindings...)
+	}
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
+	for i, f := range findings {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 				f.Pos.Filename = rel
+				findings[i] = f
 			}
 		}
-		fmt.Println(f)
+	}
+	if *jsonOut {
+		if err := lint.WriteNDJSON(os.Stdout, findings); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Printf("graphite-lint: %d finding(s)\n", len(findings))
+		if !*jsonOut {
+			fmt.Printf("graphite-lint: %d finding(s)\n", len(findings))
+		}
 		os.Exit(1)
 	}
+}
+
+// updateBaselines regenerates every gated package's baseline file from the
+// current build's diagnostics. The resulting diff is the review artifact:
+// added lines are new debt being accepted, removed lines are burn-down.
+func updateBaselines(root, dir string) error {
+	diags, err := lint.RunCompilerDiag(root, lint.CompilerDiagPkgs)
+	if err != nil {
+		return err
+	}
+	for _, rel := range lint.CompilerDiagPkgs {
+		path := lint.BaselineFile(dir, rel)
+		if err := lint.WriteBaseline(path, lint.NewBaseline(diags[rel])); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "graphite-lint: wrote %s (%d diagnostics)\n", path, len(diags[rel]))
+	}
+	return nil
 }
 
 // load resolves the package patterns. No patterns, ".", or "./..." mean the

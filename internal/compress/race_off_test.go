@@ -1,0 +1,8 @@
+//go:build !race
+
+package compress
+
+// raceEnabled gates the AllocsPerRun assertions: race instrumentation
+// allocates shadow state, so the zero-alloc tests only run without -race
+// (CI runs them as a separate non-race step).
+const raceEnabled = false

@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphite/internal/compress"
+	"graphite/internal/graph"
+	"graphite/internal/sparse"
+	"graphite/internal/tensor"
+)
+
+// The zero-allocation contract (ROADMAP 3): the steady-state aggregation
+// path — everything that runs per vertex and per edge once the operands are
+// built — allocates nothing. These assertions are the dynamic half of the
+// contract; the static half is the compiler-diagnostics baseline gate in
+// internal/lint (TestRepoCompilerDiagBaseline), which enumerates every heap
+// escape in these packages and admits none in the per-row code. If an
+// assertion here starts failing, the baseline diff names the escape site.
+
+// allocFixture builds a small self-looped graph with GCN factors and a
+// feature matrix of the given width.
+func allocFixture(t testing.TB, cols int) (*graph.CSR, []float32, *tensor.Matrix) {
+	t.Helper()
+	g, err := graph.ErdosRenyi(256, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g = g.AddSelfLoops()
+	f := sparse.Factors(g, sparse.NormGCN)
+	h := tensor.NewMatrix(g.NumVertices(), cols)
+	h.FillSparse(rand.New(rand.NewSource(3)), 1, 0.5)
+	return g, f, h
+}
+
+func requireNoRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race (CI has a dedicated step)")
+	}
+}
+
+// TestZeroAllocAggregate asserts the per-block aggregation path allocates
+// zero bytes for the specialised widths (multiples of 16 — the tail-free
+// unrolled AXPY) and for the generic fallback width, over both source
+// kinds, with prefetch on.
+func TestZeroAllocAggregate(t *testing.T) {
+	requireNoRace(t)
+	for _, cols := range []int{16, 64, 256, 7} {
+		g, f, h := allocFixture(t, cols)
+		out := tensor.NewMatrix(g.NumVertices(), cols)
+		sources := map[string]Source{
+			"dense":      NewDenseSource(h),
+			"compressed": NewCompressedSource(compress.FromDense(h, 1)),
+		}
+		for name, src := range sources {
+			opt := Options{PrefetchDistance: 4}
+			n := g.NumVertices()
+			if avg := testing.AllocsPerRun(10, func() {
+				AggregateBlock(out, 0, g, f, src, opt, 0, n)
+			}); avg != 0 {
+				t.Errorf("cols=%d src=%s: AggregateBlock allocates %.1f/run, want 0", cols, name, avg)
+			}
+			if avg := testing.AllocsPerRun(10, func() {
+				AggregateBlockByVertex(out, g, f, src, opt, 0, n)
+			}); avg != 0 {
+				t.Errorf("cols=%d src=%s: AggregateBlockByVertex allocates %.1f/run, want 0", cols, name, avg)
+			}
+			if avg := testing.AllocsPerRun(10, func() {
+				for v := 0; v < n; v++ {
+					AggregateVertex(out.Row(v), g, f, src, v)
+				}
+			}); avg != 0 {
+				t.Errorf("cols=%d src=%s: AggregateVertex allocates %.1f/run, want 0", cols, name, avg)
+			}
+		}
+	}
+}
+
+// TestZeroAllocReorderedAggregate covers the processing-order path (§4.4):
+// indexing through Options.Order must not change the allocation story.
+func TestZeroAllocReorderedAggregate(t *testing.T) {
+	requireNoRace(t)
+	g, f, h := allocFixture(t, 64)
+	n := g.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(n - 1 - i)
+	}
+	out := tensor.NewMatrix(n, 64)
+	src := NewDenseSource(h)
+	opt := Options{PrefetchDistance: 4, Order: order}
+	if avg := testing.AllocsPerRun(10, func() {
+		AggregateBlockByVertex(out, g, f, src, opt, 0, n)
+	}); avg != 0 {
+		t.Errorf("ordered AggregateBlockByVertex allocates %.1f/run, want 0", avg)
+	}
+}

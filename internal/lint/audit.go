@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AuditIgnores reviews every //lint:ignore directive in pkgs against what
+// the checkers actually report. A directive is debt documentation: it must
+// name a real checker, carry a reason (malformed directives are re-reported
+// here), and still suppress at least one finding — when the flagged code is
+// fixed or deleted, the directive must go with it, otherwise it is a
+// standing invitation to reintroduce the violation silently.
+//
+// Returned findings use the check name "lint-ignore-audit".
+func AuditIgnores(pkgs []*Package, checkers []Checker) []Finding {
+	known := make(map[string]bool, len(checkers))
+	for _, c := range checkers {
+		known[c.Name()] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		for _, f := range sup.malformed {
+			f.Check = "lint-ignore-audit"
+			out = append(out, f)
+		}
+		var raw []Finding
+		for _, c := range checkers {
+			if !c.Applies(pkg.ImportPath) {
+				continue
+			}
+			raw = append(raw, c.Check(pkg)...)
+		}
+		for _, d := range sup.directives {
+			switch {
+			case !known[d.check]:
+				out = append(out, Finding{
+					Pos:     d.pos,
+					Check:   "lint-ignore-audit",
+					Message: fmt.Sprintf("directive suppresses unknown checker %q (see -list)", d.check),
+				})
+			case !directiveUsed(d, raw):
+				out = append(out, Finding{
+					Pos:     d.pos,
+					Check:   "lint-ignore-audit",
+					Message: fmt.Sprintf("stale directive: no %s finding on this line or the next; delete the ignore", d.check),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// directiveUsed reports whether d suppresses any raw finding: same file,
+// matching check, on the directive's line or the line below it (the same
+// coverage rule suppressions.covers applies).
+func directiveUsed(d directive, raw []Finding) bool {
+	for _, f := range raw {
+		if f.Check != d.check || f.Pos.Filename != d.pos.Filename {
+			continue
+		}
+		if f.Pos.Line == d.pos.Line || f.Pos.Line == d.pos.Line+1 {
+			return true
+		}
+	}
+	return false
+}

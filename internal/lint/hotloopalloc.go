@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotLoopAlloc bans allocation in the kernel packages' for loops: the
+// zero-allocation contract of ROADMAP 3. The aggregation inner loops run
+// once per vertex and once per edge; a single `make` or growing `append`
+// there turns the bandwidth-bound phase the paper optimizes into a
+// GC-bound one. Allocation belongs in setup code (constructors, argument
+// validation) — per-iteration buffers must be hoisted, preallocated, or
+// arena-reused.
+//
+// Flagged inside any for/range body of a covered package:
+//
+//   - make(...) and new(...)
+//   - append(...) — growth reallocates; preallocate to final capacity
+//     outside the loop and index instead
+//   - &T{...}, []T{...}, map[...]{...} composite literals (heap backing)
+//   - string concatenation (+ / += on strings builds a fresh string per
+//     iteration)
+type HotLoopAlloc struct {
+	// Module is the module path used to resolve covered packages.
+	Module string
+}
+
+// allocPkgs are the packages whose loops must not allocate: the hot-path
+// trio plus internal/compress, whose row codecs run once per edge gather
+// when aggregation reads compressed features (§4.3).
+var allocPkgs = []string{"internal/kernels", "internal/sparse", "internal/tensor", "internal/compress"}
+
+// Name implements Checker.
+func (*HotLoopAlloc) Name() string { return "hotloop-alloc" }
+
+// Doc implements Checker.
+func (*HotLoopAlloc) Doc() string {
+	return "kernel packages must not allocate inside for loops (no make/new/append/composite literals/string concat); hoist or preallocate"
+}
+
+// Applies implements Checker.
+func (c *HotLoopAlloc) Applies(importPath string) bool {
+	return matchesAny(importPath, c.Module, allocPkgs)
+}
+
+// Check implements Checker.
+func (c *HotLoopAlloc) Check(pkg *Package) []Finding {
+	var out []Finding
+	report := func(node ast.Node, format string, args ...any) {
+		out = append(out, pkg.finding(c.Name(), node, format, args...))
+	}
+	inLoop := func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						report(n, "make inside a kernel loop allocates per iteration; preallocate outside the loop")
+					case "new":
+						report(n, "new inside a kernel loop allocates per iteration; hoist the value outside the loop")
+					case "append":
+						report(n, "append inside a kernel loop reallocates on growth; preallocate to final capacity and index")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if isAllocatingLit(pkg.Info, n) {
+				report(n, "composite literal inside a kernel loop allocates; hoist the value or reuse a buffer")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					report(lit, "&composite literal inside a kernel loop escapes to the heap; reuse one allocation")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pkg.Info, n.X) {
+				report(n, "string concatenation inside a kernel loop allocates; use a preallocated builder outside the loop")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pkg.Info, n.Lhs[0]) {
+				report(n, "string += inside a kernel loop allocates per iteration; use a preallocated builder outside the loop")
+			}
+		}
+	}
+	for _, file := range pkg.Files {
+		walkLoops(file, inLoop)
+	}
+	return dedupeFindings(out)
+}
+
+// isAllocatingLit reports whether lit needs heap-backed storage regardless
+// of escape analysis: slice and map literals always allocate their backing;
+// plain struct/array value literals can live in registers or on the stack
+// and are only flagged when their address is taken (the UnaryExpr case).
+func isAllocatingLit(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isString reports whether e has string type.
+func isString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// walkLoops calls fn on every node lexically inside a for/range body
+// (including nested function literals — a closure defined in a loop runs in
+// the loop). Loop init/cond/post clauses and range operands execute once
+// per loop entry or once per iteration header, and both matter, so they are
+// included once the walker is inside any loop.
+func walkLoops(root ast.Node, fn func(ast.Node)) {
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			walk(n.Init, depth)
+			walk(n.Cond, depth+1)
+			walk(n.Post, depth+1)
+			walk(n.Body, depth+1)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, depth)
+			walk(n.Body, depth+1)
+			return
+		}
+		if depth > 0 {
+			fn(n)
+		}
+		for _, child := range childNodes(n) {
+			walk(child, depth)
+		}
+	}
+	walk(root, 0)
+}
+
+// dedupeFindings drops exact duplicates (same position, check, message) —
+// the &lit case would otherwise double-report the literal via both the
+// UnaryExpr and CompositeLit arms.
+func dedupeFindings(in []Finding) []Finding {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, f := range in {
+		k := f.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotLoopIface keeps interface boxing and defer out of the kernel loops.
+// Converting a concrete value to an interface inside a per-vertex or
+// per-edge loop allocates (gc boxes non-pointer values) and adds dynamic
+// dispatch the width-specialised kernels exist to avoid; defer in a loop
+// body pushes a frame per iteration and runs nothing until function exit.
+// The one sanctioned interface on the hot path is kernels.Source, whose
+// per-row methods amortise a single dynamic call over a full feature-vector
+// AXPY — calling methods *on* an interface is fine, creating interface
+// values per iteration is not.
+type HotLoopIface struct {
+	// Module is the module path used to resolve covered packages.
+	Module string
+}
+
+// Name implements Checker.
+func (*HotLoopIface) Name() string { return "hotloop-iface" }
+
+// Doc implements Checker.
+func (*HotLoopIface) Doc() string {
+	return "kernel packages must not box values into interfaces or defer inside for loops (per-iteration allocation and dispatch)"
+}
+
+// Applies implements Checker.
+func (c *HotLoopIface) Applies(importPath string) bool {
+	return matchesAny(importPath, c.Module, allocPkgs)
+}
+
+// Check implements Checker.
+func (c *HotLoopIface) Check(pkg *Package) []Finding {
+	var out []Finding
+	inLoop := func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			out = append(out, pkg.finding(c.Name(), n,
+				"defer inside a kernel loop pushes a frame per iteration and delays the call to function exit; restructure"))
+		case *ast.CallExpr:
+			out = append(out, c.checkCall(pkg, n)...)
+		case *ast.AssignStmt:
+			out = append(out, c.checkAssign(pkg, n)...)
+		}
+	}
+	for _, file := range pkg.Files {
+		walkLoops(file, inLoop)
+	}
+	return dedupeFindings(out)
+}
+
+// checkCall flags concrete→interface conversions at call boundaries: an
+// argument passed to an interface-typed parameter (including variadic
+// ...interface{} — the fmt functions' signature), and explicit conversions
+// T(x) where T is an interface type.
+func (c *HotLoopIface) checkCall(pkg *Package, call *ast.CallExpr) []Finding {
+	var out []Finding
+	// Explicit conversion to an interface type.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(pkg.Info, call.Args[0]) {
+			out = append(out, pkg.finding(c.Name(), call,
+				"conversion to interface type %s inside a kernel loop boxes per iteration; hoist it", types.TypeString(tv.Type, types.RelativeTo(pkg.Pkg))))
+		}
+		return out
+	}
+	sig := callSignature(pkg.Info, call)
+	if sig == nil {
+		return out
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			// A t... spread passes the slice through without boxing.
+			if call.Ellipsis != token.NoPos {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(pkg.Info, arg) {
+			out = append(out, pkg.finding(c.Name(), arg,
+				"argument boxes a concrete value into %s inside a kernel loop; move the call out of the loop", types.TypeString(pt, types.RelativeTo(pkg.Pkg))))
+		}
+	}
+	return out
+}
+
+// checkAssign flags assignments that store a concrete value into an
+// already-declared interface variable (x = v where x is interface-typed).
+// Short declarations (:=) infer the concrete type and do not box.
+func (c *HotLoopIface) checkAssign(pkg *Package, as *ast.AssignStmt) []Finding {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var out []Finding
+	for i, lhs := range as.Lhs {
+		ltv, ok := pkg.Info.Types[lhs]
+		if !ok || ltv.Type == nil || !types.IsInterface(ltv.Type) {
+			continue
+		}
+		if boxes(pkg.Info, as.Rhs[i]) {
+			out = append(out, pkg.finding(c.Name(), as.Rhs[i],
+				"assignment boxes a concrete value into an interface inside a kernel loop; hoist the conversion"))
+		}
+	}
+	return out
+}
+
+// boxes reports whether passing e where an interface is expected performs a
+// concrete→interface conversion: e is typed, non-interface, and not the
+// untyped nil.
+func boxes(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// callSignature resolves the signature of call's callee, or nil for builtins
+// and type conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the ndjson wire form of one finding, stable for tooling:
+// one object per line, keys fixed, no envelope.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteNDJSON writes findings to w as newline-delimited JSON, one finding
+// per line, in the order given (Run already sorts by position). An empty
+// findings list writes nothing: consumers treat zero lines as a clean run.
+func WriteNDJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		if err := enc.Encode(jsonFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseNDJSON decodes a WriteNDJSON stream back into findings — the format
+// test's round trip, and available to tooling that post-processes reports.
+func ParseNDJSON(r io.Reader) ([]Finding, error) {
+	dec := json.NewDecoder(r)
+	var out []Finding
+	for dec.More() {
+		var jf jsonFinding
+		if err := dec.Decode(&jf); err != nil {
+			return nil, err
+		}
+		f := Finding{Check: jf.Check, Message: jf.Message}
+		f.Pos.Filename = jf.File
+		f.Pos.Line = jf.Line
+		f.Pos.Column = jf.Col
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -39,18 +39,24 @@ type Checker interface {
 	Check(pkg *Package) []Finding
 }
 
-// Checkers returns the full suite for the given module path, in report
-// order.
+// Checkers returns the full suite for the given module path, sorted by
+// checker name so report order, -list output, and the golden tests are
+// independent of registration order.
 func Checkers(module string) []Checker {
-	return []Checker{
+	cs := []Checker{
 		&NoStdout{Module: module},
 		&SimDeterminism{Module: module},
 		&HotLoopTelemetry{Module: module},
+		&HotLoopAlloc{Module: module},
+		&HotLoopIface{Module: module},
+		&CtxPropagation{Module: module},
 		&AtomicAlign{},
 		&GoroutineCapture{Module: module},
 		&GoroutineRecover{Module: module},
 		&HTTPListener{Module: module},
 	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name() < cs[j].Name() })
+	return cs
 }
 
 // Run applies every checker to every package it covers, drops suppressed
@@ -96,6 +102,16 @@ type suppressions struct {
 	byLine map[string]map[string]bool
 	// malformed collects directives missing a check name or reason.
 	malformed []Finding
+	// directives lists every well-formed directive for the ignore audit.
+	directives []directive
+}
+
+// directive is one well-formed //lint:ignore occurrence: the position of
+// the comment and one check name it suppresses (a comma-list yields one
+// directive per name).
+type directive struct {
+	pos   token.Position
+	check string
 }
 
 func newSuppressions(pkg *Package) *suppressions {
@@ -123,6 +139,7 @@ func newSuppressions(pkg *Package) *suppressions {
 				}
 				for _, name := range strings.Split(fields[0], ",") {
 					s.byLine[key][name] = true
+					s.directives = append(s.directives, directive{pos: pos, check: name})
 				}
 			}
 		}

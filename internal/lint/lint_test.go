@@ -2,10 +2,12 @@ package lint_test
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -44,6 +46,9 @@ var goldenCases = []struct {
 	{"simdeterminism", "graphite/internal/memsim/goldenbad", "sim-determinism"},
 	{"simdeterminism_seeded", "graphite/internal/tensor/goldenbad", "sim-determinism"},
 	{"hotloop", "graphite/internal/kernels/goldenbad", "hotloop-telemetry"},
+	{"hotloopalloc", "graphite/internal/kernels/goldenbadalloc", "hotloop-alloc"},
+	{"hotloopiface", "graphite/internal/tensor/goldenbadiface", "hotloop-iface"},
+	{"ctxprop", "graphite/internal/gnn/goldenbadctx", "ctx-propagation"},
 	{"atomicalign", "graphite/internal/goldenbadalign", "atomic-alignment"},
 	{"capture", "graphite/internal/goldenbadcapture", "goroutine-capture"},
 	{"gorecover", "graphite/internal/goldenbadgorecover", "goroutine-recover"},
@@ -143,25 +148,143 @@ func wantMarkers(dir string) (map[string]int, error) {
 	return out, nil
 }
 
-// TestCheckerMetadata pins the suite's shape: five named checkers with
-// unique kebab-case names and docs.
+// TestCheckerMetadata pins the suite's shape: unique kebab-case names,
+// docs, and — because Checkers() order is what -list prints and what the
+// report groups by — the names must come out sorted, independent of
+// registration order.
 func TestCheckerMetadata(t *testing.T) {
 	cs := lint.Checkers("graphite")
-	if len(cs) < 5 {
-		t.Fatalf("suite has %d checkers, want >= 5", len(cs))
+	if len(cs) < 10 {
+		t.Fatalf("suite has %d checkers, want >= 10", len(cs))
 	}
 	seen := make(map[string]bool)
+	var names []string
 	for _, c := range cs {
 		name := c.Name()
 		if name == "" || strings.ToLower(name) != name || strings.Contains(name, " ") {
 			t.Errorf("checker name %q is not kebab-case", name)
 		}
 		if seen[name] {
-			t.Errorf("duplicate checker name %q", name)
+			t.Errorf("duplicate checker name %q in -list output", name)
 		}
 		seen[name] = true
+		names = append(names, name)
 		if c.Doc() == "" {
 			t.Errorf("checker %s has no doc", name)
 		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list output order is not sorted: %v", names)
+	}
+	for _, want := range []string{"hotloop-alloc", "hotloop-iface", "ctx-propagation"} {
+		if !seen[want] {
+			t.Errorf("suite is missing checker %q", want)
+		}
+	}
+}
+
+// TestRepoIgnoreAudit is the tier-1 gate on suppression debt: every
+// //lint:ignore in the module must name a real checker, carry a reason, and
+// still suppress a live finding. Stale ignores are deleted, not kept.
+func TestRepoIgnoreAudit(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range lint.AuditIgnores(pkgs, lint.Checkers(loader.Module)) {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestIgnoreAuditGolden pins the audit on known-bad directives: stale,
+// unknown-checker, and reasonless ignores are flagged; a used ignore stays
+// silent. Markers follow the TestGolden convention.
+func TestIgnoreAuditGolden(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "ignoreaudit")
+	pkg, err := loader.LoadDir(dir, "graphite/internal/goldenbadaudit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := wantMarkers(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("no // want markers under %s", dir)
+	}
+	got := make(map[string]int)
+	for _, f := range lint.AuditIgnores([]*lint.Package{pkg}, lint.Checkers(loader.Module)) {
+		got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check)]++
+	}
+	for key := range want {
+		if got[key] == 0 {
+			t.Errorf("missing audit finding: %s", key)
+		}
+		delete(got, key)
+	}
+	for key := range got {
+		t.Errorf("unexpected audit finding: %s", key)
+	}
+}
+
+// TestNDJSONFormat pins the -json wire format: one object per line with
+// fixed keys, empty output for a clean run, and a lossless round trip.
+func TestNDJSONFormat(t *testing.T) {
+	findings := []lint.Finding{
+		{Check: "hotloop-alloc", Message: "make inside a kernel loop"},
+		{Check: "bounds-check", Message: `new bounds-check with "quotes" and	tabs`},
+	}
+	findings[0].Pos.Filename = "internal/kernels/aggregate.go"
+	findings[0].Pos.Line = 42
+	findings[0].Pos.Column = 7
+	findings[1].Pos.Filename = "internal/tensor/gemm.go"
+	findings[1].Pos.Line = 9
+
+	var buf strings.Builder
+	if err := lint.WriteNDJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d ndjson lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not a JSON object: %v", i+1, err)
+		}
+		for _, key := range []string{"file", "line", "col", "check", "message"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("line %d missing key %q", i+1, key)
+			}
+		}
+	}
+	back, err := lint.ParseNDJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(findings) {
+		t.Fatalf("round trip lost findings: %d != %d", len(back), len(findings))
+	}
+	for i := range back {
+		if back[i] != findings[i] {
+			t.Errorf("finding %d round trip mismatch:\n got %+v\nwant %+v", i, back[i], findings[i])
+		}
+	}
+
+	var empty strings.Builder
+	if err := lint.WriteNDJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("clean run must emit zero bytes, got %q", empty.String())
 	}
 }

@@ -1,0 +1,54 @@
+// Package goldenbadctx is known-bad input for the ctx-propagation checker:
+// functions with a context.Context in scope calling the uncancellable sched
+// entry points, next to functions that legitimately use them because no
+// context has reached them.
+package goldenbadctx
+
+import (
+	"context"
+
+	"graphite/internal/sched"
+)
+
+func fanOut(ctx context.Context, n, threads int, rows []float32) error {
+	sched.Dynamic(n, 64, threads, func(s, e int) { // want ctx-propagation
+		for i := s; i < e; i++ {
+			rows[i] = 0
+		}
+	})
+	cur := sched.NewCursor(n, 64) // want ctx-propagation
+	_, _, _ = cur.Next()
+	return sched.DynamicCtx(ctx, n, 64, threads, func(s, e int) {}) // clean: ctx variant
+}
+
+type opts struct {
+	Ctx context.Context
+}
+
+func fieldScoped(o opts, n, threads int) {
+	_ = o.Ctx
+	sched.Static(n, threads, func(s, e int) {}) // want ctx-propagation
+}
+
+func telForms(ctx context.Context, n, threads int) {
+	_ = ctx
+	sched.DynamicTel(n, 64, threads, nil, func(w, s, e int) {}) // want ctx-propagation
+	sched.StaticTel(n, threads, nil, func(w, s, e int) {})      // want ctx-propagation
+	sched.ForEachThread(threads, func(t int) {})                // want ctx-propagation
+}
+
+func pure(n, threads int, rows []float32) {
+	sched.Dynamic(n, 64, threads, func(s, e int) { // clean: no ctx in scope
+		for i := s; i < e; i++ {
+			rows[i] = 0
+		}
+	})
+	cur := sched.NewCursor(n, 64) // clean: no ctx in scope
+	_, _, _ = cur.Next()
+}
+
+func waived(ctx context.Context, threads int) {
+	_ = ctx
+	//lint:ignore ctx-propagation best-effort cache warm-up must complete even when the request is cancelled
+	sched.ForEachThread(threads, func(t int) {})
+}

@@ -1,0 +1,64 @@
+// Package goldenbadalloc is known-bad input for the hotloop-alloc checker:
+// every allocation class the checker bans, inside for loops, next to clean
+// hoisted equivalents that must stay silent.
+package goldenbadalloc
+
+func perRow(n int) []float32 {
+	var acc []float32
+	for i := 0; i < n; i++ {
+		buf := make([]float32, 16) // want hotloop-alloc
+		_ = buf
+		p := new(int) // want hotloop-alloc
+		_ = p
+		acc = append(acc, float32(i)) // want hotloop-alloc
+		s := []int{1, 2, 3}           // want hotloop-alloc
+		_ = s
+		m := map[int]int{i: i} // want hotloop-alloc
+		_ = m
+	}
+	return acc
+}
+
+type vec struct{ x, y float32 }
+
+func labels(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n        // want hotloop-alloc
+		v := &vec{1, 2} // want hotloop-alloc
+		_ = v
+	}
+	var b byte
+	for i := range names {
+		b = names[i][0] // clean: indexing allocates nothing
+	}
+	_ = b
+	total := ""
+	for _, n := range names {
+		total = total + n // want hotloop-alloc
+	}
+	return total + out // clean: concatenation outside any loop
+}
+
+func inClosure(n int) {
+	for i := 0; i < n; i++ {
+		f := func() []int {
+			return make([]int, 4) // want hotloop-alloc
+		}
+		_ = f()
+	}
+}
+
+func hoisted(n int) []float32 {
+	buf := make([]float32, n) // clean: allocation before the loop
+	for i := range buf {
+		buf[i] = float32(i)
+		w := vec{x: 1} // clean: value struct literal stays off the heap
+		buf[i] += w.x
+	}
+	for i := 0; i < 2; i++ {
+		//lint:ignore hotloop-alloc setup-only scratch table, fixed two-trip loop outside the per-row path
+		_ = make([]int, 1)
+	}
+	return buf
+}

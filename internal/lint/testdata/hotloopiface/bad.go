@@ -1,0 +1,46 @@
+// Package goldenbadiface is known-bad input for the hotloop-iface checker:
+// interface boxing at call boundaries, explicit conversions, interface
+// assignments, and defer — all inside for loops — next to the sanctioned
+// patterns (method calls on interfaces, variadic spreads) that must stay
+// silent.
+package goldenbadiface
+
+type stringer interface{ String() string }
+
+type vec struct{ x float32 }
+
+func (vec) String() string { return "vec" }
+
+func box(v any) any { return v }
+
+func boxAll(vs ...any) int { return len(vs) }
+
+func bad(n int, release func()) {
+	var s stringer
+	v := vec{x: 1}
+	for i := 0; i < n; i++ {
+		defer release() // want hotloop-iface
+		_ = box(i)      // want hotloop-iface
+		_ = boxAll(i)   // want hotloop-iface
+		s = v           // want hotloop-iface
+		_ = any(i)      // want hotloop-iface
+	}
+	_ = s
+}
+
+func clean(n int, s stringer) string {
+	_ = box(n) // clean: boxing outside any loop
+	all := []any{n}
+	out := 0
+	name := ""
+	for i := 0; i < n; i++ {
+		out += boxAll(all...) // clean: spread passes the existing slice
+		name = s.String()     // clean: method call on an interface value
+	}
+	for i := 0; i < n; i++ {
+		//lint:ignore hotloop-iface cold error path, boxes once immediately before returning
+		_ = box(i)
+	}
+	_ = out
+	return name
+}

@@ -1,0 +1,22 @@
+// Package goldenbadaudit is known-bad input for the lint-ignore-audit: a
+// used directive (silent), a stale directive whose finding is gone, a
+// directive naming a checker that does not exist, and a directive with no
+// reason.
+package goldenbadaudit
+
+import "os"
+
+func emit() {
+	//lint:ignore no-stdout the directive below this one is the audited specimen; this one is genuinely used
+	os.Stdout.WriteString("x")
+
+	//lint:ignore no-stdout stale, the print it suppressed was deleted // want lint-ignore-audit
+	x := 1
+
+	//lint:ignore not-a-real-checker typo that silently suppresses nothing // want lint-ignore-audit
+	x += 2
+
+	// want-next lint-ignore-audit
+	//lint:ignore no-stdout
+	_ = x
+}
