@@ -62,6 +62,10 @@ func main() {
 		rev       = flag.String("rev", "", "git revision recorded in the report's environment fingerprint")
 		threshold = flag.Float64("threshold", 0, "regression threshold as relative mean slowdown (default 0.10)")
 		listen    = flag.String("listen", "", "serve the live observability plane on this host:port while experiments run; per-experiment progress streams as JSON lines on /events")
+		serveLoad = flag.String("serve-load", "", "closed-loop load-generator mode: drive the graphite-serve instance at this host:port instead of running experiments (combines with -json/-baseline/-against)")
+		serveConc = flag.String("serve-concurrency", "1,2,4", "with -serve-load: comma-separated closed-loop concurrency levels")
+		serveDur  = flag.Duration("serve-duration", 2*time.Second, "with -serve-load: wall time per concurrency level")
+		serveVert = flag.Int("serve-vertices", 1, "with -serve-load: vertices per inference request")
 	)
 	flag.Parse()
 
@@ -78,6 +82,12 @@ func main() {
 			fmt.Printf("%-12s %s\n", id, title)
 		}
 		return
+	}
+
+	// Closed-loop load-generator mode: drives a running server, emits the
+	// throughput-vs-p99 curve, and reuses the -json/-baseline gate.
+	if *serveLoad != "" {
+		os.Exit(runServeLoad(ctx, *serveLoad, *serveConc, *serveDur, *serveVert, *jsonOut, *baseline, *rev, *threshold))
 	}
 
 	// Pure file-vs-file compare: no experiments run.

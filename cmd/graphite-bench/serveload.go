@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphite/internal/benchfmt"
+	"graphite/internal/telemetry"
+)
+
+// serveLoadID is the benchfmt experiment id the load generator reports
+// under; the CI load gate self-compares reports by this id.
+const serveLoadID = "serve-load"
+
+// maxRecordedLatencies bounds the per-level rep array written into the
+// report so long runs do not produce unboundedly large JSON.
+const maxRecordedLatencies = 100_000
+
+// levelResult is one concurrency level's closed-loop measurement.
+type levelResult struct {
+	concurrency int
+	ok          int64
+	rejected    int64 // 429: queue full
+	expired     int64 // 504: deadline spent
+	failed      int64 // transport or 5xx
+	elapsed     time.Duration
+	latencies   []int64 // successful request latencies, ns
+	p50, p95    time.Duration
+	p99         time.Duration
+}
+
+// runServeLoad drives a running graphite-serve instance with closed-loop
+// load at each requested concurrency level and emits the
+// throughput-vs-p99 curve, optionally as a benchfmt report for the
+// regression gate. Returns the process exit code.
+func runServeLoad(ctx context.Context, addr, concStr string, dur time.Duration, verts int, jsonOut, baselinePath, rev string, threshold float64) int {
+	levels, err := parseConcurrency(concStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if verts < 1 {
+		verts = 1
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	numVerts, maxBatch, err := probeServer(base)
+	if err != nil {
+		log.Fatalf("probing %s: %v", base, err)
+	}
+	if verts > maxBatch {
+		log.Fatalf("-serve-vertices %d exceeds the server's max batch %d", verts, maxBatch)
+	}
+	fmt.Printf("serve-load: %s  |V|=%d  %d vertices/request  %v per level  levels %v\n",
+		base, numVerts, verts, dur, levels)
+
+	sink := telemetry.New(0)
+	var results []levelResult
+	for _, c := range levels {
+		if ctx.Err() != nil {
+			log.Print("interrupted; skipping remaining levels")
+			break
+		}
+		res := runLevel(ctx, base, c, dur, verts, numVerts, sink)
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		return 130
+	}
+
+	// The curve: offered concurrency vs achieved throughput and tail
+	// latency. A saturated server shows flat throughput and rising p99.
+	fmt.Printf("\n%-6s %10s %12s %10s %10s %10s %8s %8s\n",
+		"conc", "requests", "req/s", "p50", "p95", "p99", "rejected", "expired")
+	for _, r := range results {
+		rps := float64(r.ok) / r.elapsed.Seconds()
+		fmt.Printf("%-6d %10d %12.1f %10v %10v %10v %8d %8d\n",
+			r.concurrency, r.ok, rps,
+			r.p50.Round(time.Microsecond), r.p95.Round(time.Microsecond), r.p99.Round(time.Microsecond),
+			r.rejected, r.expired)
+	}
+
+	structured := jsonOut != "" || baselinePath != ""
+	if !structured {
+		return 0
+	}
+	file := &benchfmt.File{Version: benchfmt.Version, Env: benchfmt.CaptureEnv(rev)}
+	exp := benchfmt.Experiment{
+		ID:       serveLoadID,
+		Title:    fmt.Sprintf("closed-loop serving throughput/latency (%d vertices/request)", verts),
+		Counters: map[string]int64{},
+	}
+	for _, r := range results {
+		name := fmt.Sprintf("c=%d", r.concurrency)
+		if len(r.latencies) > 0 {
+			exp.Samples = append(exp.Samples, benchfmt.NewSample(name+"/latency", benchfmt.UnitNS, r.latencies))
+			exp.Samples = append(exp.Samples, benchfmt.NewSample(name+"/p99", benchfmt.UnitNS, []int64{int64(r.p99)}))
+		}
+		exp.Counters[name+"/ok"] = r.ok
+		exp.Counters[name+"/rejected"] = r.rejected
+		exp.Counters[name+"/expired"] = r.expired
+		exp.Counters[name+"/failed"] = r.failed
+		h := sink.Histogram(phaseFor(r.concurrency))
+		if h != nil {
+			exp.Latencies = append(exp.Latencies, benchfmt.Latency{
+				Phase: phaseFor(r.concurrency),
+				Count: h.Count(),
+				SumNS: int64(h.Sum()),
+				P50NS: int64(h.Quantile(0.50)),
+				P95NS: int64(h.Quantile(0.95)),
+				P99NS: int64(h.Quantile(0.99)),
+			})
+		}
+	}
+	file.Experiments = append(file.Experiments, exp)
+	if jsonOut != "" {
+		if err := benchfmt.WriteFile(jsonOut, file); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("json: wrote %s\n", jsonOut)
+	}
+	if baselinePath != "" {
+		old, err := benchfmt.ReadFile(baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return report(benchfmt.Compare(old, file, benchfmt.CompareOptions{Threshold: threshold}))
+	}
+	return 0
+}
+
+func phaseFor(c int) string { return fmt.Sprintf("serve-load/c=%d", c) }
+
+// runLevel runs c closed-loop workers for dur: each worker keeps exactly
+// one request in flight, so offered load adapts to what the server
+// sustains (the classic closed-loop harness shape).
+// workerStats is one closed-loop worker's private accumulator; workers are
+// partitioned by index and merged after the level completes.
+type workerStats struct {
+	ok, rejected, expired, failed int64
+	latencies                     []int64
+}
+
+func runLevel(ctx context.Context, base string, c int, dur time.Duration, verts, numVerts int, sink *telemetry.Sink) levelResult {
+	client := &http.Client{}
+	var wg sync.WaitGroup
+	stop := time.After(dur)
+	stopped := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+		case <-ctx.Done():
+		}
+		close(stopped)
+	}()
+
+	perWorker := make([]workerStats, c)
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &perWorker[w]
+			rng := rand.New(rand.NewSource(int64(1000*c + w)))
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				ids := make([]int32, verts)
+				for i := range ids {
+					ids[i] = int32(rng.Intn(numVerts))
+				}
+				body, _ := json.Marshal(map[string]any{"vertices": ids})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					st.failed++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					st.ok++
+					sink.Observe(phaseFor(c), lat)
+					if len(st.latencies) < maxRecordedLatencies/c {
+						st.latencies = append(st.latencies, int64(lat))
+					}
+				case http.StatusTooManyRequests:
+					st.rejected++
+				case http.StatusGatewayTimeout:
+					st.expired++
+				default:
+					st.failed++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := levelResult{concurrency: c, elapsed: time.Since(start)}
+	for i := range perWorker {
+		st := &perWorker[i]
+		res.ok += st.ok
+		res.rejected += st.rejected
+		res.expired += st.expired
+		res.failed += st.failed
+		res.latencies = append(res.latencies, st.latencies...)
+	}
+	if h := sink.Histogram(phaseFor(c)); h != nil {
+		res.p50, res.p95, res.p99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	}
+	return res
+}
+
+// probeServer reads /v1/stats for the graph size and batch cap, failing
+// fast when the target is not a graphite-serve instance.
+func probeServer(base string) (numVerts, maxBatch int, err error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("/v1/stats returned %d", resp.StatusCode)
+	}
+	var stats struct {
+		GraphVertices int `json:"graph_vertices"`
+		MaxBatchSize  int `json:"max_batch_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, 0, fmt.Errorf("bad /v1/stats body: %v", err)
+	}
+	if stats.GraphVertices <= 0 || stats.MaxBatchSize <= 0 {
+		return 0, 0, fmt.Errorf("target does not look like graphite-serve (stats %+v)", stats)
+	}
+	return stats.GraphVertices, stats.MaxBatchSize, nil
+}
+
+func parseConcurrency(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels in %q", s)
+	}
+	return out, nil
+}

@@ -350,6 +350,29 @@ func (e *Engine) InferContext(ctx context.Context, w *Workload) (*Matrix, error)
 	return st.Logits(), nil
 }
 
+// InferVerticesContext runs batched per-vertex inference over a raw graph:
+// the requested vertices' K-hop neighbourhoods are sampled backwards
+// through the layers (fanouts, one per layer; <= 0 or nil = full
+// neighbourhood), their features gathered, and the layers executed through
+// the ctx-aware scheduling path. It returns one logits row per requested
+// vertex, aligned with vertices.
+//
+// This is the serving-layer entry point: the graphite-serve batcher
+// coalesces concurrent single-vertex requests into one vertices slice and
+// dispatches it here with the batch's deadline as ctx. With full fanouts
+// the result matches the corresponding InferContext rows; bounded fanouts
+// trade exactness for per-batch latency, the DGL-style sampled serving
+// the paper profiles in §3.
+func (e *Engine) InferVerticesContext(ctx context.Context, g *Graph, x *Matrix, vertices []int32, fanouts []int) (*Matrix, error) {
+	defer e.beginRun()()
+	if len(e.cfg.Dims) > 0 && x != nil && x.Cols != e.cfg.Dims[0] {
+		return nil, fmt.Errorf("graphite: features have %d columns, engine expects %d", x.Cols, e.cfg.Dims[0])
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	opts := gnn.RunOptions{Threads: e.cfg.Threads, Tel: e.tel}
+	return gnn.InferVerticesContext(ctx, e.net, g, x, vertices, fanouts, rng, opts)
+}
+
 // SaveCheckpoint serialises the engine's network weights so an interrupted
 // or finished training run can resume later (LoadCheckpoint).
 func (e *Engine) SaveCheckpoint(w io.Writer) error { return e.net.Save(w) }

@@ -1,0 +1,144 @@
+package gnn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"graphite/internal/graph"
+	"graphite/internal/sched"
+	"graphite/internal/telemetry"
+	"graphite/internal/tensor"
+)
+
+// InferVerticesContext runs batched per-vertex inference: the requested
+// vertices' K-hop neighbourhoods are sampled backwards through the layers
+// (SampleBlocks), their input features gathered, and the layers executed
+// through the ctx-aware scheduling path. It returns one logits row per
+// requested vertex, aligned with ids.
+//
+// This is the serving path: a request batcher coalesces per-vertex
+// inference requests into one ids slice and dispatches it here with the
+// batch's deadline as ctx. fanouts has one entry per layer (<= 0 means the
+// full neighbourhood — with full fanouts the result matches the full-batch
+// forward pass row-for-row); nil means full neighbourhoods at every layer.
+// rng drives neighbour sampling and may be nil when every fanout is full.
+//
+// Cancellation is observed between layers and at scheduler chunk
+// boundaries; kernel worker panics are contained into a returned error.
+func InferVerticesContext(ctx context.Context, net *Network, g *graph.CSR, x *tensor.Matrix, ids []int32, fanouts []int, rng *rand.Rand, opts RunOptions) (_ *tensor.Matrix, err error) {
+	defer contain(opts.Tel, &err)
+	if net.NumLayers() == 0 {
+		return nil, fmt.Errorf("gnn: empty network")
+	}
+	if g == nil || x == nil {
+		return nil, fmt.Errorf("gnn: nil graph or features")
+	}
+	if x.Rows != g.NumVertices() {
+		return nil, fmt.Errorf("gnn: %d feature rows for %d vertices", x.Rows, g.NumVertices())
+	}
+	if net.Layers[0].In() != x.Cols {
+		return nil, fmt.Errorf("gnn: layer 0 expects %d input features, got %d", net.Layers[0].In(), x.Cols)
+	}
+	if len(fanouts) == 0 {
+		fanouts = make([]int, net.NumLayers())
+	}
+	if len(fanouts) != net.NumLayers() {
+		return nil, fmt.Errorf("gnn: %d fanouts for %d layers", len(fanouts), net.NumLayers())
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, cerr
+	}
+
+	sp := opts.Tel.Begin(telemetry.PhaseInfer)
+	defer sp.End()
+
+	ssp := opts.Tel.Begin(telemetry.PhaseSample)
+	blocks, err := SampleBlocks(g, net.Kind, ids, fanouts, rng)
+	if err != nil {
+		ssp.End()
+		return nil, err
+	}
+	feats, err := gatherRowsCtx(ctx, x, blocks[0].SrcIDs, opts.Threads)
+	ssp.End()
+	if err != nil {
+		return nil, err
+	}
+	return SampledForwardContext(ctx, net, blocks, feats, opts)
+}
+
+// gatherRowsCtx is GatherRows under a context: the row copies drain at
+// chunk granularity on cancellation.
+func gatherRowsCtx(ctx context.Context, x *tensor.Matrix, ids []int32, threads int) (*tensor.Matrix, error) {
+	out := tensor.NewMatrix(len(ids), x.Cols)
+	if err := sched.DynamicCtx(ctx, len(ids), 256, threads, func(s, e int) {
+		for i := s; i < e; i++ {
+			copy(out.Row(i), x.Row(int(ids[i])))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampledForwardContext is SampledForward under a context with telemetry:
+// aggregation and the final bias add run through the ctx-aware scheduler
+// (cancellation at chunk boundaries, worker panics contained), each layer
+// records aggregate/update spans, and the kernel counters account the
+// vertices, edges and FLOPs the mini-batch moved.
+func SampledForwardContext(ctx context.Context, net *Network, blocks []*Block, h *tensor.Matrix, opts RunOptions) (_ *tensor.Matrix, err error) {
+	defer contain(opts.Tel, &err)
+	if len(blocks) != net.NumLayers() {
+		return nil, fmt.Errorf("gnn: %d blocks for %d layers", len(blocks), net.NumLayers())
+	}
+	threads := opts.Threads
+	for k, layer := range net.Layers {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
+		blk := blocks[k]
+		if h.Rows != len(blk.SrcIDs) {
+			return nil, fmt.Errorf("gnn: layer %d input has %d rows, block expects %d", k, h.Rows, len(blk.SrcIDs))
+		}
+		if layer.In() != h.Cols {
+			return nil, fmt.Errorf("gnn: layer %d expects %d inputs, got %d", k, layer.In(), h.Cols)
+		}
+
+		asp := opts.Tel.Begin(telemetry.PhaseAggregate)
+		a := tensor.NewMatrix(blk.NumDst, layer.In())
+		aggErr := sched.DynamicCtx(ctx, blk.NumDst, 64, threads, func(s, e int) {
+			for i := s; i < e; i++ {
+				dst := a.Row(i)
+				clear(dst)
+				for eIdx := blk.SubG.Ptr[i]; eIdx < blk.SubG.Ptr[i+1]; eIdx++ {
+					tensor.AXPY(dst, h.Row(int(blk.SubG.Col[eIdx])), blk.Factors[eIdx])
+				}
+			}
+		})
+		asp.End()
+		if aggErr != nil {
+			return nil, aggErr
+		}
+		opts.Tel.Add(telemetry.CtrVerticesAggregated, int64(blk.NumDst))
+		opts.Tel.Add(telemetry.CtrEdgesAggregated, int64(len(blk.SubG.Col)))
+
+		usp := opts.Tel.Begin(telemetry.PhaseUpdate)
+		z := tensor.NewMatrix(blk.NumDst, layer.Out())
+		tensor.MatMul(z, a, layer.W, threads)
+		if k < net.NumLayers()-1 {
+			tensor.AddBiasReLU(z, layer.B, threads)
+		} else if uerr := sched.DynamicCtx(ctx, z.Rows, 256, threads, func(s, e int) {
+			tensor.AddBiasRange(z, layer.B, s, e)
+		}); uerr != nil {
+			usp.End()
+			return nil, uerr
+		}
+		usp.End()
+		opts.Tel.Add(telemetry.CtrGEMMFLOPs, 2*int64(blk.NumDst)*int64(layer.In())*int64(layer.Out()))
+		h = z
+	}
+	return h, nil
+}

@@ -1,0 +1,150 @@
+package gnn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphite/internal/graph"
+	"graphite/internal/telemetry"
+	"graphite/internal/tensor"
+)
+
+// serveTestSetup builds a small deterministic graph, features, and network.
+func serveTestSetup(t *testing.T, kind Kind) (*graph.CSR, *tensor.Matrix, *Network) {
+	t.Helper()
+	g, err := graph.GenerateProfile(graph.Products, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrix(g.NumVertices(), 16)
+	x.FillSparse(rand.New(rand.NewSource(7)), 1, 0.3)
+	net, err := NewNetwork(Config{Kind: kind, Dims: []int{16, 24, 5}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, x, net
+}
+
+// TestInferVerticesMatchesFullBatch pins the serving path to the full-batch
+// forward pass: with full fanouts (no sampling) the per-vertex logits must
+// match the corresponding rows of the full-batch basic implementation, for
+// both normalization families.
+func TestInferVerticesMatchesFullBatch(t *testing.T) {
+	for _, kind := range []Kind{GCN, SAGE} {
+		t.Run(kind.String(), func(t *testing.T) {
+			g, x, net := serveTestSetup(t, kind)
+			w, err := NewWorkload(g, kind, x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Infer(net, w, RunOptions{Impl: ImplBasic, Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := []int32{0, 7, 42, 199, 299, 7}
+			got, err := InferVerticesContext(context.Background(), net, g, x, ids, nil, nil, RunOptions{Threads: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Rows != len(ids) || got.Cols != 5 {
+				t.Fatalf("logits shape %dx%d, want %dx5", got.Rows, got.Cols, len(ids))
+			}
+			logits := full.Logits()
+			for i, v := range ids {
+				want := logits.Row(int(v))
+				for j, gv := range got.Row(i) {
+					if d := math.Abs(float64(gv - want[j])); d > 1e-4 {
+						t.Fatalf("vertex %d logit %d: sampled %g vs full-batch %g (|Δ|=%g)", v, j, gv, want[j], d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInferVerticesSampledFanout checks the sampled path stays deterministic
+// under a seeded rng and bounds the block sizes by the fanout.
+func TestInferVerticesSampledFanout(t *testing.T) {
+	g, x, net := serveTestSetup(t, GCN)
+	ids := []int32{1, 2, 3, 250}
+	run := func(seed int64) *tensor.Matrix {
+		out, err := InferVerticesContext(context.Background(), net, g, x, ids, []int{3, 3},
+			rand.New(rand.NewSource(seed)), RunOptions{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(5), run(5)
+	for i := 0; i < a.Rows; i++ {
+		for j, av := range a.Row(i) {
+			if av != b.Row(i)[j] {
+				t.Fatalf("same seed, different logits at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestInferVerticesValidation covers the error paths: out-of-range ids,
+// fanout/layer mismatch, feature-width mismatch.
+func TestInferVerticesValidation(t *testing.T) {
+	g, x, net := serveTestSetup(t, GCN)
+	bg := context.Background()
+	if _, err := InferVerticesContext(bg, net, g, x, []int32{-1}, nil, nil, RunOptions{}); err == nil {
+		t.Fatal("negative vertex id accepted")
+	}
+	if _, err := InferVerticesContext(bg, net, g, x, []int32{int32(g.NumVertices())}, nil, nil, RunOptions{}); err == nil {
+		t.Fatal("out-of-range vertex id accepted")
+	}
+	if _, err := InferVerticesContext(bg, net, g, x, []int32{0}, []int{5}, nil, RunOptions{}); err == nil {
+		t.Fatal("fanout/layer mismatch accepted")
+	}
+	narrow := tensor.NewMatrix(g.NumVertices(), 3)
+	if _, err := InferVerticesContext(bg, net, g, narrow, []int32{0}, nil, nil, RunOptions{}); err == nil {
+		t.Fatal("feature-width mismatch accepted")
+	}
+	if _, err := InferVerticesContext(bg, net, g, x, nil, nil, nil, RunOptions{}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// TestInferVerticesCancelled proves a dead deadline is honoured before any
+// layer work: a pre-cancelled context returns its error.
+func TestInferVerticesCancelled(t *testing.T) {
+	g, x, net := serveTestSetup(t, GCN)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := InferVerticesContext(ctx, net, g, x, []int32{0, 1}, nil, nil, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInferVerticesTelemetry checks the serving path feeds the same phase
+// vocabulary as the full-batch path: infer/sample/aggregate/update spans
+// and the vertex/edge counters.
+func TestInferVerticesTelemetry(t *testing.T) {
+	g, x, net := serveTestSetup(t, GCN)
+	tel := telemetry.New(0)
+	ids := []int32{0, 1, 2}
+	if _, err := InferVerticesContext(context.Background(), net, g, x, ids, nil, nil,
+		RunOptions{Threads: 2, Tel: tel}); err != nil {
+		t.Fatal(err)
+	}
+	totals := tel.PhaseTotals()
+	for _, phase := range []string{telemetry.PhaseInfer, telemetry.PhaseSample, telemetry.PhaseAggregate, telemetry.PhaseUpdate} {
+		if _, ok := totals[phase]; !ok {
+			t.Errorf("no %q span recorded", phase)
+		}
+	}
+	// Two layers: layer 0 aggregates the sampled sources, layer 1 the ids.
+	if got := tel.Counter(telemetry.CtrVerticesAggregated); got < int64(2*len(ids)) {
+		t.Errorf("vertices aggregated = %d, want >= %d", got, 2*len(ids))
+	}
+	if tel.Counter(telemetry.CtrEdgesAggregated) == 0 {
+		t.Error("no edges accounted")
+	}
+}

@@ -6,16 +6,18 @@ import (
 	"strings"
 )
 
-// HTTPListener confines network listener creation to the observability
-// plane: internal/obsrv is the only package that may bind sockets or start
-// HTTP servers. Everywhere else — library packages and commands alike — the
-// plane is reached through obsrv.Server (or graphite.Engine.Serve), so
-// there is exactly one place where ports are opened, probes are registered,
-// and shutdown is wired to context cancellation. Scattered ListenAndServe
-// calls are how a codebase grows unmonitored, undrainable listeners.
+// HTTPListener confines network listener creation to the serving planes:
+// internal/obsrv (the observability plane) and internal/serve (the
+// inference server) are the only packages that may bind sockets or start
+// HTTP servers. Everywhere else — library packages and commands alike —
+// those planes are reached through obsrv.Server, serve.Server, or
+// graphite.Engine.Serve, so there are exactly two places where ports are
+// opened, probes are registered, and shutdown is wired to context
+// cancellation. Scattered ListenAndServe calls are how a codebase grows
+// unmonitored, undrainable listeners.
 type HTTPListener struct {
 	// Module is the module path; every package of the module except
-	// internal/obsrv is covered.
+	// internal/obsrv and internal/serve is covered.
 	Module string
 }
 
@@ -52,12 +54,12 @@ func (*HTTPListener) Name() string { return "http-listener" }
 
 // Doc implements Checker.
 func (*HTTPListener) Doc() string {
-	return "listener creation (net.Listen*, http.ListenAndServe, http.Server serving) is confined to internal/obsrv"
+	return "listener creation (net.Listen*, http.ListenAndServe, http.Server serving) is confined to internal/obsrv and internal/serve"
 }
 
 // Applies implements Checker.
 func (c *HTTPListener) Applies(importPath string) bool {
-	if importPath == c.Module+"/internal/obsrv" {
+	if importPath == c.Module+"/internal/obsrv" || importPath == c.Module+"/internal/serve" {
 		return false
 	}
 	return importPath == c.Module || strings.HasPrefix(importPath, c.Module+"/")
@@ -76,10 +78,10 @@ func (c *HTTPListener) Check(pkg *Package) []Finding {
 				switch {
 				case path == "net/http" && bannedHTTPFuncs[name]:
 					out = append(out, pkg.finding(c.Name(), sel,
-						"http.%s binds a listener outside internal/obsrv; serve through obsrv.Server (or Engine.Serve)", name))
+						"http.%s binds a listener outside internal/obsrv and internal/serve; serve through obsrv.Server or serve.Server", name))
 				case path == "net" && bannedNetFuncs[name]:
 					out = append(out, pkg.finding(c.Name(), sel,
-						"net.%s creates a listener outside internal/obsrv; route sockets through the observability plane", name))
+						"net.%s creates a listener outside internal/obsrv and internal/serve; route sockets through a serving plane", name))
 				}
 				return true
 			}
@@ -90,7 +92,7 @@ func (c *HTTPListener) Check(pkg *Package) []Finding {
 					named.Obj().Pkg().Path() == "net/http" &&
 					named.Obj().Name() == "Server" {
 					out = append(out, pkg.finding(c.Name(), sel,
-						"(*http.Server).%s outside internal/obsrv; serve through obsrv.Server (or Engine.Serve)", sel.Sel.Name))
+						"(*http.Server).%s outside internal/obsrv and internal/serve; serve through obsrv.Server or serve.Server", sel.Sel.Name))
 				}
 			}
 			return true

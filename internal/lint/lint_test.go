@@ -53,6 +53,7 @@ var goldenCases = []struct {
 	{"capture", "graphite/internal/goldenbadcapture", "goroutine-capture"},
 	{"gorecover", "graphite/internal/goldenbadgorecover", "goroutine-recover"},
 	{"httplistener", "graphite/internal/goldenbadhttp", "http-listener"},
+	{"httplistener_cmd", "graphite/cmd/graphite-serve/goldenbad", "http-listener"},
 }
 
 // TestGolden runs each checker over its known-bad package and requires the

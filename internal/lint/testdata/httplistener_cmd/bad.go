@@ -1,0 +1,23 @@
+// Package goldenbad proves the internal/serve allowlist does not leak:
+// command packages — including the serving command itself — still may not
+// bind sockets directly. A command that wants a listener goes through
+// serve.Server or obsrv.Server, which own drain and probe wiring.
+package goldenbad
+
+import (
+	"net"
+	"net/http"
+)
+
+func commandBindsDirectly() {
+	_ = http.ListenAndServe(":8080", nil) // want http-listener
+	ln, _ := net.Listen("tcp", ":9090")   // want http-listener
+	srv := &http.Server{Addr: ":8080"}
+	_ = srv.Serve(ln) // want http-listener
+}
+
+// throughThePlaneIsFine shows the intended shape: client-side calls to a
+// serving plane are untouched.
+func throughThePlaneIsFine() {
+	_, _ = http.Post("http://127.0.0.1:8080/v1/infer", "application/json", nil)
+}

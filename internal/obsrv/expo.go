@@ -23,6 +23,7 @@ type expoState struct {
 	snap        telemetry.Snapshot
 	hists       []histExpo
 	throughputs []rateSample
+	gauges      []Gauge
 	sloStates   []sloState
 	windowSecs  float64
 }
@@ -106,16 +107,23 @@ func seconds(d time.Duration) string { return fnum(d.Seconds()) }
 // counterHelp documents the kernel counters for scrape UIs; unknown names
 // fall back to a generic line.
 var counterHelp = map[string]string{
-	"graphite_vertices_aggregated_total": "vertex rows produced by aggregation",
-	"graphite_edges_aggregated_total":    "edges traversed by aggregation",
-	"graphite_rows_compressed_total":     "feature rows compressed",
-	"graphite_rows_decompressed_total":   "compressed-row expansions consumed by kernels",
-	"graphite_gemm_flops_total":          "dense-equivalent FLOPs of update and backward GEMMs",
-	"graphite_dma_bytes_moved_total":     "bytes moved by the DMA engine model",
-	"graphite_dma_descriptors_total":     "DMA aggregation descriptors executed",
-	"graphite_sched_chunks_total":        "dynamically claimed scheduler chunks",
-	"graphite_sched_rows_total":          "rows handed out by the scheduler",
-	"graphite_panics_recovered_total":    "worker panics contained into structured errors",
+	"graphite_vertices_aggregated_total":  "vertex rows produced by aggregation",
+	"graphite_edges_aggregated_total":     "edges traversed by aggregation",
+	"graphite_rows_compressed_total":      "feature rows compressed",
+	"graphite_rows_decompressed_total":    "compressed-row expansions consumed by kernels",
+	"graphite_gemm_flops_total":           "dense-equivalent FLOPs of update and backward GEMMs",
+	"graphite_dma_bytes_moved_total":      "bytes moved by the DMA engine model",
+	"graphite_dma_descriptors_total":      "DMA aggregation descriptors executed",
+	"graphite_sched_chunks_total":         "dynamically claimed scheduler chunks",
+	"graphite_sched_rows_total":           "rows handed out by the scheduler",
+	"graphite_panics_recovered_total":     "worker panics contained into structured errors",
+	"graphite_serve_requests_total":       "inference requests admitted to the serving queue",
+	"graphite_serve_rejected_total":       "requests rejected on a full admission queue",
+	"graphite_serve_expired_total":        "requests whose deadline passed before dispatch",
+	"graphite_serve_failed_total":         "requests failed by inference errors after dispatch",
+	"graphite_serve_batches_total":        "mini-batches dispatched by the dynamic batcher",
+	"graphite_serve_vertices_total":       "vertices inferred through dispatched mini-batches",
+	"graphite_serve_snapshot_swaps_total": "checkpoint hot swaps applied to the serving snapshot",
 }
 
 // quantileGauges are the fixed percentile gauges derived from each phase
@@ -225,6 +233,11 @@ func writeExposition(w io.Writer, st expoState) error {
 	for _, ts := range st.throughputs {
 		ew.header(ts.Metric, "EWMA throughput derived from counter deltas between scrapes", "gauge")
 		ew.line(ts.Metric, " ", fnum(ts.Rate))
+	}
+
+	for _, g := range st.gauges {
+		ew.header(g.Name, g.Help, "gauge")
+		ew.line(g.Name, " ", fnum(g.Value))
 	}
 
 	writeSLOs(ew, st)

@@ -71,6 +71,21 @@ type Options struct {
 	// BuildLabels overrides or extends the graphite_build_info labels.
 	// Tests pin them; production code leaves this nil.
 	BuildLabels map[string]string
+	// Gauges, when non-nil, is called once per scrape and its results are
+	// exported as additional gauge families (sorted by name). The serving
+	// layer feeds its queue-depth and snapshot-version series through
+	// this hook so the exposition stays a single coherent document.
+	Gauges func() []Gauge
+}
+
+// Gauge is one scrape-time gauge exported by an Options.Gauges hook.
+type Gauge struct {
+	// Name is the full metric name ("graphite_serve_queue_depth").
+	Name string
+	// Help is the # HELP line.
+	Help string
+	// Value is the gauge's current value.
+	Value float64
 }
 
 // Default tuning constants.
@@ -116,6 +131,10 @@ func NewServer(opts Options) *Server {
 		sink:  opts.Sink,
 		rates: make(map[string]*ewma),
 	}
+	// Stamp construction time so uptime reads sensibly when the handler is
+	// mounted under a host server without Start; Start re-stamps to the
+	// moment the listener binds.
+	s.started = s.now()
 	for _, o := range opts.SLOs {
 		s.slos = append(s.slos, &sloTracker{slo: o})
 	}
@@ -184,10 +203,13 @@ func (s *Server) Serving() bool { return s.serving.Load() }
 // drain completes.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.serving.Store(false)
+	// Close the event streams even when the server never bound its own
+	// listener (the serving layer mounts Handler under its listener): open
+	// /events requests must return so the owning server can drain.
+	s.events.close()
 	if s.hs == nil {
 		return nil
 	}
-	s.events.close()
 	return s.hs.Shutdown(ctx)
 }
 
@@ -270,6 +292,12 @@ func (s *Server) scrape() expoState {
 		st.throughputs = append(st.throughputs, rateSample{Metric: ts.Metric, Rate: r.rate})
 	}
 	s.lastTime = now
+
+	// Caller-supplied gauges (queue depths, snapshot versions, ...).
+	if s.opts.Gauges != nil {
+		st.gauges = s.opts.Gauges()
+		sort.Slice(st.gauges, func(i, j int) bool { return st.gauges[i].Name < st.gauges[j].Name })
+	}
 
 	// SLO accounting against the live histograms.
 	for _, tr := range s.slos {

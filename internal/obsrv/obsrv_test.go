@@ -41,6 +41,9 @@ func newGoldenServer(sink *telemetry.Sink, slos []SLO, t0 time.Time, dt time.Dur
 		next = next.Add(dt)
 		return t
 	}
+	// NewServer stamps construction time with the real clock; zero it so
+	// the golden stays byte-deterministic (no uptime family).
+	s.started = time.Time{}
 	return s
 }
 
@@ -95,6 +98,67 @@ func TestExpositionGolden(t *testing.T) {
 	}
 	if got != goldenExposition {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, goldenExposition)
+	}
+}
+
+// TestGaugesExposition covers the Options.Gauges hook: caller-supplied
+// gauges appear as their own families, sorted by name regardless of the
+// hook's return order, and the exposition still passes the strict parser.
+func TestGaugesExposition(t *testing.T) {
+	s := NewServer(Options{
+		Sink: telemetry.New(0),
+		Gauges: func() []Gauge {
+			return []Gauge{
+				{Name: "graphite_serve_queue_depth", Help: "Queued inference requests.", Value: 3},
+				{Name: "graphite_serve_draining", Help: "1 while the server drains.", Value: 0},
+			}
+		},
+	})
+	got := scrapeText(t, s)
+	if _, err := ParseExposition(strings.NewReader(got)); err != nil {
+		t.Fatalf("scrape fails strict parse: %v\n%s", err, got)
+	}
+	want := "# HELP graphite_serve_draining 1 while the server drains.\n" +
+		"# TYPE graphite_serve_draining gauge\n" +
+		"graphite_serve_draining 0\n" +
+		"# HELP graphite_serve_queue_depth Queued inference requests.\n" +
+		"# TYPE graphite_serve_queue_depth gauge\n" +
+		"graphite_serve_queue_depth 3\n"
+	if !strings.Contains(got, want) {
+		t.Fatalf("gauge families missing or unsorted in exposition:\n%s", got)
+	}
+}
+
+// TestShutdownWithoutListenerClosesEvents pins the embedded-handler
+// lifecycle: when the obsrv plane is mounted under a host server (never
+// Start()ed itself), Shutdown must still terminate /events streams so the
+// host's own drain can complete.
+func TestShutdownWithoutListenerClosesEvents(t *testing.T) {
+	s := NewServer(Options{Sink: telemetry.New(0)})
+	s.Publish(Event{Kind: "experiment", Status: "start"})
+
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+		done <- sc.Err()
+	}()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("events stream still open after Shutdown")
 	}
 }
 
@@ -479,6 +543,27 @@ graphite_sched_chunks_total 0
 # HELP graphite_sched_rows_total rows handed out by the scheduler
 # TYPE graphite_sched_rows_total counter
 graphite_sched_rows_total 0
+# HELP graphite_serve_batches_total mini-batches dispatched by the dynamic batcher
+# TYPE graphite_serve_batches_total counter
+graphite_serve_batches_total 0
+# HELP graphite_serve_expired_total requests whose deadline passed before dispatch
+# TYPE graphite_serve_expired_total counter
+graphite_serve_expired_total 0
+# HELP graphite_serve_failed_total requests failed by inference errors after dispatch
+# TYPE graphite_serve_failed_total counter
+graphite_serve_failed_total 0
+# HELP graphite_serve_rejected_total requests rejected on a full admission queue
+# TYPE graphite_serve_rejected_total counter
+graphite_serve_rejected_total 0
+# HELP graphite_serve_requests_total inference requests admitted to the serving queue
+# TYPE graphite_serve_requests_total counter
+graphite_serve_requests_total 0
+# HELP graphite_serve_snapshot_swaps_total checkpoint hot swaps applied to the serving snapshot
+# TYPE graphite_serve_snapshot_swaps_total counter
+graphite_serve_snapshot_swaps_total 0
+# HELP graphite_serve_vertices_total vertices inferred through dispatched mini-batches
+# TYPE graphite_serve_vertices_total counter
+graphite_serve_vertices_total 0
 # HELP graphite_vertices_aggregated_total vertex rows produced by aggregation
 # TYPE graphite_vertices_aggregated_total counter
 graphite_vertices_aggregated_total 1500

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"graphite/internal/gnn"
+	"graphite/internal/telemetry"
+	"graphite/internal/tensor"
+)
+
+// batch is a sealed mini-batch: the concatenation of its members' vertex
+// lists, executed in one forward pass.
+type batch struct {
+	id   uint64
+	reqs []*request
+	ids  []int32
+}
+
+// batcher coalesces queued requests into mini-batches. A batch seals when
+// it holds MaxBatch vertices or when the first member has lingered
+// MaxLinger. Requests whose context expired while queued are rejected
+// here, before any kernel work is spent on them.
+func (s *Server) batcher() {
+	defer s.pipeWG.Done()
+	defer close(s.batches)
+
+	var pending []*request
+	var pendingVerts int
+	linger := time.NewTimer(time.Hour)
+	linger.Stop()
+	defer linger.Stop()
+
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		linger.Stop()
+		b := &batch{id: s.nextBatch.Add(1)}
+		now := time.Now()
+		for _, r := range pending {
+			if r.ctx.Err() != nil {
+				// Expired while queued: reject before dispatch.
+				r.resp <- response{err: r.ctx.Err()}
+				continue
+			}
+			s.tel.Observe(telemetry.PhaseServeQueue, now.Sub(r.enq))
+			b.reqs = append(b.reqs, r)
+			b.ids = append(b.ids, r.ids...)
+		}
+		pending, pendingVerts = nil, 0
+		if len(b.reqs) == 0 {
+			return
+		}
+		s.batches <- b
+	}
+
+	admitOne := func(r *request) {
+		if r.ctx.Err() != nil {
+			r.resp <- response{err: r.ctx.Err()}
+			return
+		}
+		// Never split one request across batches: seal first if it would
+		// overflow the cap.
+		if pendingVerts > 0 && pendingVerts+len(r.ids) > s.cfg.MaxBatch {
+			flush()
+		}
+		if pendingVerts == 0 {
+			linger.Reset(s.cfg.MaxLinger)
+		}
+		pending = append(pending, r)
+		pendingVerts += len(r.ids)
+		if pendingVerts >= s.cfg.MaxBatch {
+			flush()
+		}
+	}
+
+	for {
+		select {
+		case r := <-s.queue:
+			admitOne(r)
+		case <-linger.C:
+			flush()
+		case <-s.stopc:
+			// Shutdown waits for all Infer calls before closing stopc, so
+			// the queue is quiescent; drain any stragglers and finish.
+			for {
+				select {
+				case r := <-s.queue:
+					admitOne(r)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// worker executes sealed batches. The snapshot pointer is loaded exactly
+// once per batch: a concurrent Swap can never mix model versions inside
+// one batch, and every member's Result reports the same version.
+func (s *Server) worker() {
+	defer s.pipeWG.Done()
+	for b := range s.batches {
+		s.runBatch(b)
+	}
+}
+
+func (s *Server) runBatch(b *batch) {
+	s.inflightBatches.Add(1)
+	defer s.inflightBatches.Add(-1)
+	// A panicking batch must error its members, not kill the server: the
+	// kernels contain their own worker panics (gnn's contain boundary),
+	// and this backstop covers the response-distribution code around them.
+	responded := 0
+	defer func() {
+		if r := recover(); r != nil {
+			s.tel.Inc(telemetry.CtrPanicsRecovered)
+			err := fmt.Errorf("serve: batch %d panicked: %v", b.id, r)
+			for _, req := range b.reqs[responded:] {
+				req.resp <- response{err: err}
+			}
+		}
+	}()
+	if s.cfg.testGate != nil {
+		<-s.cfg.testGate
+	}
+
+	snap := s.snap.Load() // the batch's one and only snapshot read
+
+	// The batch runs until its most patient member's deadline.
+	ctx := context.Background()
+	var latest time.Time
+	for _, r := range b.reqs {
+		if d, ok := r.ctx.Deadline(); ok && d.After(latest) {
+			latest = d
+		}
+	}
+	if !latest.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, latest)
+		defer cancel()
+	}
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(b.id)))
+	sp := s.tel.Begin(telemetry.PhaseServeBatch)
+	out, err := gnn.InferVerticesContext(ctx, snap.Net, s.cfg.Graph, s.cfg.X, b.ids, s.cfg.Fanouts, rng,
+		gnn.RunOptions{Threads: s.cfg.Threads, Tel: s.tel})
+	sp.End()
+
+	if err != nil {
+		for _, r := range b.reqs {
+			r.resp <- response{err: err}
+			responded++
+		}
+		return
+	}
+	s.tel.Inc(telemetry.CtrServeBatches)
+	s.tel.Add(telemetry.CtrServeVertices, int64(len(b.ids)))
+
+	off := 0
+	for _, r := range b.reqs {
+		rows := tensor.NewMatrix(len(r.ids), out.Cols)
+		for i := range r.ids {
+			copy(rows.Row(i), out.Row(off+i))
+		}
+		off += len(r.ids)
+		r.resp <- response{res: Result{Logits: rows, Version: snap.Version, BatchID: b.id}}
+		responded++
+	}
+}

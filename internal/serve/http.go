@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"graphite/internal/obsrv"
+	"graphite/internal/telemetry"
+)
+
+// maxSwapBody bounds /v1/swap checkpoint uploads (weights for the models
+// in this repo are well under this).
+const maxSwapBody = 1 << 30
+
+// apiError is the structured JSON error body: {"error":{"code":...}}.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// inferRequest is the /v1/infer body.
+type inferRequest struct {
+	// Vertices are the vertex ids to classify.
+	Vertices []int32 `json:"vertices"`
+	// TimeoutMS overrides the server's default per-request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// inferResponse is the /v1/infer reply.
+type inferResponse struct {
+	Vertices        []int32     `json:"vertices"`
+	Logits          [][]float32 `json:"logits"`
+	SnapshotVersion uint64      `json:"snapshot_version"`
+	BatchID         uint64      `json:"batch_id"`
+	LatencyMS       float64     `json:"latency_ms"`
+}
+
+// handler builds the full mux: the serve API plus the embedded obsrv
+// plane (/metrics, /healthz, /readyz, /events, /trace, /debug/pprof/).
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", s.obs.Handler())
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/swap", s.handleSwap)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// writeError maps a pipeline error to (status, code) and emits the
+// structured JSON body. 429 = back off; 504 = deadline spent; 503 =
+// draining; 400 = caller bug.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		status, code = http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		status, code = 499, "client_cancelled" // nginx convention
+	case errors.Is(err, ErrDraining):
+		status, code = http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrInvalid):
+		status, code = http.StatusBadRequest, "invalid_request"
+	}
+	var body apiError
+	body.Error.Code = code
+	body.Error.Message = err.Error()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeMethodError(w http.ResponseWriter, want string) {
+	w.Header().Set("Allow", want)
+	writeError(w, fmt.Errorf("%w: method not allowed, use %s", ErrInvalid, want))
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeMethodError(w, http.MethodPost)
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("%w: bad JSON: %v", ErrInvalid, err))
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := s.Infer(ctx, req.Vertices)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := inferResponse{
+		Vertices:        req.Vertices,
+		Logits:          make([][]float32, res.Logits.Rows),
+		SnapshotVersion: res.Version,
+		BatchID:         res.BatchID,
+		LatencyMS:       float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for i := range out.Logits {
+		row := make([]float32, res.Logits.Cols)
+		copy(row, res.Logits.Row(i))
+		out.Logits[i] = row
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeMethodError(w, http.MethodPost)
+		return
+	}
+	v, err := s.Swap(http.MaxBytesReader(w, r.Body, maxSwapBody))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]uint64{"snapshot_version": v})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodError(w, http.MethodGet)
+		return
+	}
+	// Version header first: Save streams the body.
+	snap := s.snap.Load()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Graphite-Snapshot-Version", fmt.Sprint(snap.Version))
+	if err := snap.Net.Save(w); err != nil {
+		// Headers are already out; the truncated body will fail the
+		// loader's validation on the other side.
+		s.obs.Publish(obsrv.Event{Kind: "checkpoint", Status: "error", Detail: err.Error()})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodError(w, http.MethodGet)
+		return
+	}
+	stats := map[string]any{
+		"graph_vertices":   s.cfg.Graph.NumVertices(),
+		"queue_depth":      len(s.queue),
+		"queue_capacity":   cap(s.queue),
+		"max_batch_size":   s.cfg.MaxBatch,
+		"max_linger_ms":    float64(s.cfg.MaxLinger) / float64(time.Millisecond),
+		"snapshot_version": s.snap.Load().Version,
+		"inflight_batches": s.inflightBatches.Load(),
+		"draining":         s.draining.Load(),
+		"requests":         s.tel.Counter(telemetry.CtrServeRequests),
+		"rejected":         s.tel.Counter(telemetry.CtrServeRejected),
+		"expired":          s.tel.Counter(telemetry.CtrServeExpired),
+		"failed":           s.tel.Counter(telemetry.CtrServeFailed),
+		"batches":          s.tel.Counter(telemetry.CtrServeBatches),
+		"vertices":         s.tel.Counter(telemetry.CtrServeVertices),
+		"swaps":            s.tel.Counter(telemetry.CtrServeSwaps),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stats)
+}

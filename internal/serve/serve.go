@@ -1,0 +1,371 @@
+// Package serve is the multi-tenant inference server: an HTTP front end
+// over one shared engine that coalesces concurrent per-vertex requests
+// into mini-batches, applies admission control with bounded queueing and
+// per-request deadlines, and hot-swaps model snapshots with zero downtime.
+//
+// The dataflow is a three-stage pipeline:
+//
+//	Infer callers -> bounded queue -> batcher -> workers
+//
+// Admission is non-blocking: a full queue rejects immediately (the HTTP
+// layer maps that to 429) instead of building an invisible backlog. The
+// batcher seals a mini-batch when it reaches Config.MaxBatch vertices or
+// when the oldest member has lingered Config.MaxLinger, whichever comes
+// first; requests whose deadline expired while queued are rejected before
+// dispatch so dead work never reaches the kernels. Workers execute sealed
+// batches through gnn.InferVerticesContext under a context carrying the
+// batch's latest member deadline.
+//
+// Model versions are snapshot-isolated: each batch pins the snapshot
+// pointer exactly once, so a concurrent Swap never mixes weights within a
+// batch — in-flight batches finish on the old version while new batches
+// pick up the new one.
+//
+// This package and internal/obsrv are the only packages allowed to open
+// network listeners (enforced by the http-listener lint).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphite/internal/gnn"
+	"graphite/internal/graph"
+	"graphite/internal/obsrv"
+	"graphite/internal/telemetry"
+	"graphite/internal/tensor"
+)
+
+// Sentinel errors, mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull is returned when the admission queue is at capacity
+	// (HTTP 429): the caller should back off and retry.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining is returned once shutdown has begun (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrInvalid wraps request-validation failures (HTTP 400).
+	ErrInvalid = errors.New("serve: invalid request")
+)
+
+// Defaults applied by NewServer when the corresponding Config field is zero.
+const (
+	DefaultMaxBatch  = 64
+	DefaultMaxLinger = 2 * time.Millisecond
+	DefaultQueueCap  = 256
+	DefaultWorkers   = 1
+	DefaultDeadline  = time.Second
+)
+
+// Config describes a serving instance.
+type Config struct {
+	// Net is the initial model snapshot (version 1). Required.
+	Net *gnn.Network
+	// Graph is the raw (no self-loop) adjacency served against. Required.
+	Graph *graph.CSR
+	// X holds one input-feature row per vertex. Required.
+	X *tensor.Matrix
+	// MaxBatch is the mini-batch size cap in vertices; reaching it seals
+	// the pending batch immediately. It also bounds a single request.
+	MaxBatch int
+	// MaxLinger bounds how long the oldest queued request waits for the
+	// batch to fill before a partial batch is dispatched anyway.
+	MaxLinger time.Duration
+	// QueueCap bounds the admission queue; a full queue rejects with
+	// ErrQueueFull rather than queueing unbounded latency.
+	QueueCap int
+	// Workers is the number of goroutines executing sealed batches.
+	Workers int
+	// Threads is the kernel thread count per batch (0 = GOMAXPROCS).
+	Threads int
+	// Fanouts is the per-layer neighbour sampling budget (nil or <= 0
+	// entries mean full neighbourhoods, i.e. exact inference).
+	Fanouts []int
+	// Deadline is applied to requests that carry no deadline of their own.
+	Deadline time.Duration
+	// Seed drives per-batch sampling rngs (batch id is mixed in).
+	Seed int64
+	// SLOs are latency objectives exported through the metrics plane.
+	SLOs []obsrv.SLO
+	// BuildLabels extends graphite_build_info (tests pin it).
+	BuildLabels map[string]string
+	// testGate, when non-nil, is received from before each batch
+	// executes: a test seam for deterministic overload and drain
+	// scenarios (close it to release all batches).
+	testGate chan struct{}
+}
+
+// Result is one answered inference request.
+type Result struct {
+	// Logits has one row per requested vertex, in request order.
+	Logits *tensor.Matrix
+	// Version is the model snapshot version the batch executed on.
+	Version uint64
+	// BatchID identifies the mini-batch this request rode in; requests
+	// sharing a BatchID are guaranteed to share a Version.
+	BatchID uint64
+}
+
+// request is one admitted inference request moving through the pipeline.
+type request struct {
+	ctx  context.Context
+	ids  []int32
+	resp chan response
+	enq  time.Time
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// Server is the inference server. Create with NewServer, optionally expose
+// over HTTP with Start, stop with Shutdown.
+type Server struct {
+	cfg Config
+	tel *telemetry.Sink
+	obs *obsrv.Server
+
+	snap   atomic.Pointer[Snapshot]
+	swapMu sync.Mutex // serialises Swap version assignment
+
+	queue    chan *request
+	batches  chan *batch
+	stopc    chan struct{}
+	pipeWG   sync.WaitGroup // batcher + workers
+	admitMu  sync.Mutex     // guards draining flip vs. reqWG.Add
+	reqWG    sync.WaitGroup // in-flight Infer calls
+	draining atomic.Bool
+
+	inflightBatches atomic.Int64
+	nextBatch       atomic.Uint64
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// NewServer validates cfg, applies defaults, and starts the batching
+// pipeline (but no listener): Infer works immediately, which is how the
+// tests drive the pipeline without sockets.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Net == nil || cfg.Graph == nil || cfg.X == nil {
+		return nil, fmt.Errorf("serve: Net, Graph and X are required")
+	}
+	if cfg.X.Rows != cfg.Graph.NumVertices() {
+		return nil, fmt.Errorf("serve: %d feature rows for %d vertices", cfg.X.Rows, cfg.Graph.NumVertices())
+	}
+	if cfg.Net.NumLayers() == 0 {
+		return nil, fmt.Errorf("serve: empty network")
+	}
+	if cfg.Net.Layers[0].In() != cfg.X.Cols {
+		return nil, fmt.Errorf("serve: model expects %d input features, graph has %d", cfg.Net.Layers[0].In(), cfg.X.Cols)
+	}
+	if len(cfg.Fanouts) != 0 && len(cfg.Fanouts) != cfg.Net.NumLayers() {
+		return nil, fmt.Errorf("serve: %d fanouts for %d layers", len(cfg.Fanouts), cfg.Net.NumLayers())
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxLinger <= 0 {
+		cfg.MaxLinger = DefaultMaxLinger
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = DefaultDeadline
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		tel:     telemetry.New(0),
+		queue:   make(chan *request, cfg.QueueCap),
+		batches: make(chan *batch, cfg.Workers),
+		stopc:   make(chan struct{}),
+	}
+	s.snap.Store(&Snapshot{Net: cfg.Net, Version: 1})
+	s.obs = obsrv.NewServer(obsrv.Options{
+		Sink:        s.tel,
+		SLOs:        cfg.SLOs,
+		BuildLabels: cfg.BuildLabels,
+		Gauges:      s.gauges,
+		Healthy: func() (bool, string) {
+			return true, "serving"
+		},
+		Ready: func() (bool, string) {
+			if s.draining.Load() {
+				return false, "draining"
+			}
+			return true, fmt.Sprintf("snapshot v%d", s.snap.Load().Version)
+		},
+	})
+
+	s.pipeWG.Add(1)
+	//lint:ignore goroutine-recover the batcher is process-lifetime pipeline infrastructure moving requests between channels; batch execution panics are contained in runBatch, and a panic in the coalescing logic itself must surface rather than leave callers waiting forever
+	go s.batcher()
+	for i := 0; i < cfg.Workers; i++ {
+		s.pipeWG.Add(1)
+		//lint:ignore goroutine-recover workers delegate to runBatch, which converts panics into per-request errors (and kernel panics are already contained by gnn); the loop shell has nothing left to recover
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Tel exposes the server's telemetry sink (the load generator and tests
+// read phase histograms and counters from it).
+func (s *Server) Tel() *telemetry.Sink { return s.tel }
+
+// Obs exposes the embedded observability plane (events, metrics).
+func (s *Server) Obs() *obsrv.Server { return s.obs }
+
+// gauges is the obsrv scrape hook: instantaneous pipeline state.
+func (s *Server) gauges() []obsrv.Gauge {
+	var draining float64
+	if s.draining.Load() {
+		draining = 1
+	}
+	return []obsrv.Gauge{
+		{Name: "graphite_serve_queue_depth", Help: "Inference requests waiting in the admission queue.", Value: float64(len(s.queue))},
+		{Name: "graphite_serve_queue_capacity", Help: "Admission queue capacity; at depth==capacity new requests are rejected.", Value: float64(cap(s.queue))},
+		{Name: "graphite_serve_max_batch_size", Help: "Mini-batch size cap in vertices.", Value: float64(s.cfg.MaxBatch)},
+		{Name: "graphite_serve_snapshot_version", Help: "Version of the model snapshot new batches execute on.", Value: float64(s.snap.Load().Version)},
+		{Name: "graphite_serve_inflight_batches", Help: "Sealed batches currently executing.", Value: float64(s.inflightBatches.Load())},
+		{Name: "graphite_serve_draining", Help: "1 once shutdown has begun and new requests are rejected.", Value: draining},
+	}
+}
+
+// Infer answers a batch of per-vertex inference requests. It blocks until
+// the request's mini-batch completes or ctx expires. A request with no
+// deadline gets Config.Deadline. The returned Result carries the snapshot
+// version and batch id the request executed under.
+func (s *Server) Infer(ctx context.Context, ids []int32) (Result, error) {
+	start := time.Now()
+	res, err := s.infer(ctx, ids, start)
+	s.tel.Observe(telemetry.PhaseServeE2E, time.Since(start))
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		s.tel.Inc(telemetry.CtrServeRejected)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.tel.Inc(telemetry.CtrServeExpired)
+	case errors.Is(err, ErrInvalid), errors.Is(err, ErrDraining):
+		// Not counted as failures: the server did nothing wrong.
+	default:
+		s.tel.Inc(telemetry.CtrServeFailed)
+	}
+	return res, err
+}
+
+func (s *Server) infer(ctx context.Context, ids []int32, start time.Time) (Result, error) {
+	if len(ids) == 0 {
+		return Result{}, fmt.Errorf("%w: empty vertex list", ErrInvalid)
+	}
+	if len(ids) > s.cfg.MaxBatch {
+		return Result{}, fmt.Errorf("%w: %d vertices exceeds max batch %d", ErrInvalid, len(ids), s.cfg.MaxBatch)
+	}
+	n := int32(s.cfg.Graph.NumVertices())
+	for _, v := range ids {
+		if v < 0 || v >= n {
+			return Result{}, fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrInvalid, v, n)
+		}
+	}
+	if !s.admit() {
+		return Result{}, ErrDraining
+	}
+	defer s.reqWG.Done()
+	s.tel.Inc(telemetry.CtrServeRequests)
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+	r := &request{ctx: ctx, ids: ids, resp: make(chan response, 1), enq: start}
+	select {
+	case s.queue <- r:
+	default:
+		return Result{}, ErrQueueFull
+	}
+	select {
+	case rp := <-r.resp:
+		return rp.res, rp.err
+	case <-ctx.Done():
+		// The request may still be queued or in flight; the batcher and
+		// workers drop expired members and send on the buffered resp
+		// channel, so nothing leaks.
+		return Result{}, ctx.Err()
+	}
+}
+
+// admit registers an in-flight request unless shutdown has begun. The
+// mutex closes the race between the draining flip and reqWG.Add.
+func (s *Server) admit() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.reqWG.Add(1)
+	return true
+}
+
+// Start binds addr and serves HTTP. The pipeline is already running; this
+// only adds the network front end.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.handler()}
+	//lint:ignore goroutine-recover the HTTP accept loop is process-lifetime infrastructure; net/http already recovers handler panics, and an accept-loop panic must surface rather than be converted to a WorkerError
+	go func() {
+		if err := s.hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.obs.Publish(obsrv.Event{Kind: "serve", Status: "error", Detail: err.Error()})
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: new requests are rejected immediately
+// (readyz flips first so load balancers stop routing), event streams end,
+// in-flight HTTP requests and direct Infer calls complete on their
+// original snapshot, then the pipeline stops. Bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining.Swap(true)
+	s.admitMu.Unlock()
+	if already {
+		return nil
+	}
+	// Close /events streams first: they never go idle, so a live stream
+	// would otherwise hold http.Server.Shutdown until the ctx deadline.
+	obsErr := s.obs.Shutdown(ctx)
+	var httpErr error
+	if s.hs != nil {
+		httpErr = s.hs.Shutdown(ctx)
+	}
+	s.reqWG.Wait() // direct Infer callers (tests, embedded use)
+	close(s.stopc)
+	s.pipeWG.Wait()
+	if httpErr != nil {
+		return httpErr
+	}
+	return obsErr
+}

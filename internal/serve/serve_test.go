@@ -1,0 +1,548 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"graphite/internal/gnn"
+	"graphite/internal/graph"
+	"graphite/internal/telemetry"
+	"graphite/internal/tensor"
+)
+
+// testConfig builds a small deterministic serving config. Overrides are
+// applied by the caller on the returned value before NewServer.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	g, err := graph.GenerateProfile(graph.Products, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.NewMatrix(g.NumVertices(), 12)
+	x.FillSparse(rand.New(rand.NewSource(3)), 1, 0.3)
+	net, err := gnn.NewNetwork(gnn.Config{Kind: gnn.GCN, Dims: []int{12, 16, 4}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Net: net, Graph: g, X: x, Threads: 2, Seed: 1}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// checkpointBytes serialises a network for Swap tests.
+func checkpointBytes(t *testing.T, net *gnn.Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestInferMatchesDirectPath pins the pipeline end to end: a served
+// request returns the same logits as calling the inference kernel
+// directly with full fanouts.
+func TestInferMatchesDirectPath(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+
+	ids := []int32{0, 5, 17, 199}
+	res, err := s.Infer(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("version = %d, want 1", res.Version)
+	}
+	want, err := gnn.InferVerticesContext(context.Background(), cfg.Net, cfg.Graph, cfg.X, ids, nil, nil,
+		gnn.RunOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		for j, got := range res.Logits.Row(i) {
+			if d := math.Abs(float64(got - want.Row(i)[j])); d > 1e-5 {
+				t.Fatalf("logit (%d,%d): served %g vs direct %g", i, j, got, want.Row(i)[j])
+			}
+		}
+	}
+}
+
+// TestExpiredRejectedBeforeDispatch proves a request whose deadline died
+// in the queue never reaches the kernels: it fails with
+// context.DeadlineExceeded and no batch is ever executed.
+func TestExpiredRejectedBeforeDispatch(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBatch = 1000
+	cfg.MaxLinger = 30 * time.Millisecond
+	s := newTestServer(t, cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass before enqueue
+	_, err := s.Infer(ctx, []int32{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Wait out the linger window: the batcher must have seen and dropped
+	// the request without sealing a batch.
+	time.Sleep(3 * cfg.MaxLinger)
+	if n := s.Tel().Counter(telemetry.CtrServeBatches); n != 0 {
+		t.Fatalf("%d batches dispatched for an expired request, want 0", n)
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeExpired); n != 1 {
+		t.Fatalf("expired counter = %d, want 1", n)
+	}
+}
+
+// TestLingerFlushesPartialBatch proves max-linger dispatches a partial
+// batch: one lonely request far below MaxBatch still completes promptly.
+func TestLingerFlushesPartialBatch(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBatch = 1000 // never filled by this test
+	cfg.MaxLinger = 10 * time.Millisecond
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+
+	start := time.Now()
+	res, err := s.Infer(context.Background(), []int32{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait > 5*time.Second {
+		t.Fatalf("partial batch took %v; linger flush did not fire", wait)
+	}
+	if res.Logits.Rows != 2 {
+		t.Fatalf("rows = %d, want 2", res.Logits.Rows)
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeBatches); n != 1 {
+		t.Fatalf("batches = %d, want 1", n)
+	}
+}
+
+// TestCoalescing proves concurrent small requests share one mini-batch:
+// with MaxBatch=8 and a long linger, four 2-vertex requests must ride the
+// same BatchID (the batch only seals once all four arrive).
+func TestCoalescing(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBatch = 8
+	cfg.MaxLinger = time.Minute // sealing must come from the size cap
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			base := int32(2 * i)
+			res, err := s.Infer(context.Background(), []int32{base, base + 1})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 4; i++ {
+		if results[i].BatchID != results[0].BatchID {
+			t.Fatalf("request %d rode batch %d, request 0 rode %d — not coalesced",
+				i, results[i].BatchID, results[0].BatchID)
+		}
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeVertices); n != 8 {
+		t.Fatalf("vertices served = %d, want 8", n)
+	}
+}
+
+// TestSwapNeverMixesVersions hammers the server with concurrent inference
+// and hot swaps (run under -race): every response in one batch must carry
+// the same snapshot version, i.e. a swap never lands mid-batch.
+func TestSwapNeverMixesVersions(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBatch = 4
+	cfg.MaxLinger = 500 * time.Microsecond
+	cfg.Workers = 2
+	cfg.QueueCap = 1024
+	cfg.Deadline = 30 * time.Second
+	s := newTestServer(t, cfg)
+
+	// A distinguishable replacement model with identical architecture.
+	alt, err := gnn.NewNetwork(gnn.Config{Kind: gnn.GCN, Dims: []int{12, 16, 4}, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := checkpointBytes(t, alt)
+
+	var mu sync.Mutex
+	batchVersion := map[uint64]uint64{}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := s.Infer(context.Background(), []int32{int32((g*25 + i) % 200)})
+				if err != nil {
+					t.Errorf("infer: %v", err)
+					return
+				}
+				mu.Lock()
+				if v, ok := batchVersion[res.BatchID]; ok && v != res.Version {
+					t.Errorf("batch %d saw versions %d and %d", res.BatchID, v, res.Version)
+				}
+				batchVersion[res.BatchID] = res.Version
+				mu.Unlock()
+			}
+		}(g)
+	}
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; i < 40; i++ {
+			if _, err := s.Swap(bytes.NewReader(ckpt)); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+
+	if v := s.Snapshot().Version; v != 41 {
+		t.Fatalf("final version = %d, want 41", v)
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeSwaps); n != 40 {
+		t.Fatalf("swap counter = %d, want 40", n)
+	}
+}
+
+// TestSwapValidation proves an architecture-mismatched checkpoint is
+// refused and the serving snapshot is untouched.
+func TestSwapValidation(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+
+	wrong, err := gnn.NewNetwork(gnn.Config{Kind: gnn.GCN, Dims: []int{12, 8, 4}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap(bytes.NewReader(checkpointBytes(t, wrong))); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("hidden-dim mismatch: err = %v, want ErrInvalid", err)
+	}
+	wrongKind, err := gnn.NewNetwork(gnn.Config{Kind: gnn.SAGE, Dims: []int{12, 16, 4}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Swap(bytes.NewReader(checkpointBytes(t, wrongKind))); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("kind mismatch: err = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Swap(bytes.NewReader([]byte("junk"))); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("garbage checkpoint: err = %v, want ErrInvalid", err)
+	}
+	if v := s.Snapshot().Version; v != 1 {
+		t.Fatalf("version moved to %d on rejected swaps", v)
+	}
+}
+
+// TestOverloadRejects blocks the pipeline behind the test gate, fills the
+// batch channel and the admission queue, and proves further requests get
+// ErrQueueFull immediately — then releases the gate and checks the stuck
+// requests all complete (no request lost to overload handling).
+func TestOverloadRejects(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := testConfig(t)
+	cfg.MaxBatch = 1
+	cfg.QueueCap = 2
+	cfg.Workers = 1
+	cfg.MaxLinger = time.Millisecond
+	cfg.Deadline = 30 * time.Second
+	cfg.testGate = gate
+	s := newTestServer(t, cfg)
+
+	// Capacity with the worker wedged: 1 executing + 1 in the batch
+	// channel + 1 sealed-but-blocked in the batcher + QueueCap queued.
+	// The stuck requests retry on rejection (clients racing each other
+	// for the last slots), so all of them are eventually admitted and
+	// wedge the pipeline completely.
+	const stuck = 5
+	var wg sync.WaitGroup
+	errs := make([]error, stuck)
+	for i := 0; i < stuck; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				_, err := s.Infer(context.Background(), []int32{int32(i)})
+				if !errors.Is(err, ErrQueueFull) {
+					errs[i] = err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+
+	// With the pipeline wedged the queue can only fill; eventually every
+	// slot is taken and an extra request must bounce with ErrQueueFull.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		_, err := s.Infer(ctx, []int32{99})
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw ErrQueueFull; last err = %v", err)
+		}
+	}
+	if s.Tel().Counter(telemetry.CtrServeRejected) == 0 {
+		t.Fatal("rejected counter not incremented")
+	}
+
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("stuck request %d failed after release: %v", i, err)
+		}
+	}
+}
+
+// TestShutdownDrains proves the lifecycle contract: Shutdown rejects new
+// work, completes in-flight work, and is idempotent.
+func TestShutdownDrains(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Deadline = 10 * time.Second
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Infer(context.Background(), []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := s.Infer(context.Background(), []int32{0}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-shutdown err = %v, want ErrDraining", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestInferValidation covers admission-time rejections.
+func TestInferValidation(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBatch = 4
+	s := newTestServer(t, cfg)
+	bg := context.Background()
+	if _, err := s.Infer(bg, nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := s.Infer(bg, []int32{0, 1, 2, 3, 4}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("over max batch: %v", err)
+	}
+	if _, err := s.Infer(bg, []int32{-1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("negative id: %v", err)
+	}
+	if _, err := s.Infer(bg, []int32{1 << 20}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("out of range: %v", err)
+	}
+}
+
+// TestHTTPEndToEnd drives the real listener: infer, stats, checkpoint
+// round-trip through swap, probes, metrics, and structured errors.
+func TestHTTPEndToEnd(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	// Probes and metrics come from the embedded obsrv plane.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/v1/stats"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+	}
+
+	// Inference round trip.
+	post := func(path string, body []byte, contentType string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+	resp, body := post("/v1/infer", []byte(`{"vertices":[1,2,3]}`), "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer = %d: %s", resp.StatusCode, body)
+	}
+	var ir inferResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("bad infer response %s: %v", body, err)
+	}
+	if len(ir.Logits) != 3 || len(ir.Logits[0]) != 4 || ir.SnapshotVersion != 1 {
+		t.Fatalf("infer response = %+v", ir)
+	}
+
+	// Checkpoint download, then hot swap it straight back in.
+	ckResp, err := http.Get(base + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, _ := io.ReadAll(ckResp.Body)
+	ckResp.Body.Close()
+	if ckResp.StatusCode != http.StatusOK || ckResp.Header.Get("X-Graphite-Snapshot-Version") != "1" {
+		t.Fatalf("checkpoint = %d, version header %q", ckResp.StatusCode, ckResp.Header.Get("X-Graphite-Snapshot-Version"))
+	}
+	resp, body = post("/v1/swap", ckpt, "application/octet-stream")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap = %d: %s", resp.StatusCode, body)
+	}
+	var sw map[string]uint64
+	if err := json.Unmarshal(body, &sw); err != nil || sw["snapshot_version"] != 2 {
+		t.Fatalf("swap response %s (err %v)", body, err)
+	}
+
+	// Same weights, new version: inference must agree with the pre-swap
+	// answer (the checkpoint was this server's own snapshot).
+	resp, body2 := post("/v1/infer", []byte(`{"vertices":[1,2,3]}`), "application/json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap infer = %d: %s", resp.StatusCode, body2)
+	}
+	var ir2 inferResponse
+	if err := json.Unmarshal(body2, &ir2); err != nil {
+		t.Fatal(err)
+	}
+	if ir2.SnapshotVersion != 2 {
+		t.Fatalf("post-swap version = %d, want 2", ir2.SnapshotVersion)
+	}
+	for i := range ir.Logits {
+		for j := range ir.Logits[i] {
+			if ir.Logits[i][j] != ir2.Logits[i][j] {
+				t.Fatalf("identical weights, different logits at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Structured errors: bad JSON is a 400 with a machine-readable code.
+	resp, body = post("/v1/infer", []byte(`{"vertices":`), "application/json")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+	var ae apiError
+	if err := json.Unmarshal(body, &ae); err != nil || ae.Error.Code != "invalid_request" {
+		t.Fatalf("error body %s (err %v)", body, err)
+	}
+	// Wrong method on swap.
+	getResp, err := http.Get(base + "/v1/swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, getResp.Body)
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /v1/swap = %d", getResp.StatusCode)
+	}
+}
+
+// TestReadyzFlipsOnShutdown proves the drain sequencing a load balancer
+// depends on: /readyz reports ready while serving and not-ready once
+// Shutdown begins.
+func TestReadyzFlipsOnShutdown(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while serving = %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/readyz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestGaugesExported proves the serve gauges ride the /metrics
+// exposition.
+func TestGaugesExported(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", s.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{
+		"graphite_serve_queue_depth", "graphite_serve_queue_capacity",
+		"graphite_serve_snapshot_version 1", "graphite_serve_draining 0",
+	} {
+		if !bytes.Contains(body, []byte(name)) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+}

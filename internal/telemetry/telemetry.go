@@ -63,6 +63,28 @@ const (
 	// means a workload hit a kernel invariant violation and was rejected
 	// with a *sched.WorkerError; alert on it, don't ignore it.
 	CtrPanicsRecovered
+	// CtrServeRequests counts inference requests admitted to the serving
+	// queue (the denominator of the serving error-rate series).
+	CtrServeRequests
+	// CtrServeRejected counts requests turned away with 429 because the
+	// admission queue was full.
+	CtrServeRejected
+	// CtrServeExpired counts requests whose deadline passed before their
+	// batch dispatched (rejected with 504, never computed).
+	CtrServeExpired
+	// CtrServeFailed counts requests failed by an inference error after
+	// dispatch (contained kernel panics, cancelled batches).
+	CtrServeFailed
+	// CtrServeBatches counts mini-batches dispatched by the dynamic
+	// batcher; together with CtrServeVertices it yields the mean batch
+	// size.
+	CtrServeBatches
+	// CtrServeVertices counts vertices inferred through dispatched
+	// mini-batches.
+	CtrServeVertices
+	// CtrServeSwaps counts checkpoint hot swaps applied to the serving
+	// snapshot.
+	CtrServeSwaps
 
 	numCounters
 )
@@ -80,6 +102,13 @@ var counterNames = [numCounters]string{
 	CtrSchedChunks:        "graphite_sched_chunks_total",
 	CtrSchedRows:          "graphite_sched_rows_total",
 	CtrPanicsRecovered:    "graphite_panics_recovered_total",
+	CtrServeRequests:      "graphite_serve_requests_total",
+	CtrServeRejected:      "graphite_serve_rejected_total",
+	CtrServeExpired:       "graphite_serve_expired_total",
+	CtrServeFailed:        "graphite_serve_failed_total",
+	CtrServeBatches:       "graphite_serve_batches_total",
+	CtrServeVertices:      "graphite_serve_vertices_total",
+	CtrServeSwaps:         "graphite_serve_snapshot_swaps_total",
 }
 
 // Name returns the counter's metrics key.
@@ -478,4 +507,8 @@ const (
 	PhaseInfer         = "infer"
 	PhaseBackwardAgg   = "backward-aggregate"
 	PhaseBackwardGEMM  = "backward-gemm"
+	PhaseSample        = "sample"
+	PhaseServeQueue    = "serve-queue"
+	PhaseServeBatch    = "serve-batch"
+	PhaseServeE2E      = "serve-e2e"
 )

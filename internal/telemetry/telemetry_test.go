@@ -149,6 +149,13 @@ graphite_rows_compressed_total 0
 graphite_rows_decompressed_total 0
 graphite_sched_chunks_total 0
 graphite_sched_rows_total 0
+graphite_serve_batches_total 0
+graphite_serve_expired_total 0
+graphite_serve_failed_total 0
+graphite_serve_rejected_total 0
+graphite_serve_requests_total 0
+graphite_serve_snapshot_swaps_total 0
+graphite_serve_vertices_total 0
 graphite_vertices_aggregated_total 10
 graphite_spans_dropped_total 0
 graphite_sched_worker_chunks_total{worker="0"} 2
