@@ -91,6 +91,8 @@ func runServeLoad(ctx context.Context, addr, concStr string, dur time.Duration, 
 			r.rejected, r.expired)
 	}
 
+	printSlowestTraces(base, 5)
+
 	structured := jsonOut != "" || baselinePath != ""
 	if !structured {
 		return 0
@@ -184,8 +186,24 @@ func runLevel(ctx context.Context, base string, c int, dur time.Duration, verts,
 					ids[i] = int32(rng.Intn(numVerts))
 				}
 				body, _ := json.Marshal(map[string]any{"vertices": ids})
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/infer", bytes.NewReader(body))
+				if err != nil {
+					st.failed++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				// Stamp a sampled W3C traceparent so every load request is
+				// trace-joinable: the server records its span tree and the
+				// slowest survivors are fetchable from /v1/traces after the
+				// run (printed by printSlowestTraces).
+				tp := telemetry.TraceParent{TraceID: telemetry.NewTraceID(), Sampled: true}
+				rng.Read(tp.Parent[:])
+				if tp.Parent.IsZero() {
+					tp.Parent[0] = 1
+				}
+				req.Header.Set("traceparent", tp.String())
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				lat := time.Since(t0)
 				if err != nil {
 					st.failed++
@@ -224,6 +242,58 @@ func runLevel(ctx context.Context, base string, c int, dur time.Duration, verts,
 		res.p50, res.p95, res.p99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
 	}
 	return res
+}
+
+// printSlowestTraces pulls the server's flight recorder after the run and
+// names the slowest retained request traces, attributing their latency to
+// queue wait vs batch execution — the post-mortem handle for "why was p99
+// what it was".
+func printSlowestTraces(base string, n int) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/traces?slowest=%d", base, n))
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return // tracing disabled on the target; nothing to report
+	}
+	var traces []struct {
+		TraceID    string `json:"trace_id"`
+		DurationNS int64  `json:"duration_ns"`
+		Status     string `json:"status"`
+		Spans      []struct {
+			Name string `json:"name"`
+			Dur  int64  `json:"duration_ns"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil || len(traces) == 0 {
+		return
+	}
+	fmt.Printf("\nslowest traces (GET %s/v1/traces?id=<trace_id> for the full tree):\n", base)
+	for _, tr := range traces {
+		var queue, batch int64
+		for _, sp := range tr.Spans {
+			switch sp.Name {
+			case telemetry.PhaseServeQueue:
+				if sp.Dur > queue {
+					queue = sp.Dur
+				}
+			case telemetry.PhaseServeBatch:
+				if sp.Dur > batch {
+					batch = sp.Dur
+				}
+			}
+		}
+		status := tr.Status
+		if status == "" {
+			status = "ok"
+		}
+		fmt.Printf("  %s  %10v  queue %v  batch %v  %s\n",
+			tr.TraceID, time.Duration(tr.DurationNS).Round(time.Microsecond),
+			time.Duration(queue).Round(time.Microsecond),
+			time.Duration(batch).Round(time.Microsecond), status)
+	}
 }
 
 // probeServer reads /v1/stats for the graph size and batch cap, failing

@@ -6,7 +6,12 @@
 //
 // Endpoints: POST /v1/infer, POST /v1/swap, GET /v1/checkpoint,
 // GET /v1/stats, plus the observability plane (/metrics, /healthz,
-// /readyz, /events, /trace, /debug/pprof/).
+// /readyz, /events, /trace, /v1/traces, /debug/pprof/).
+//
+// Requests are trace-annotated (W3C traceparent in, traceparent echo out)
+// and the tail-sampling flight recorder keeps errors, SLO breaches and the
+// slowest requests for GET /v1/traces; tune with -trace-sample and
+// -trace-slowest.
 //
 // Examples:
 //
@@ -56,6 +61,8 @@ func main() {
 		deadline  = flag.Duration("deadline", serve.DefaultDeadline, "default per-request deadline when the client sets none")
 		fanout    = flag.String("fanout", "", "comma-separated per-layer sampling fanouts (empty = full neighbourhoods, exact inference)")
 		sloFlag   = flag.String("slo", "", "comma-separated latency SLOs, each phase:quantile:threshold (e.g. serve-e2e:0.99:100ms)")
+		traceRate = flag.Float64("trace-sample", serve.DefaultTraceSample, "request-trace head-sampling probability (negative disables; sampled traceparent headers always trace)")
+		traceKeep = flag.Int("trace-slowest", 0, "slowest-traces pool size of the flight recorder (0 = default)")
 	)
 	flag.Parse()
 
@@ -117,6 +124,8 @@ func main() {
 		MaxBatch: *maxBatch, MaxLinger: *maxLinger, QueueCap: *queueCap,
 		Workers: *workers, Threads: *threads, Fanouts: fanouts,
 		Deadline: *deadline, Seed: *seed, SLOs: slos,
+		TraceSample:   *traceRate,
+		TraceRecorder: obsrv.FlightRecorderConfig{TopK: *traceKeep},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -129,7 +138,7 @@ func main() {
 	fmt.Printf("model %s %v (%d parameters), snapshot v%d\n", kind, dims, net.NumParams(), srv.Snapshot().Version)
 	fmt.Printf("serving: http://%s/v1/infer (max-batch %d, linger %v, queue %d, workers %d)\n",
 		srv.Addr(), *maxBatch, *maxLinger, *queueCap, *workers)
-	fmt.Printf("observability: http://%s/metrics (also /healthz /readyz /events /v1/stats)\n", srv.Addr())
+	fmt.Printf("observability: http://%s/metrics (also /healthz /readyz /events /v1/stats /v1/traces)\n", srv.Addr())
 
 	// SIGINT/SIGTERM drain gracefully: readiness flips, in-flight
 	// requests finish on their pinned snapshot, then the pipeline stops.

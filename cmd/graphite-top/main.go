@@ -5,6 +5,12 @@
 //	graphite-top -addr 127.0.0.1:9090
 //	graphite-top -addr 127.0.0.1:9090 -interval 2s -count 10
 //	graphite-top -addr 127.0.0.1:9090 -once
+//	graphite-top -addr 127.0.0.1:9090 -traces 5
+//
+// Against a serving instance the default table pins the serve phases
+// (serve-queue, serve-batch, serve-e2e) and adds a serve line with queue
+// depth and draining state; -traces N appends the N slowest retained
+// request traces from /v1/traces with their per-phase latency attribution.
 //
 // The exposition is parsed strictly (internal/obsrv.ParseExposition): any
 // payload a real Prometheus server would reject makes graphite-top exit
@@ -12,8 +18,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -33,6 +41,7 @@ func main() {
 		count    = flag.Int("count", 0, "number of polls before exiting (0 = until interrupted)")
 		once     = flag.Bool("once", false, "poll once, print one table, exit (shorthand for -count 1; used as a CI exposition gate)")
 		clear    = flag.Bool("clear", true, "redraw in place with ANSI clear between polls")
+		traces   = flag.Int("traces", 0, "also show the N slowest retained request traces from /v1/traces")
 	)
 	flag.Parse()
 	polls := *count
@@ -54,6 +63,11 @@ func main() {
 			fmt.Print("\033[H\033[2J")
 		}
 		render(os.Stdout, cur, prev)
+		if *traces > 0 {
+			if err := renderTraces(os.Stdout, client, *addr, *traces); err != nil {
+				log.Fatal(err)
+			}
+		}
 		prev = cur
 	}
 }
@@ -87,8 +101,25 @@ func fetch(client *http.Client, addr string) (*frame, error) {
 			f.phases = append(f.phases, p)
 		}
 	}
+	if f.serving() {
+		// A serving plane always shows its pipeline phases, even before the
+		// first request populates their histograms.
+		for _, p := range []string{"serve-queue", "serve-batch", "serve-e2e"} {
+			if !seen[p] {
+				seen[p] = true
+				f.phases = append(f.phases, p)
+			}
+		}
+	}
 	sort.Strings(f.phases)
 	return f, nil
+}
+
+// serving reports whether the scraped plane is an inference server (the
+// serve gauges only exist there).
+func (f *frame) serving() bool {
+	_, ok := f.expo.Value("graphite_serve_queue_capacity", nil)
+	return ok
 }
 
 // val reads one sample, defaulting to 0 when absent.
@@ -106,10 +137,25 @@ func render(w *os.File, cur, prev *frame) {
 		up.Round(time.Second),
 		int64(cur.val("graphite_gomaxprocs", nil)),
 		cur.val("graphite_ready", nil) == 1)
-	fmt.Fprintf(w, "throughput  %s vertices/s  %s edges/s  %s bytes/s\n\n",
+	fmt.Fprintf(w, "throughput  %s vertices/s  %s edges/s  %s bytes/s\n",
 		compact(cur.val("graphite_throughput_vertices_per_second", nil)),
 		compact(cur.val("graphite_throughput_edges_per_second", nil)),
 		compact(cur.val("graphite_throughput_bytes_per_second", nil)))
+	if cur.serving() {
+		state := "serving"
+		if cur.val("graphite_serve_draining", nil) == 1 {
+			state = "DRAINING"
+		}
+		fmt.Fprintf(w, "serve       queue %d/%d  inflight %d  snapshot v%d  traces %d/%d kept  %s\n",
+			int64(cur.val("graphite_serve_queue_depth", nil)),
+			int64(cur.val("graphite_serve_queue_capacity", nil)),
+			int64(cur.val("graphite_serve_inflight_batches", nil)),
+			int64(cur.val("graphite_serve_snapshot_version", nil)),
+			int64(cur.val("graphite_serve_traces_kept", nil)),
+			int64(cur.val("graphite_serve_traces_recorded", nil)),
+			state)
+	}
+	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "%-24s %10s %10s %9s %9s %9s %9s\n",
 		"PHASE", "COUNT", "RATE/S", "P50", "P95", "P99", "INFLIGHT")
@@ -166,6 +212,86 @@ func durCell(secs float64) string {
 	default:
 		return d.Round(10 * time.Millisecond).String()
 	}
+}
+
+// recTrace is the subset of the /v1/traces full-tree JSON the slowest
+// view needs.
+type recTrace struct {
+	TraceID    string `json:"trace_id"`
+	DurationNS int64  `json:"duration_ns"`
+	Status     string `json:"status"`
+	Reason     string `json:"reason"`
+	Spans      []struct {
+		Name string `json:"name"`
+		Dur  int64  `json:"duration_ns"`
+	} `json:"spans"`
+}
+
+// renderTraces fetches and prints the n slowest retained request traces,
+// each with its top phase-latency contributors.
+func renderTraces(w *os.File, client *http.Client, addr string, n int) error {
+	resp, err := client.Get(fmt.Sprintf("http://%s/v1/traces?slowest=%d", addr, n))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fmt.Fprintln(w, "\ntraces: not available (tracing not enabled on this plane)")
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/traces: %s", resp.Status)
+	}
+	var traces []recTrace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return fmt.Errorf("malformed /v1/traces payload from %s: %w", addr, err)
+	}
+	fmt.Fprintf(w, "\n%-34s %9s %-18s %-8s %s\n", "SLOWEST TRACES", "DUR", "STATUS", "REASON", "BREAKDOWN")
+	for _, tr := range traces {
+		status := tr.Status
+		if status == "" {
+			status = "ok"
+		}
+		fmt.Fprintf(w, "%-34s %9s %-18s %-8s %s\n",
+			tr.TraceID, durCell(float64(tr.DurationNS)/1e9), status, tr.Reason, breakdown(tr))
+	}
+	if len(traces) == 0 {
+		fmt.Fprintln(w, "(no traces retained yet)")
+	}
+	return nil
+}
+
+// breakdown sums span time by phase (the root span excluded — it is the
+// whole request) and renders the top three contributors.
+func breakdown(tr recTrace) string {
+	totals := map[string]int64{}
+	for _, sp := range tr.Spans {
+		if sp.Name == "serve-e2e" {
+			continue
+		}
+		totals[sp.Name] += sp.Dur
+	}
+	type kv struct {
+		name string
+		ns   int64
+	}
+	order := make([]kv, 0, len(totals))
+	for name, ns := range totals {
+		order = append(order, kv{name, ns})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].ns > order[j].ns })
+	if len(order) > 3 {
+		order = order[:3]
+	}
+	out := ""
+	for i, e := range order {
+		if i > 0 {
+			out += "  "
+		}
+		out += e.name + " " + durCell(float64(e.ns)/1e9)
+	}
+	return out
 }
 
 // compact renders a rate with SI-style suffixes.

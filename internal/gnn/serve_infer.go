@@ -56,14 +56,19 @@ func InferVerticesContext(ctx context.Context, net *Network, g *graph.CSR, x *te
 	sp := opts.Tel.Begin(telemetry.PhaseInfer)
 	defer sp.End()
 
+	// Trace annotation mirrors the sink spans at the same phase names: on
+	// an untraced context StartSpan is a no-op (zero handle, ctx unchanged).
+	_, tsp := telemetry.StartSpan(ctx, telemetry.PhaseSample)
 	ssp := opts.Tel.Begin(telemetry.PhaseSample)
 	blocks, err := SampleBlocks(g, net.Kind, ids, fanouts, rng)
 	if err != nil {
 		ssp.End()
+		tsp.End()
 		return nil, err
 	}
 	feats, err := gatherRowsCtx(ctx, x, blocks[0].SrcIDs, opts.Threads)
 	ssp.End()
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +112,12 @@ func SampledForwardContext(ctx context.Context, net *Network, blocks []*Block, h
 			return nil, fmt.Errorf("gnn: layer %d expects %d inputs, got %d", k, layer.In(), h.Cols)
 		}
 
+		// Per-layer trace span, with aggregate/update children under it —
+		// trace granularity stops here; kernels below never see traces
+		// (the hotloop-telemetry lint enforces that).
+		lctx, lsp := telemetry.StartSpan(ctx, telemetry.LayerName(k))
+
+		_, atsp := telemetry.StartSpan(lctx, telemetry.PhaseAggregate)
 		asp := opts.Tel.Begin(telemetry.PhaseAggregate)
 		a := tensor.NewMatrix(blk.NumDst, layer.In())
 		aggErr := sched.DynamicCtx(ctx, blk.NumDst, 64, threads, func(s, e int) {
@@ -119,12 +130,15 @@ func SampledForwardContext(ctx context.Context, net *Network, blocks []*Block, h
 			}
 		})
 		asp.End()
+		atsp.End()
 		if aggErr != nil {
+			lsp.End()
 			return nil, aggErr
 		}
 		opts.Tel.Add(telemetry.CtrVerticesAggregated, int64(blk.NumDst))
 		opts.Tel.Add(telemetry.CtrEdgesAggregated, int64(len(blk.SubG.Col)))
 
+		_, utsp := telemetry.StartSpan(lctx, telemetry.PhaseUpdate)
 		usp := opts.Tel.Begin(telemetry.PhaseUpdate)
 		z := tensor.NewMatrix(blk.NumDst, layer.Out())
 		tensor.MatMul(z, a, layer.W, threads)
@@ -134,9 +148,13 @@ func SampledForwardContext(ctx context.Context, net *Network, blocks []*Block, h
 			tensor.AddBiasRange(z, layer.B, s, e)
 		}); uerr != nil {
 			usp.End()
+			utsp.End()
+			lsp.End()
 			return nil, uerr
 		}
 		usp.End()
+		utsp.End()
+		lsp.End()
 		opts.Tel.Add(telemetry.CtrGEMMFLOPs, 2*int64(blk.NumDst)*int64(layer.In())*int64(layer.Out()))
 		h = z
 	}

@@ -13,6 +13,13 @@ import (
 // loop in the kernel packages (internal/kernels, internal/sparse,
 // internal/tensor) re-acquires the sink (or adds per-iteration atomics) and
 // is flagged.
+//
+// The same contract covers request tracing: trace annotation stops at
+// phase granularity (per layer, in internal/gnn), so Trace/TraceSpan
+// method calls and the package-level tracing entry points (StartSpan,
+// JoinTraces, NewTrace, ...) inside kernel loops are flagged too — even
+// the unsampled fast path is a context lookup per call, and a sampled one
+// allocates span records per iteration.
 type HotLoopTelemetry struct {
 	// Module is the module path used to resolve covered packages.
 	Module string
@@ -26,7 +33,7 @@ func (*HotLoopTelemetry) Name() string { return "hotloop-telemetry" }
 
 // Doc implements Checker.
 func (*HotLoopTelemetry) Doc() string {
-	return "kernel packages must not call telemetry.Sink or telemetry.Histogram methods inside for loops (flush per chunk)"
+	return "kernel packages must not call telemetry sink, histogram, or tracing APIs inside for loops (flush per chunk; trace at phase granularity)"
 }
 
 // Applies implements Checker.
@@ -59,6 +66,9 @@ func (c *HotLoopTelemetry) Check(pkg *Package) []Finding {
 				if recv, ok := telemetryRecv(pkg.Info, n, telemetryPath); ok {
 					out = append(out, pkg.finding(c.Name(), n,
 						"telemetry.%s.%s inside a for loop; accumulate locally and flush once per chunk", recv, n.Sel.Name))
+				} else if fn, ok := telemetryFunc(pkg.Info, n, telemetryPath); ok {
+					out = append(out, pkg.finding(c.Name(), n,
+						"telemetry.%s inside a for loop; trace annotation stops at phase granularity — kernels never trace", fn))
 				}
 			}
 		}
@@ -73,10 +83,42 @@ func (c *HotLoopTelemetry) Check(pkg *Package) []Finding {
 }
 
 // hotTelemetryTypes are the telemetry receivers whose methods touch shared
-// state per call: the Sink itself and the latency Histogram (three atomic
+// state per call: the Sink itself, the latency Histogram (three atomic
 // adds per Observe — per-edge use would serialize the cores on the bucket
-// cache lines).
-var hotTelemetryTypes = map[string]bool{"Sink": true, "Histogram": true}
+// cache lines), and the request-tracing handles (a span record append
+// under a mutex per call).
+var hotTelemetryTypes = map[string]bool{
+	"Sink": true, "Histogram": true, "Trace": true, "TraceSpan": true,
+}
+
+// hotTelemetryFuncs are the package-level tracing entry points. Even the
+// unsampled StartSpan fast path costs a context lookup per call, and a
+// sampled one allocates — per-iteration use defeats the zero-overhead
+// contract either way.
+var hotTelemetryFuncs = map[string]bool{
+	"StartSpan": true, "JoinTraces": true, "NewTrace": true,
+	"NewTraceID": true, "Traced": true, "ContextTraceID": true,
+}
+
+// telemetryFunc reports whether sel selects one of the telemetry package's
+// tracing functions (package-qualified call, not a method).
+func telemetryFunc(info *types.Info, sel *ast.SelectorExpr, telemetryPath string) (string, bool) {
+	obj, ok := info.Uses[sel.Sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != telemetryPath {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false // methods are telemetryRecv's business
+	}
+	if !hotTelemetryFuncs[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}
 
 // telemetryRecv reports whether sel selects a method of one of the
 // telemetry hot types (directly or through a pointer), returning the

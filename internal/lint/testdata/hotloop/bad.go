@@ -4,6 +4,7 @@
 package badloop
 
 import (
+	"context"
 	"time"
 
 	"graphite/internal/telemetry"
@@ -61,6 +62,38 @@ func ObserveChunked(ptr []int32, tel *telemetry.Sink) {
 		_ = v
 	}
 	tel.Observe("chunk", time.Since(start))
+}
+
+// TracePerVertex opens trace spans per iteration. Trace annotation stops
+// at phase granularity (per layer, in gnn); kernels never see traces —
+// even the unsampled StartSpan path is a context lookup per call.
+func TracePerVertex(ctx context.Context, ptr []int32, tr *telemetry.Trace) {
+	tctx, sp := telemetry.StartSpan(ctx, "chunk")
+	for v := 0; v+1 < len(ptr); v++ {
+		vctx, vsp := telemetry.StartSpan(tctx, "vertex") // want hotloop-telemetry
+		_ = vctx
+		vsp.End() // want hotloop-telemetry
+		for e := ptr[v]; e < ptr[v+1]; e++ {
+			tr.AddSpan("edge", time.Now(), 0) // want hotloop-telemetry
+		}
+	}
+	for range ptr {
+		tctx = telemetry.JoinTraces(tctx, nil) // want hotloop-telemetry
+		if telemetry.Traced(tctx) {            // want hotloop-telemetry
+			_ = telemetry.NewTraceID() // want hotloop-telemetry
+		}
+	}
+	sp.End()
+}
+
+// TraceChunked is the blessed shape: one span around the whole chunk, no
+// per-iteration trace API traffic.
+func TraceChunked(ctx context.Context, ptr []int32) {
+	_, sp := telemetry.StartSpan(ctx, "chunk")
+	for v := 0; v+1 < len(ptr); v++ {
+		_ = v
+	}
+	sp.End()
 }
 
 // Waived shows a reasoned waiver for a coarse outer loop where per-iteration

@@ -25,6 +25,10 @@ type Event struct {
 	WallMS float64 `json:"wall_ms,omitempty"`
 	// Detail carries free-form context (error text, progress notes).
 	Detail string `json:"detail,omitempty"`
+	// TraceID is the request trace id (32 hex digits), when the event
+	// describes one request — the serving layer stamps it on rejection and
+	// expiry events so a 429/504 can be correlated with /v1/traces.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // eventBufCap bounds the replay buffer a new /events subscriber receives.

@@ -32,11 +32,14 @@ type expoState struct {
 type histExpo struct {
 	Phase   string
 	Buckets []telemetry.HistBucket
-	Count   int64
-	Sum     time.Duration
-	P50     time.Duration
-	P95     time.Duration
-	P99     time.Duration
+	// Exemplars is index-aligned with Buckets (nil entries where no traced
+	// observation landed); nil entirely when the phase has no exemplars.
+	Exemplars []*telemetry.Exemplar
+	Count     int64
+	Sum       time.Duration
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
 }
 
 // rateSample is one EWMA throughput gauge.
@@ -265,6 +268,17 @@ func writeHistogram(ew *expoWriter, h histExpo) {
 	for i := first; i >= 0 && i <= last; i++ {
 		b := h.Buckets[i]
 		cum += b.Count
+		// OpenMetrics-style exemplar: the latest traced observation that
+		// landed in this bucket, so a spike links to a concrete trace id
+		// fetchable from /v1/traces. Buckets without one render classically.
+		if i < len(h.Exemplars) && h.Exemplars[i] != nil {
+			ex := h.Exemplars[i]
+			ew.line("graphite_phase_latency_seconds_bucket",
+				labels("phase", h.Phase, "le", seconds(b.Upper)), " ", inum(cum),
+				" # ", labels("trace_id", ex.TraceID.String()), " ", seconds(ex.Value),
+				" ", strconv.FormatFloat(float64(ex.Time.UnixNano())/1e9, 'f', 3, 64))
+			continue
+		}
 		ew.line("graphite_phase_latency_seconds_bucket",
 			labels("phase", h.Phase, "le", seconds(b.Upper)), " ", inum(cum))
 	}

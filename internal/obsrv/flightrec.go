@@ -1,0 +1,279 @@
+package obsrv
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"graphite/internal/telemetry"
+)
+
+// FlightRecorder retains a bounded, tail-sampled set of finished request
+// traces. Tail sampling decides at request completion, when the outcome is
+// known, which is what makes the retained set useful: every error and
+// SLO-breaching trace is kept (up to a bound), the slowest K traces are
+// kept regardless of why they were slow, and a probabilistic sample of
+// ordinary traffic provides the baseline to compare them against.
+//
+// All pools are hard-bounded, so the recorder's memory is O(capacity ×
+// spans-per-trace) no matter how long the server runs. Record is one mutex
+// acquisition per finished request — far off the per-vertex hot path — and
+// reads snapshot under the same mutex.
+type FlightRecorderConfig struct {
+	// ErrorCap bounds the always-keep pool (errors, deadline-exceeded,
+	// SLO-breaching traces). Oldest entries are evicted first. Default 128.
+	ErrorCap int
+	// TopK bounds the slowest-traces pool, kept by end-to-end duration.
+	// Default 32.
+	TopK int
+	// SampleCap bounds the probabilistic pool (a ring; newest win).
+	// Default 256.
+	SampleCap int
+	// SampleRate is the probability an unremarkable trace enters the
+	// probabilistic pool. 0 means DefaultSampleRate; negative disables the
+	// pool.
+	SampleRate float64
+	// SLOs mark traces for the always-keep pool: a trace whose span under
+	// SLO.Phase exceeds SLO.Threshold breached its per-request budget (the
+	// quantile part of the SLO does not apply to a single request).
+	SLOs []SLO
+	// Seed seeds the sampling RNG; 0 means 1. A fixed seed makes retention
+	// deterministic for tests.
+	Seed int64
+}
+
+// Default flight-recorder bounds.
+const (
+	DefaultErrorCap   = 128
+	DefaultTopK       = 32
+	DefaultSampleCap  = 256
+	DefaultSampleRate = 0.05
+)
+
+// Retention reasons stamped on recorded traces.
+const (
+	ReasonError   = "error"   // finished in an error class
+	ReasonSLO     = "slo"     // a span exceeded its SLO threshold
+	ReasonSlow    = "slow"    // among the top-K slowest end-to-end
+	ReasonSampled = "sampled" // probabilistic baseline sample
+)
+
+// RecordedTrace is one retained trace plus why it was retained.
+type RecordedTrace struct {
+	telemetry.TraceData
+	Reason string `json:"reason"`
+}
+
+// FlightRecorderStats summarizes recorder occupancy and traffic.
+type FlightRecorderStats struct {
+	Recorded int64 `json:"recorded"` // traces offered to Record
+	Kept     int64 `json:"kept"`     // traces retained at the time they were offered
+	Errors   int   `json:"errors"`   // current error/SLO pool size
+	Slow     int   `json:"slow"`     // current top-K pool size
+	Sampled  int   `json:"sampled"`  // current probabilistic pool size
+}
+
+// FlightRecorder implements the tail-sampling retention described on
+// FlightRecorderConfig. Safe for concurrent use.
+type FlightRecorder struct {
+	cfg FlightRecorderConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	errors   []RecordedTrace // oldest first
+	slow     []RecordedTrace // ascending by Duration (slow[0] is evicted first)
+	sampled  []RecordedTrace // oldest first
+	recorded int64
+	kept     int64
+}
+
+// NewFlightRecorder builds a recorder, applying defaults for zero fields.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	if cfg.ErrorCap <= 0 {
+		cfg.ErrorCap = DefaultErrorCap
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	if cfg.SampleCap <= 0 {
+		cfg.SampleCap = DefaultSampleCap
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = DefaultSampleRate
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FlightRecorder{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Record offers one finished trace for retention and reports whether (and
+// why) it was kept. Nil-safe: a nil recorder drops everything.
+func (fr *FlightRecorder) Record(td telemetry.TraceData) (reason string, kept bool) {
+	if fr == nil {
+		return "", false
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.recorded++
+	switch {
+	case td.Err():
+		reason = ReasonError
+	case fr.breachesSLO(td):
+		reason = ReasonSLO
+	case fr.qualifiesSlow(td):
+		reason = ReasonSlow
+	case fr.cfg.SampleRate > 0 && fr.rng.Float64() < fr.cfg.SampleRate:
+		reason = ReasonSampled
+	default:
+		return "", false
+	}
+	rt := RecordedTrace{TraceData: td, Reason: reason}
+	switch reason {
+	case ReasonError, ReasonSLO:
+		if len(fr.errors) == fr.cfg.ErrorCap {
+			copy(fr.errors, fr.errors[1:])
+			fr.errors = fr.errors[:fr.cfg.ErrorCap-1]
+		}
+		fr.errors = append(fr.errors, rt)
+	case ReasonSlow:
+		i := sort.Search(len(fr.slow), func(i int) bool { return fr.slow[i].Duration >= td.Duration })
+		fr.slow = append(fr.slow, RecordedTrace{})
+		copy(fr.slow[i+1:], fr.slow[i:])
+		fr.slow[i] = rt
+		if len(fr.slow) > fr.cfg.TopK {
+			copy(fr.slow, fr.slow[1:]) // evict the fastest
+			fr.slow = fr.slow[:fr.cfg.TopK]
+		}
+	case ReasonSampled:
+		if len(fr.sampled) == fr.cfg.SampleCap {
+			copy(fr.sampled, fr.sampled[1:])
+			fr.sampled = fr.sampled[:fr.cfg.SampleCap-1]
+		}
+		fr.sampled = append(fr.sampled, rt)
+	}
+	fr.kept++
+	return reason, true
+}
+
+// breachesSLO reports whether any configured SLO's phase span exceeded its
+// threshold in this trace.
+func (fr *FlightRecorder) breachesSLO(td telemetry.TraceData) bool {
+	for _, o := range fr.cfg.SLOs {
+		if td.MaxSpanDur(o.Phase) > o.Threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiesSlow reports whether td belongs in the top-K pool (called under
+// fr.mu).
+func (fr *FlightRecorder) qualifiesSlow(td telemetry.TraceData) bool {
+	if len(fr.slow) < fr.cfg.TopK {
+		return true
+	}
+	return td.Duration > fr.slow[0].Duration
+}
+
+// Get returns the retained trace with the given id.
+func (fr *FlightRecorder) Get(id telemetry.TraceID) (RecordedTrace, bool) {
+	if fr == nil {
+		return RecordedTrace{}, false
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for _, pool := range [][]RecordedTrace{fr.errors, fr.slow, fr.sampled} {
+		for i := len(pool) - 1; i >= 0; i-- {
+			if pool[i].TraceID == id {
+				return pool[i], true
+			}
+		}
+	}
+	return RecordedTrace{}, false
+}
+
+// all returns every retained trace, deduplicated by id (called under fr.mu).
+func (fr *FlightRecorder) all() []RecordedTrace {
+	out := make([]RecordedTrace, 0, len(fr.errors)+len(fr.slow)+len(fr.sampled))
+	seen := make(map[telemetry.TraceID]bool, cap(out))
+	for _, pool := range [][]RecordedTrace{fr.errors, fr.slow, fr.sampled} {
+		for _, rt := range pool {
+			if !seen[rt.TraceID] {
+				seen[rt.TraceID] = true
+				out = append(out, rt)
+			}
+		}
+	}
+	return out
+}
+
+// Slowest returns up to n retained traces (across all pools) ordered by
+// descending end-to-end duration.
+func (fr *FlightRecorder) Slowest(n int) []RecordedTrace {
+	if fr == nil || n <= 0 {
+		return nil
+	}
+	fr.mu.Lock()
+	out := fr.all()
+	fr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ByPhase returns up to n retained traces containing a span named phase,
+// newest start first.
+func (fr *FlightRecorder) ByPhase(phase string, n int) []RecordedTrace {
+	if fr == nil || n <= 0 {
+		return nil
+	}
+	fr.mu.Lock()
+	all := fr.all()
+	fr.mu.Unlock()
+	out := all[:0]
+	for _, rt := range all {
+		if rt.HasSpan(phase) {
+			out = append(out, rt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Recent returns up to n retained traces, newest start first.
+func (fr *FlightRecorder) Recent(n int) []RecordedTrace {
+	if fr == nil || n <= 0 {
+		return nil
+	}
+	fr.mu.Lock()
+	out := fr.all()
+	fr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Stats returns recorder occupancy and traffic counts.
+func (fr *FlightRecorder) Stats() FlightRecorderStats {
+	if fr == nil {
+		return FlightRecorderStats{}
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return FlightRecorderStats{
+		Recorded: fr.recorded,
+		Kept:     fr.kept,
+		Errors:   len(fr.errors),
+		Slow:     len(fr.slow),
+		Sampled:  len(fr.sampled),
+	}
+}

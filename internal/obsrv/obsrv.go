@@ -26,6 +26,7 @@
 //	/readyz        readiness probe (wired to engine state; 503 on drain)
 //	/events        structured progress events as streaming JSON lines
 //	/trace         Chrome trace_event JSON snapshot of recorded spans
+//	/v1/traces     tail-sampled request traces from the flight recorder
 //	/debug/pprof/  the standard runtime profiles
 package obsrv
 
@@ -76,6 +77,10 @@ type Options struct {
 	// layer feeds its queue-depth and snapshot-version series through
 	// this hook so the exposition stays a single coherent document.
 	Gauges func() []Gauge
+	// Traces, when non-nil, backs the /v1/traces endpoint with retained
+	// request traces. The serving layer owns the recorder (it feeds finished
+	// traces in); this server only reads it.
+	Traces *FlightRecorder
 }
 
 // Gauge is one scrape-time gauge exported by an Options.Gauges hook.
@@ -144,6 +149,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -317,9 +323,10 @@ func (s *Server) scrape() expoState {
 			continue
 		}
 		st.hists = append(st.hists, histExpo{
-			Phase:   name,
-			Buckets: h.Buckets(),
-			Count:   h.Count(),
+			Phase:     name,
+			Buckets:   h.Buckets(),
+			Exemplars: h.BucketExemplars(),
+			Count:     h.Count(),
 			Sum:     h.Sum(),
 			P50:     h.Quantile(0.50),
 			P95:     h.Quantile(0.95),
@@ -409,6 +416,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 /readyz        readiness probe
 /events        progress events (JSON lines, streaming)
 /trace         Chrome trace_event snapshot of recorded spans
+/v1/traces     retained request traces (?id= ?slowest=N ?phase= &format=chrome)
 /debug/pprof/  runtime profiles
 `)
 }

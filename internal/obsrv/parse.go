@@ -17,6 +17,19 @@ type Sample struct {
 	Labels map[string]string
 	// Value is the parsed sample value.
 	Value float64
+	// Exemplar is the OpenMetrics-style exemplar attached after the value
+	// (`# {trace_id="..."} value [ts]`), or nil. The classic 0.0.4 format
+	// has no exemplars; the parser accepts them as a validated extension
+	// because this repo's own exposition emits them on bucket lines.
+	Exemplar *ExemplarData
+}
+
+// ExemplarData is one parsed exemplar.
+type ExemplarData struct {
+	Labels map[string]string
+	Value  float64
+	Ts     float64
+	HasTs  bool
 }
 
 // Exposition is a parsed Prometheus text-format payload.
@@ -147,7 +160,7 @@ func (e *Exposition) parseComment(line string, sampled map[string]bool) error {
 	return nil
 }
 
-// parseSample parses one `name{labels} value` line.
+// parseSample parses one `name{labels} value [timestamp] [# exemplar]` line.
 func parseSample(line string) (Sample, error) {
 	s := Sample{}
 	rest := line
@@ -161,15 +174,17 @@ func parseSample(line string) (Sample, error) {
 	}
 	rest = rest[i:]
 	if rest[0] == '{' {
-		end := strings.LastIndex(rest, "}")
-		if end < 0 {
-			return s, fmt.Errorf("unterminated label block in %q", line)
-		}
 		var err error
-		if s.Labels, err = parseLabels(rest[1:end]); err != nil {
+		if s.Labels, rest, err = scanLabelBlock(rest); err != nil {
 			return s, fmt.Errorf("%w in %q", err, line)
 		}
-		rest = rest[end+1:]
+	}
+	// Split off an exemplar. The label block is already consumed by the
+	// quote-aware scanner above, so a bare " # " here is unambiguous.
+	exPart := ""
+	if j := strings.Index(rest, " # "); j >= 0 {
+		exPart = strings.TrimSpace(rest[j+3:])
+		rest = rest[:j]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
@@ -186,37 +201,93 @@ func parseSample(line string) (Sample, error) {
 			return s, fmt.Errorf("bad timestamp %q", fields[1])
 		}
 	}
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Exemplar = &ex
+	}
 	return s, nil
 }
 
-// parseLabels parses the inside of a {…} block.
-func parseLabels(s string) (map[string]string, error) {
+// parseExemplar parses `{labels} value [timestamp]` after a "# " marker.
+// Exemplar timestamps are float seconds (OpenMetrics), unlike the integer
+// millisecond timestamps of classic sample lines.
+func parseExemplar(s string) (ExemplarData, error) {
+	ex := ExemplarData{}
+	if len(s) == 0 || s[0] != '{' {
+		return ex, fmt.Errorf("exemplar must start with a label block")
+	}
+	labels, rest, err := scanLabelBlock(s)
+	if err != nil {
+		return ex, fmt.Errorf("exemplar: %w", err)
+	}
+	ex.Labels = labels
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return ex, fmt.Errorf("want `value [timestamp]` in exemplar")
+	}
+	if ex.Value, err = strconv.ParseFloat(fields[0], 64); err != nil {
+		return ex, fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if ex.Ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return ex, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.HasTs = true
+	}
+	return ex, nil
+}
+
+// scanLabelBlock parses a `{k="v",...}` block at the start of s, returning
+// the labels and the remainder after the closing brace. It scans
+// quote-aware instead of seeking the last '}', so label values containing
+// braces and exemplar blocks later on the line cannot confuse it.
+func scanLabelBlock(s string) (map[string]string, string, error) {
 	out := make(map[string]string)
-	for len(s) > 0 {
-		eq := strings.Index(s, "=")
+	rest := s[1:] // consume '{'
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if rest[0] == '}' {
+			return out, rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
 		if eq < 0 {
-			return nil, fmt.Errorf("label without value")
+			return nil, "", fmt.Errorf("label without value")
 		}
-		name := strings.TrimSpace(s[:eq])
+		name := strings.TrimSpace(rest[:eq])
 		if !validLabelName(name) {
-			return nil, fmt.Errorf("invalid label name %q", name)
+			return nil, "", fmt.Errorf("invalid label name %q", name)
 		}
-		s = s[eq+1:]
-		if len(s) == 0 || s[0] != '"' {
-			return nil, fmt.Errorf("unquoted label value for %q", name)
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value for %q", name)
 		}
-		val, rest, err := scanQuoted(s)
+		val, rem, err := scanQuoted(rest)
 		if err != nil {
-			return nil, fmt.Errorf("label %q: %w", name, err)
+			return nil, "", fmt.Errorf("label %q: %w", name, err)
 		}
 		if _, dup := out[name]; dup {
-			return nil, fmt.Errorf("duplicate label %q", name)
+			return nil, "", fmt.Errorf("duplicate label %q", name)
 		}
 		out[name] = val
-		s = strings.TrimPrefix(strings.TrimSpace(rest), ",")
-		s = strings.TrimSpace(s)
+		rem = strings.TrimLeft(rem, " \t")
+		if rem == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		switch rem[0] {
+		case ',':
+			rest = rem[1:]
+		case '}':
+			return out, rem[1:], nil
+		default:
+			return nil, "", fmt.Errorf("unexpected %q after label %q", rem[0], name)
+		}
 	}
-	return out, nil
 }
 
 // scanQuoted consumes a double-quoted, backslash-escaped string at the

@@ -1,0 +1,411 @@
+package obsrv
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphite/internal/telemetry"
+)
+
+// mkTrace fabricates a finished TraceData with controlled duration, status,
+// and span names.
+func mkTrace(dur time.Duration, status string, spanNames ...string) telemetry.TraceData {
+	td := telemetry.TraceData{
+		TraceID:  telemetry.NewTraceID(),
+		Start:    time.Unix(1700000000, 0),
+		Duration: dur,
+		Status:   status,
+	}
+	for _, name := range spanNames {
+		td.Spans = append(td.Spans, telemetry.SpanRecord{Name: name, Start: td.Start, Dur: dur / 2})
+	}
+	td.Spans = append(td.Spans, telemetry.SpanRecord{Name: telemetry.PhaseServeE2E, Start: td.Start, Dur: dur})
+	return td
+}
+
+func TestFlightRecorderPolicy(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{
+		ErrorCap:   2,
+		TopK:       3,
+		SampleCap:  4,
+		SampleRate: -1, // probabilistic pool off: policy classes stay deterministic
+		SLOs:       []SLO{{Phase: "serve-batch", Quantile: 0.99, Threshold: 10 * time.Millisecond}},
+	})
+
+	// Errors are always kept, oldest evicted at the cap.
+	e1, e2, e3 := mkTrace(time.Millisecond, "queue_full"), mkTrace(time.Millisecond, "deadline_exceeded"), mkTrace(time.Millisecond, "error")
+	for _, td := range []telemetry.TraceData{e1, e2, e3} {
+		if reason, kept := fr.Record(td); !kept || reason != ReasonError {
+			t.Fatalf("error trace not kept: %s %v", reason, kept)
+		}
+	}
+	if _, ok := fr.Get(e1.TraceID); ok {
+		t.Fatal("oldest error should have been evicted at cap 2")
+	}
+	if _, ok := fr.Get(e2.TraceID); !ok {
+		t.Fatal("second error should be retained")
+	}
+
+	// SLO breach: serve-batch span over 10ms. mkTrace puts spans at dur/2,
+	// so a 30ms trace has a 15ms serve-batch span.
+	breach := mkTrace(30*time.Millisecond, "", "serve-batch")
+	if reason, kept := fr.Record(breach); !kept || reason != ReasonSLO {
+		t.Fatalf("SLO-breaching trace: reason=%s kept=%v", reason, kept)
+	}
+
+	// Top-K slowest: fill with 3, then a faster one is dropped, a slower
+	// one evicts the current fastest. Durations stay under the 20ms breach
+	// point (dur/2 vs 10ms threshold) so the slow pool is the only match.
+	s5, s7, s9 := mkTrace(5*time.Millisecond, ""), mkTrace(7*time.Millisecond, ""), mkTrace(9*time.Millisecond, "")
+	for _, td := range []telemetry.TraceData{s5, s7, s9} {
+		if reason, _ := fr.Record(td); reason != ReasonSlow {
+			t.Fatalf("top-K fill: reason=%s", reason)
+		}
+	}
+	if _, kept := fr.Record(mkTrace(time.Millisecond, "")); kept {
+		t.Fatal("fast trace kept with a full, slower top-K pool")
+	}
+	s12 := mkTrace(12*time.Millisecond, "")
+	if reason, _ := fr.Record(s12); reason != ReasonSlow {
+		t.Fatal("slower trace should enter top-K")
+	}
+	if _, ok := fr.Get(s5.TraceID); ok {
+		t.Fatal("fastest top-K member should have been evicted")
+	}
+
+	slowest := fr.Slowest(2)
+	if len(slowest) != 2 || slowest[0].TraceID != breach.TraceID || slowest[1].TraceID != s12.TraceID {
+		t.Fatalf("Slowest(2) wrong order: %+v", slowest)
+	}
+	byPhase := fr.ByPhase("serve-batch", 10)
+	if len(byPhase) != 1 || byPhase[0].TraceID != breach.TraceID {
+		t.Fatalf("ByPhase = %+v", byPhase)
+	}
+	st := fr.Stats()
+	if st.Errors != 2 || st.Slow != 3 || st.Sampled != 0 || st.Recorded != 9 || st.Kept != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlightRecorderProbabilisticDeterminism(t *testing.T) {
+	run := func() []telemetry.TraceID {
+		fr := NewFlightRecorder(FlightRecorderConfig{TopK: 1, SampleRate: 0.5, Seed: 42})
+		fr.Record(mkTrace(time.Hour, "")) // occupy top-K so the rest is probabilistic
+		var kept []telemetry.TraceID
+		for i := 0; i < 100; i++ {
+			td := mkTrace(time.Millisecond, "")
+			// Pin the trace id so both runs offer identical inputs.
+			td.TraceID = telemetry.TraceID{byte(i + 1), 1}
+			if reason, ok := fr.Record(td); ok {
+				if reason != ReasonSampled {
+					t.Fatalf("reason = %s", reason)
+				}
+				kept = append(kept, td.TraceID)
+			}
+		}
+		return kept
+	}
+	a, b := run(), b2(run)
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("sampling kept %d/100, want a strict subset", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different retention")
+	}
+}
+
+// b2 exists to make the double-run explicit at the call site.
+func b2(f func() []telemetry.TraceID) []telemetry.TraceID { return f() }
+
+func TestTracesEndpoint(t *testing.T) {
+	fr := NewFlightRecorder(FlightRecorderConfig{SampleRate: -1})
+	slow := mkTrace(50*time.Millisecond, "", "serve-queue", "serve-batch", "layer0")
+	fast := mkTrace(time.Millisecond, "", "serve-queue")
+	fr.Record(slow)
+	fr.Record(fast)
+	s := NewServer(Options{Sink: telemetry.New(0), Traces: fr})
+
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec, rec.Body.String()
+	}
+
+	// By id: full span tree.
+	rec, body := get("/v1/traces?id=" + slow.TraceID.String())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("by id: %d %s", rec.Code, body)
+	}
+	var full []RecordedTrace
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 || full[0].TraceID != slow.TraceID || !full[0].HasSpan("layer0") {
+		t.Fatalf("by id payload: %+v", full)
+	}
+
+	// Slowest: ordered, bounded.
+	_, body = get("/v1/traces?slowest=1")
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 || full[0].TraceID != slow.TraceID {
+		t.Fatalf("slowest payload: %+v", full)
+	}
+
+	// By phase.
+	_, body = get("/v1/traces?phase=serve-batch&n=5")
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 || full[0].TraceID != slow.TraceID {
+		t.Fatalf("phase payload: %+v", full)
+	}
+
+	// Default list: summaries.
+	_, body = get("/v1/traces")
+	var sums []traceSummary
+	if err := json.Unmarshal([]byte(body), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("summary count = %d", len(sums))
+	}
+
+	// Chrome export parses and carries span identity args.
+	_, body = get("/v1/traces?id=" + slow.TraceID.String() + "&format=chrome")
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var sawSpan bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "layer0" {
+			sawSpan = true
+			if ev.Args["trace_id"] != slow.TraceID.String() {
+				t.Fatalf("chrome args = %+v", ev.Args)
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("chrome export missing layer0 span")
+	}
+
+	// Errors: unknown id 404, malformed id 400, no recorder 404.
+	if rec, _ := get("/v1/traces?id=" + telemetry.NewTraceID().String()); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", rec.Code)
+	}
+	if rec, _ := get("/v1/traces?id=zz"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id: %d", rec.Code)
+	}
+	if rec, _ := get("/v1/traces?slowest=0"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad slowest: %d", rec.Code)
+	}
+	bare := NewServer(Options{Sink: telemetry.New(0)})
+	rec = httptest.NewRecorder()
+	bare.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/traces", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("no recorder: %d", rec.Code)
+	}
+}
+
+// TestExemplarExposition checks the full loop: a traced observation renders
+// an OpenMetrics-style exemplar on its bucket line, the strict parser
+// accepts it, recovers the trace id, and histogram validation still holds.
+func TestExemplarExposition(t *testing.T) {
+	sink := telemetry.New(0)
+	tid := telemetry.NewTraceID()
+	sink.ObserveTraced(telemetry.PhaseServeE2E, 3*time.Millisecond, tid)
+	sink.Observe(telemetry.PhaseServeE2E, 40*time.Millisecond) // untraced bucket
+
+	s := newGoldenServer(sink, nil, time.Unix(1700000000, 0), 10*time.Second)
+	text := scrapeText(t, s)
+	if !strings.Contains(text, `# {trace_id="`+tid.String()+`"}`) {
+		t.Fatalf("exposition missing exemplar:\n%s", text)
+	}
+
+	expo, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("strict parser rejected exemplar exposition: %v", err)
+	}
+	var found *ExemplarData
+	for _, smp := range expo.Family("graphite_phase_latency_seconds_bucket") {
+		if smp.Exemplar != nil {
+			if found != nil {
+				t.Fatal("more than one exemplar rendered")
+			}
+			found = smp.Exemplar
+		}
+	}
+	if found == nil {
+		t.Fatal("parser dropped the exemplar")
+	}
+	if found.Labels["trace_id"] != tid.String() {
+		t.Fatalf("exemplar labels = %+v", found.Labels)
+	}
+	if math.Abs(found.Value-0.003) > 1e-9 || !found.HasTs {
+		t.Fatalf("exemplar value/ts = %+v", found)
+	}
+}
+
+func TestParserRejectsMalformedExemplars(t *testing.T) {
+	cases := map[string]string{
+		"exemplar without labels": "m 1 # 0.5\n",
+		"exemplar bad value":      `m 1 # {trace_id="ab"} x` + "\n",
+		"exemplar bad ts":         `m 1 # {trace_id="ab"} 0.5 x` + "\n",
+		"exemplar unterminated":   `m 1 # {trace_id="ab` + "\n",
+		"exemplar extra fields":   `m 1 # {trace_id="ab"} 0.5 1.0 2.0` + "\n",
+	}
+	for name, payload := range cases {
+		if _, err := ParseExposition(strings.NewReader("# TYPE m gauge\n" + payload)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, payload)
+		}
+	}
+	// A label value containing " # " or "}" must not be mistaken for an
+	// exemplar boundary.
+	tricky := "# TYPE m gauge\n" + `m{l="a # b}"} 2` + "\n"
+	expo, err := ParseExposition(strings.NewReader(tricky))
+	if err != nil {
+		t.Fatalf("tricky label value rejected: %v", err)
+	}
+	if v, ok := expo.Value("m", map[string]string{"l": "a # b}"}); !ok || v != 2 {
+		t.Fatalf("tricky label sample = %v ok=%v", v, ok)
+	}
+}
+
+// TestEWMAIrregularIntervals pins the irregular-interval smoothing: the
+// per-update weight must be 1-exp(-dt/tau) so slow and fast scrapers
+// converge to the same rate.
+func TestEWMAIrregularIntervals(t *testing.T) {
+	tau := 30 * time.Second
+
+	// Exact single-step semantics for assorted gaps.
+	for _, dt := range []time.Duration{time.Second, 5 * time.Second, time.Minute} {
+		e := &ewma{rate: 50, init: true}
+		e.update(int64(200*dt.Seconds()), dt, tau) // inst = 200/s
+		alpha := 1 - math.Exp(-dt.Seconds()/tau.Seconds())
+		want := 50 + alpha*(200-50)
+		if math.Abs(e.rate-want) > 1e-9 {
+			t.Fatalf("dt=%v: rate = %v, want %v", dt, e.rate, want)
+		}
+	}
+
+	// Convergence: starting far from the truth, irregular gaps totalling
+	// many tau converge to the true rate.
+	e := &ewma{}
+	e.update(0, time.Second, tau) // init at 0/s
+	var total time.Duration
+	for i, dt := range []time.Duration{
+		time.Second, 9 * time.Second, 500 * time.Millisecond, 30 * time.Second,
+		2 * time.Second, 45 * time.Second, time.Second, 90 * time.Second,
+	} {
+		_ = i
+		e.update(int64(100*dt.Seconds()), dt, tau)
+		total += dt
+	}
+	if total < 5*tau {
+		t.Fatalf("test bug: only %v of smoothing time", total)
+	}
+	if math.Abs(e.rate-100) > 1.0 {
+		t.Fatalf("irregular-interval EWMA converged to %v, want ~100", e.rate)
+	}
+
+	// A gap far beyond tau effectively resets to the instantaneous rate.
+	e2 := &ewma{rate: 1e6, init: true}
+	e2.update(int64(100*600), 10*time.Minute, tau)
+	if math.Abs(e2.rate-100) > 1e-2 {
+		t.Fatalf("long-gap EWMA = %v, want ~100", e2.rate)
+	}
+
+	// Server-level: irregular scrape gaps with a counter advancing at a
+	// constant 100 edges/s must report ~100, not a gap-dependent artifact.
+	sink := telemetry.New(0)
+	s := NewServer(Options{Sink: sink, BuildLabels: fixedBuild, EWMATau: tau})
+	gaps := []time.Duration{0, time.Second, 20 * time.Second, 500 * time.Millisecond, 3 * time.Minute}
+	times := make([]time.Time, 0, len(gaps))
+	now := time.Unix(1700000000, 0)
+	for _, g := range gaps {
+		now = now.Add(g)
+		times = append(times, now)
+	}
+	i := 0
+	s.now = func() time.Time { t := times[i]; i++; return t }
+	for j, g := range gaps {
+		sink.Add(telemetry.CtrEdgesAggregated, int64(100*g.Seconds()))
+		text := scrapeText(t, s)
+		if j == len(gaps)-1 {
+			expo, err := ParseExposition(strings.NewReader(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rate, ok := expo.Value("graphite_throughput_edges_per_second", nil)
+			if !ok || math.Abs(rate-100) > 1.0 {
+				t.Fatalf("edges/s gauge = %v ok=%v, want ~100", rate, ok)
+			}
+		}
+	}
+}
+
+// TestEventsReplayRingOverflow publishes more events than the replay ring
+// holds: a late subscriber must see exactly the last eventBufCap events, in
+// order, with contiguous sequence numbers.
+func TestEventsReplayRingOverflow(t *testing.T) {
+	const published = eventBufCap + 44
+	s := NewServer(Options{Sink: telemetry.New(0)})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	for i := 1; i <= published; i++ {
+		s.Publish(Event{Kind: "serve", Detail: fmt.Sprintf("ev%d", i)})
+	}
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	want := int64(published - eventBufCap + 1) // first replayed seq
+	for k := 0; k < eventBufCap; k++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended after %d replayed events: %v", k, sc.Err())
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Seq != want {
+			t.Fatalf("replay event %d: seq %d, want %d", k, ev.Seq, want)
+		}
+		if ev.Detail != fmt.Sprintf("ev%d", want) {
+			t.Fatalf("replay event %d: detail %q", k, ev.Detail)
+		}
+		want++
+	}
+	// The replay is exactly the ring: the next line is live, not history.
+	s.Publish(Event{Kind: "serve", Detail: "live", TraceID: "4bf92f3577b34da6a3ce929d0e0e4736"})
+	if !sc.Scan() {
+		t.Fatalf("no live event after replay: %v", sc.Err())
+	}
+	var live Event
+	if err := json.Unmarshal(sc.Bytes(), &live); err != nil {
+		t.Fatal(err)
+	}
+	if live.Seq != int64(published+1) || live.Detail != "live" {
+		t.Fatalf("first post-replay event = %+v, want seq %d", live, published+1)
+	}
+	if live.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("event trace id lost: %+v", live)
+	}
+}

@@ -1,0 +1,165 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"graphite/internal/telemetry"
+)
+
+// defaultTraceListLimit bounds /v1/traces responses when no n= is given.
+const defaultTraceListLimit = 20
+
+// handleTraces serves the flight recorder:
+//
+//	/v1/traces                     newest retained traces (summary list)
+//	/v1/traces?id=<32 hex>         one trace, full span tree
+//	/v1/traces?slowest=N           N slowest retained traces, full trees
+//	/v1/traces?phase=<name>&n=N    N newest traces containing the phase
+//	...&format=chrome              chrome://tracing / Perfetto trace_event
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fr := s.opts.Traces
+	if fr == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	chrome := q.Get("format") == "chrome"
+	n := defaultTraceListLimit
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+
+	switch {
+	case q.Get("id") != "":
+		id, err := telemetry.ParseTraceID(q.Get("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rt, ok := fr.Get(id)
+		if !ok {
+			http.Error(w, "trace not retained", http.StatusNotFound)
+			return
+		}
+		writeTraces(w, []RecordedTrace{rt}, chrome, false)
+	case q.Get("slowest") != "":
+		k, err := strconv.Atoi(q.Get("slowest"))
+		if err != nil || k < 1 {
+			http.Error(w, "bad slowest", http.StatusBadRequest)
+			return
+		}
+		writeTraces(w, fr.Slowest(k), chrome, false)
+	case q.Get("phase") != "":
+		writeTraces(w, fr.ByPhase(q.Get("phase"), n), chrome, false)
+	default:
+		writeTraces(w, fr.Recent(n), chrome, true)
+	}
+}
+
+// traceSummary is the list form: enough to pick a trace without shipping
+// every span tree.
+type traceSummary struct {
+	TraceID    string  `json:"trace_id"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Status     string  `json:"status,omitempty"`
+	Reason     string  `json:"reason"`
+	Spans      int     `json:"spans"`
+}
+
+// writeTraces renders traces as JSON (full trees, or summaries when
+// summarize is set) or as a Chrome trace_event document.
+func writeTraces(w http.ResponseWriter, traces []RecordedTrace, chrome, summarize bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if chrome {
+		writeChromeTraces(w, traces)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if summarize {
+		out := make([]traceSummary, 0, len(traces))
+		for _, rt := range traces {
+			out = append(out, traceSummary{
+				TraceID:    rt.TraceID.String(),
+				Start:      rt.Start.Format("2006-01-02T15:04:05.000Z07:00"),
+				DurationMS: float64(rt.Duration) / 1e6,
+				Status:     rt.Status,
+				Reason:     rt.Reason,
+				Spans:      len(rt.Spans),
+			})
+		}
+		_ = enc.Encode(out)
+		return
+	}
+	_ = enc.Encode(traces)
+}
+
+// chromeEvent mirrors the trace_event JSON shape telemetry.WriteTrace uses,
+// plus span-identity args so parent links survive the export.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // µs
+	Dur  float64           `json:"dur"` // µs
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// writeChromeTraces exports retained traces as one chrome://tracing
+// document: each trace is a thread (tid), spans are complete ("X") events
+// positioned relative to the earliest trace start so concurrent requests
+// line up on a shared timeline.
+func writeChromeTraces(w http.ResponseWriter, traces []RecordedTrace) {
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "graphite-traces"},
+	})
+	var epoch int64 // ns; earliest span start across all traces
+	for _, rt := range traces {
+		for _, sp := range rt.Spans {
+			if t := sp.Start.UnixNano(); epoch == 0 || t < epoch {
+				epoch = t
+			}
+		}
+	}
+	for i, rt := range traces {
+		tid := i + 1
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": fmt.Sprintf("trace %s (%s)", rt.TraceID, rt.Reason)},
+		})
+		for _, sp := range rt.Spans {
+			events = append(events, chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Ts:   float64(sp.Start.UnixNano()-epoch) / 1e3,
+				Dur:  float64(sp.Dur) / 1e3,
+				Pid:  1,
+				Tid:  tid,
+				Args: map[string]string{
+					"trace_id":  rt.TraceID.String(),
+					"span_id":   sp.ID.String(),
+					"parent_id": sp.Parent.String(),
+				},
+			})
+		}
+	}
+	_ = json.NewEncoder(w).Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

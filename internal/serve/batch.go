@@ -14,9 +14,10 @@ import (
 // batch is a sealed mini-batch: the concatenation of its members' vertex
 // lists, executed in one forward pass.
 type batch struct {
-	id   uint64
-	reqs []*request
-	ids  []int32
+	id     uint64
+	reqs   []*request
+	ids    []int32
+	sealed time.Time // when the batcher closed this batch
 }
 
 // batcher coalesces queued requests into mini-batches. A batch seals when
@@ -40,13 +41,15 @@ func (s *Server) batcher() {
 		linger.Stop()
 		b := &batch{id: s.nextBatch.Add(1)}
 		now := time.Now()
+		b.sealed = now
 		for _, r := range pending {
 			if r.ctx.Err() != nil {
 				// Expired while queued: reject before dispatch.
 				r.resp <- response{err: r.ctx.Err()}
 				continue
 			}
-			s.tel.Observe(telemetry.PhaseServeQueue, now.Sub(r.enq))
+			s.tel.ObserveTraced(telemetry.PhaseServeQueue, now.Sub(r.enq), r.tr.ID())
+			r.tr.AddSpan(telemetry.PhaseServeQueue, r.enq, now.Sub(r.enq))
 			b.reqs = append(b.reqs, r)
 			b.ids = append(b.ids, r.ids...)
 		}
@@ -129,27 +132,49 @@ func (s *Server) runBatch(b *batch) {
 		<-s.cfg.testGate
 	}
 
+	// Seal→dispatch wait: time the sealed batch spent behind other batches
+	// (worker contention), annotated into every member's trace.
+	if !b.sealed.IsZero() {
+		wait := time.Since(b.sealed)
+		for _, r := range b.reqs {
+			r.tr.AddSpan(telemetry.PhaseSeal, b.sealed, wait)
+		}
+	}
+
 	snap := s.snap.Load() // the batch's one and only snapshot read
 
 	// The batch runs until its most patient member's deadline.
 	ctx := context.Background()
 	var latest time.Time
+	traced := false
 	for _, r := range b.reqs {
 		if d, ok := r.ctx.Deadline(); ok && d.After(latest) {
 			latest = d
 		}
+		traced = traced || r.tr != nil
 	}
 	if !latest.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, latest)
 		defer cancel()
 	}
+	if traced {
+		// One batch serves N requests: fan the batch-execute section (and
+		// the per-layer spans gnn opens under it) into every member's tree.
+		trs := make([]*telemetry.Trace, len(b.reqs))
+		for i, r := range b.reqs {
+			trs[i] = r.tr
+		}
+		ctx = telemetry.JoinTraces(ctx, trs)
+	}
 
 	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(b.id)))
+	bctx, tsp := telemetry.StartSpan(ctx, telemetry.PhaseServeBatch)
 	sp := s.tel.Begin(telemetry.PhaseServeBatch)
-	out, err := gnn.InferVerticesContext(ctx, snap.Net, s.cfg.Graph, s.cfg.X, b.ids, s.cfg.Fanouts, rng,
+	out, err := gnn.InferVerticesContext(bctx, snap.Net, s.cfg.Graph, s.cfg.X, b.ids, s.cfg.Fanouts, rng,
 		gnn.RunOptions{Threads: s.cfg.Threads, Tel: s.tel})
-	sp.End()
+	tsp.End()
+	sp.EndTraced(telemetry.ContextTraceID(ctx))
 
 	if err != nil {
 		for _, r := range b.reqs {

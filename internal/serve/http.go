@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -17,10 +16,13 @@ import (
 const maxSwapBody = 1 << 30
 
 // apiError is the structured JSON error body: {"error":{"code":...}}.
+// TraceID is present when the failed request was traced, so a 429/504 can
+// be looked up on /v1/traces (and correlated with the rejection events).
 type apiError struct {
 	Error struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
+		TraceID string `json:"trace_id,omitempty"`
 	} `json:"error"`
 }
 
@@ -39,10 +41,12 @@ type inferResponse struct {
 	SnapshotVersion uint64      `json:"snapshot_version"`
 	BatchID         uint64      `json:"batch_id"`
 	LatencyMS       float64     `json:"latency_ms"`
+	TraceID         string      `json:"trace_id,omitempty"`
 }
 
 // handler builds the full mux: the serve API plus the embedded obsrv
-// plane (/metrics, /healthz, /readyz, /events, /trace, /debug/pprof/).
+// plane (/metrics, /healthz, /readyz, /events, /trace, /v1/traces,
+// /debug/pprof/).
 func (s *Server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", s.obs.Handler())
@@ -55,24 +59,29 @@ func (s *Server) handler() http.Handler {
 
 // writeError maps a pipeline error to (status, code) and emits the
 // structured JSON body. 429 = back off; 504 = deadline spent; 503 =
-// draining; 400 = caller bug.
-func writeError(w http.ResponseWriter, err error) {
-	status, code := http.StatusInternalServerError, "internal"
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		status, code = http.StatusTooManyRequests, "queue_full"
-	case errors.Is(err, context.DeadlineExceeded):
-		status, code = http.StatusGatewayTimeout, "deadline_exceeded"
-	case errors.Is(err, context.Canceled):
-		status, code = 499, "client_cancelled" // nginx convention
-	case errors.Is(err, ErrDraining):
-		status, code = http.StatusServiceUnavailable, "draining"
-	case errors.Is(err, ErrInvalid):
-		status, code = http.StatusBadRequest, "invalid_request"
+// draining; 400 = caller bug. tid, when non-zero, is the failed request's
+// trace id, stamped into the envelope.
+func writeError(w http.ResponseWriter, err error, tid telemetry.TraceID) {
+	code := statusOf(err)
+	status := http.StatusInternalServerError
+	switch code {
+	case "queue_full":
+		status = http.StatusTooManyRequests
+	case "deadline_exceeded":
+		status = http.StatusGatewayTimeout
+	case "client_cancelled":
+		status = 499 // nginx convention
+	case "draining":
+		status = http.StatusServiceUnavailable
+	case "invalid_request":
+		status = http.StatusBadRequest
 	}
 	var body apiError
 	body.Error.Code = code
 	body.Error.Message = err.Error()
+	if !tid.IsZero() {
+		body.Error.TraceID = tid.String()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
@@ -80,7 +89,7 @@ func writeError(w http.ResponseWriter, err error) {
 
 func writeMethodError(w http.ResponseWriter, want string) {
 	w.Header().Set("Allow", want)
-	writeError(w, fmt.Errorf("%w: method not allowed, use %s", ErrInvalid, want))
+	writeError(w, fmt.Errorf("%w: method not allowed, use %s", ErrInvalid, want), telemetry.TraceID{})
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -90,10 +99,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	var req inferRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: bad JSON: %v", ErrInvalid, err))
+		writeError(w, fmt.Errorf("%w: bad JSON: %v", ErrInvalid, err), telemetry.TraceID{})
 		return
 	}
 	ctx := r.Context()
+	if h := r.Header.Get("traceparent"); h != "" {
+		// Malformed or unsupported-version headers start a fresh trace
+		// (the W3C-recommended recovery), so they are simply not forwarded.
+		if tp, err := telemetry.ParseTraceParent(h); err == nil {
+			ctx = WithTraceParent(ctx, tp)
+		}
+	}
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -101,8 +117,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	res, err := s.Infer(ctx, req.Vertices)
+	if !res.TraceID.IsZero() {
+		// Echo the trace context (our root span as parent) so the caller
+		// can log the id or continue the trace downstream.
+		w.Header().Set("traceparent",
+			telemetry.TraceParent{TraceID: res.TraceID, Parent: res.RootSpan, Sampled: true}.String())
+	}
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, res.TraceID)
 		return
 	}
 	out := inferResponse{
@@ -111,6 +133,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		SnapshotVersion: res.Version,
 		BatchID:         res.BatchID,
 		LatencyMS:       float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if !res.TraceID.IsZero() {
+		out.TraceID = res.TraceID.String()
 	}
 	for i := range out.Logits {
 		row := make([]float32, res.Logits.Cols)
@@ -128,7 +153,7 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.Swap(http.MaxBytesReader(w, r.Body, maxSwapBody))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, telemetry.TraceID{})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -172,6 +197,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"batches":          s.tel.Counter(telemetry.CtrServeBatches),
 		"vertices":         s.tel.Counter(telemetry.CtrServeVertices),
 		"swaps":            s.tel.Counter(telemetry.CtrServeSwaps),
+		"traces":           s.rec.Stats(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)

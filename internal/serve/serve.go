@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -60,6 +61,11 @@ const (
 	DefaultQueueCap  = 256
 	DefaultWorkers   = 1
 	DefaultDeadline  = time.Second
+	// DefaultTraceSample is the head-sampling probability for request
+	// traces. Tracing is cheap (the flight recorder tail-samples what it
+	// keeps), so everything is trace-annotated by default; production
+	// deployments under extreme load can dial it down.
+	DefaultTraceSample = 1.0
 )
 
 // Config describes a serving instance.
@@ -90,6 +96,16 @@ type Config struct {
 	Deadline time.Duration
 	// Seed drives per-batch sampling rngs (batch id is mixed in).
 	Seed int64
+	// TraceSample is the head-sampling probability for request tracing:
+	// 0 means DefaultTraceSample (trace everything), negative disables
+	// local sampling entirely. A request arriving with a sampled W3C
+	// traceparent is always traced regardless of this rate — the upstream
+	// already decided.
+	TraceSample float64
+	// TraceRecorder tunes the tail-sampling flight recorder backing
+	// /v1/traces. Zero-value fields take the obsrv defaults; its SLOs
+	// default to Config.SLOs and its Seed to Config.Seed.
+	TraceRecorder obsrv.FlightRecorderConfig
 	// SLOs are latency objectives exported through the metrics plane.
 	SLOs []obsrv.SLO
 	// BuildLabels extends graphite_build_info (tests pin it).
@@ -109,6 +125,13 @@ type Result struct {
 	// BatchID identifies the mini-batch this request rode in; requests
 	// sharing a BatchID are guaranteed to share a Version.
 	BatchID uint64
+	// TraceID identifies the request's trace when it was sampled for
+	// tracing (zero otherwise); the trace is retrievable from /v1/traces
+	// while the flight recorder retains it.
+	TraceID telemetry.TraceID
+	// RootSpan is the trace's root span id — the span id to echo in an
+	// outgoing traceparent header.
+	RootSpan telemetry.SpanID
 }
 
 // request is one admitted inference request moving through the pipeline.
@@ -117,6 +140,7 @@ type request struct {
 	ids  []int32
 	resp chan response
 	enq  time.Time
+	tr   *telemetry.Trace // nil when the request is not traced
 }
 
 type response struct {
@@ -127,9 +151,11 @@ type response struct {
 // Server is the inference server. Create with NewServer, optionally expose
 // over HTTP with Start, stop with Shutdown.
 type Server struct {
-	cfg Config
-	tel *telemetry.Sink
-	obs *obsrv.Server
+	cfg       Config
+	tel       *telemetry.Sink
+	obs       *obsrv.Server
+	rec       *obsrv.FlightRecorder
+	traceRate float64
 
 	snap   atomic.Pointer[Snapshot]
 	swapMu sync.Mutex // serialises Swap version assignment
@@ -184,19 +210,34 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Deadline = DefaultDeadline
 	}
 
+	traceRate := cfg.TraceSample
+	if traceRate == 0 {
+		traceRate = DefaultTraceSample
+	}
+
 	s := &Server{
-		cfg:     cfg,
-		tel:     telemetry.New(0),
-		queue:   make(chan *request, cfg.QueueCap),
-		batches: make(chan *batch, cfg.Workers),
-		stopc:   make(chan struct{}),
+		cfg:       cfg,
+		tel:       telemetry.New(0),
+		traceRate: traceRate,
+		queue:     make(chan *request, cfg.QueueCap),
+		batches:   make(chan *batch, cfg.Workers),
+		stopc:     make(chan struct{}),
 	}
 	s.snap.Store(&Snapshot{Net: cfg.Net, Version: 1})
+	recCfg := cfg.TraceRecorder
+	if recCfg.SLOs == nil {
+		recCfg.SLOs = cfg.SLOs
+	}
+	if recCfg.Seed == 0 {
+		recCfg.Seed = cfg.Seed
+	}
+	s.rec = obsrv.NewFlightRecorder(recCfg)
 	s.obs = obsrv.NewServer(obsrv.Options{
 		Sink:        s.tel,
 		SLOs:        cfg.SLOs,
 		BuildLabels: cfg.BuildLabels,
 		Gauges:      s.gauges,
+		Traces:      s.rec,
 		Healthy: func() (bool, string) {
 			return true, "serving"
 		},
@@ -226,12 +267,16 @@ func (s *Server) Tel() *telemetry.Sink { return s.tel }
 // Obs exposes the embedded observability plane (events, metrics).
 func (s *Server) Obs() *obsrv.Server { return s.obs }
 
+// Traces exposes the tail-sampling flight recorder behind /v1/traces.
+func (s *Server) Traces() *obsrv.FlightRecorder { return s.rec }
+
 // gauges is the obsrv scrape hook: instantaneous pipeline state.
 func (s *Server) gauges() []obsrv.Gauge {
 	var draining float64
 	if s.draining.Load() {
 		draining = 1
 	}
+	rec := s.rec.Stats()
 	return []obsrv.Gauge{
 		{Name: "graphite_serve_queue_depth", Help: "Inference requests waiting in the admission queue.", Value: float64(len(s.queue))},
 		{Name: "graphite_serve_queue_capacity", Help: "Admission queue capacity; at depth==capacity new requests are rejected.", Value: float64(cap(s.queue))},
@@ -239,6 +284,67 @@ func (s *Server) gauges() []obsrv.Gauge {
 		{Name: "graphite_serve_snapshot_version", Help: "Version of the model snapshot new batches execute on.", Value: float64(s.snap.Load().Version)},
 		{Name: "graphite_serve_inflight_batches", Help: "Sealed batches currently executing.", Value: float64(s.inflightBatches.Load())},
 		{Name: "graphite_serve_draining", Help: "1 once shutdown has begun and new requests are rejected.", Value: draining},
+		{Name: "graphite_serve_traces_recorded", Help: "Finished request traces offered to the flight recorder.", Value: float64(rec.Recorded)},
+		{Name: "graphite_serve_traces_kept", Help: "Request traces the flight recorder chose to retain.", Value: float64(rec.Kept)},
+	}
+}
+
+// traceParentKey carries an upstream W3C traceparent to Infer.
+type traceParentKey struct{}
+
+// WithTraceParent returns a context announcing the upstream trace context
+// to Infer: the request joins the upstream trace instead of minting its
+// own id, and a sampled flag forces tracing regardless of the server's
+// sampling rate. The HTTP layer populates this from the traceparent
+// header; embedded callers can use it directly.
+func WithTraceParent(ctx context.Context, tp telemetry.TraceParent) context.Context {
+	return context.WithValue(ctx, traceParentKey{}, tp)
+}
+
+func traceParentFrom(ctx context.Context) (telemetry.TraceParent, bool) {
+	tp, ok := ctx.Value(traceParentKey{}).(telemetry.TraceParent)
+	return tp, ok
+}
+
+// startTrace decides whether this request is traced (head sampling; tail
+// retention is the flight recorder's call) and mints its trace. An
+// upstream sampled=1 traceparent always wins; otherwise the local rate
+// applies, joining the upstream trace id when one was offered.
+func (s *Server) startTrace(ctx context.Context) *telemetry.Trace {
+	tp, ok := traceParentFrom(ctx)
+	if !ok || !tp.Sampled {
+		if s.traceRate <= 0 {
+			return nil
+		}
+		if s.traceRate < 1 && rand.Float64() >= s.traceRate {
+			return nil
+		}
+	}
+	if ok {
+		return telemetry.NewTrace(tp.TraceID, tp.Parent, telemetry.PhaseServeE2E)
+	}
+	return telemetry.NewTrace(telemetry.NewTraceID(), telemetry.SpanID{}, telemetry.PhaseServeE2E)
+}
+
+// statusOf maps a pipeline error to the trace/envelope status class; ""
+// means success. The handler layer reuses these strings as JSON error
+// codes so /v1/traces and the error envelope agree on vocabulary.
+func statusOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "client_cancelled"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, ErrInvalid):
+		return "invalid_request"
+	default:
+		return "internal"
 	}
 }
 
@@ -248,8 +354,16 @@ func (s *Server) gauges() []obsrv.Gauge {
 // version and batch id the request executed under.
 func (s *Server) Infer(ctx context.Context, ids []int32) (Result, error) {
 	start := time.Now()
-	res, err := s.infer(ctx, ids, start)
-	s.tel.Observe(telemetry.PhaseServeE2E, time.Since(start))
+	tr := s.startTrace(ctx)
+	res, err := s.infer(ctx, tr, ids, start)
+	if tr != nil {
+		// The exemplar makes the aggregate latency series point at this
+		// concrete request: the serve-e2e bucket this observation lands in
+		// carries the trace id, retrievable from /v1/traces.
+		s.tel.ObserveTraced(telemetry.PhaseServeE2E, time.Since(start), tr.ID())
+	} else {
+		s.tel.Observe(telemetry.PhaseServeE2E, time.Since(start))
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
@@ -261,10 +375,30 @@ func (s *Server) Infer(ctx context.Context, ids []int32) (Result, error) {
 	default:
 		s.tel.Inc(telemetry.CtrServeFailed)
 	}
+	if tr != nil {
+		res.TraceID = tr.ID()
+		res.RootSpan = tr.RootSpan()
+		detail := ""
+		if err != nil {
+			detail = err.Error()
+		}
+		status := statusOf(err)
+		td := tr.Finish(status, detail)
+		s.rec.Record(td)
+		// Rejections and expiries ride the event stream with their trace
+		// id, so a 429/504 spike on the dashboard correlates to concrete
+		// traces without scraping exemplars.
+		if status == "queue_full" || status == "deadline_exceeded" {
+			s.obs.Publish(obsrv.Event{
+				Kind: "serve", Status: status, Detail: detail,
+				TraceID: td.TraceID.String(),
+			})
+		}
+	}
 	return res, err
 }
 
-func (s *Server) infer(ctx context.Context, ids []int32, start time.Time) (Result, error) {
+func (s *Server) infer(ctx context.Context, tr *telemetry.Trace, ids []int32, start time.Time) (Result, error) {
 	if len(ids) == 0 {
 		return Result{}, fmt.Errorf("%w: empty vertex list", ErrInvalid)
 	}
@@ -288,9 +422,12 @@ func (s *Server) infer(ctx context.Context, ids []int32, start time.Time) (Resul
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
 		defer cancel()
 	}
-	r := &request{ctx: ctx, ids: ids, resp: make(chan response, 1), enq: start}
+	r := &request{ctx: ctx, ids: ids, resp: make(chan response, 1), enq: start, tr: tr}
 	select {
 	case s.queue <- r:
+		// Admission covers arrival → enqueue: validation, the draining
+		// check, and default-deadline setup.
+		tr.AddSpan(telemetry.PhaseAdmission, start, time.Since(start))
 	default:
 		return Result{}, ErrQueueFull
 	}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphite/internal/obsrv"
+	"graphite/internal/telemetry"
+)
+
+// TestTraceSpanTreeEndToEnd drives one traced request through the direct
+// Infer path and checks the recorded span tree: every pipeline stage is
+// attributed, and the parent links reconstruct admission → queue → seal →
+// batch → per-layer execution.
+func TestTraceSpanTreeEndToEnd(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+
+	up := telemetry.TraceParent{TraceID: telemetry.NewTraceID(), Sampled: true}
+	up.Parent[0] = 0x42
+	ctx := WithTraceParent(context.Background(), up)
+	res, err := s.Infer(ctx, []int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != up.TraceID {
+		t.Fatalf("Result.TraceID = %s, want upstream %s", res.TraceID, up.TraceID)
+	}
+	if res.RootSpan.IsZero() {
+		t.Fatal("Result.RootSpan is zero")
+	}
+
+	td, ok := s.Traces().Get(up.TraceID)
+	if !ok {
+		t.Fatal("traced request not in flight recorder")
+	}
+	if td.RemoteParent != up.Parent {
+		t.Fatalf("remote parent = %s, want %s", td.RemoteParent, up.Parent)
+	}
+	if td.Status != "" {
+		t.Fatalf("status = %q, want success", td.Status)
+	}
+	// The 2-layer test model must produce the full pipeline vocabulary.
+	for _, name := range []string{
+		telemetry.PhaseServeE2E, telemetry.PhaseAdmission,
+		telemetry.PhaseServeQueue, telemetry.PhaseSeal,
+		telemetry.PhaseServeBatch, telemetry.PhaseSample,
+		telemetry.LayerName(0), telemetry.LayerName(1),
+		telemetry.PhaseAggregate, telemetry.PhaseUpdate,
+	} {
+		if !td.HasSpan(name) {
+			t.Errorf("trace missing span %q; have %v", name, spanNames(td.TraceData))
+		}
+	}
+
+	find := func(name string) telemetry.SpanRecord {
+		t.Helper()
+		for _, sp := range td.Spans {
+			if sp.Name == name {
+				return sp
+			}
+		}
+		t.Fatalf("no span %q", name)
+		return telemetry.SpanRecord{}
+	}
+	root := find(telemetry.PhaseServeE2E)
+	if root.ID != td.Root {
+		t.Fatalf("root span id %s != td.Root %s", root.ID, td.Root)
+	}
+	batch := find(telemetry.PhaseServeBatch)
+	if batch.Parent != root.ID {
+		t.Errorf("serve-batch parent = %s, want root %s", batch.Parent, root.ID)
+	}
+	layer0 := find(telemetry.LayerName(0))
+	if layer0.Parent != batch.ID {
+		t.Errorf("layer0 parent = %s, want serve-batch %s", layer0.Parent, batch.ID)
+	}
+	agg := find(telemetry.PhaseAggregate)
+	if agg.Parent != layer0.ID {
+		t.Errorf("aggregate parent = %s, want layer0 %s", agg.Parent, layer0.ID)
+	}
+	queue := find(telemetry.PhaseServeQueue)
+	if queue.Parent != root.ID {
+		t.Errorf("serve-queue parent = %s, want root %s", queue.Parent, root.ID)
+	}
+}
+
+func spanNames(td telemetry.TraceData) []string {
+	out := make([]string, len(td.Spans))
+	for i, sp := range td.Spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestTraceFanOutSharesBatchSpans proves batch fan-out: two requests
+// coalesced into one mini-batch each get their own trace, and both trees
+// carry the shared batch-execute span (with per-trace span identities).
+func TestTraceFanOutSharesBatchSpans(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxLinger = 50 * time.Millisecond
+	cfg.MaxBatch = 8
+	s := newTestServer(t, cfg)
+
+	var wg sync.WaitGroup
+	results := make([]Result, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Infer(context.Background(), []int32{int32(10 + i)})
+			if err != nil {
+				t.Errorf("Infer %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if results[0].BatchID != results[1].BatchID {
+		t.Skipf("requests landed in different batches (%d vs %d); coalescing is timing-dependent",
+			results[0].BatchID, results[1].BatchID)
+	}
+	if results[0].TraceID == results[1].TraceID {
+		t.Fatal("coalesced requests must keep distinct trace ids")
+	}
+	for i, res := range results {
+		td, ok := s.Traces().Get(res.TraceID)
+		if !ok {
+			t.Fatalf("trace %d not recorded", i)
+		}
+		if !td.HasSpan(telemetry.PhaseServeBatch) || !td.HasSpan(telemetry.LayerName(0)) {
+			t.Errorf("trace %d missing shared batch spans: %v", i, spanNames(td.TraceData))
+		}
+	}
+}
+
+// TestTraceSamplingDisabled pins the opt-out: with a negative sample rate
+// nothing is traced — unless the caller sends an explicitly sampled
+// traceparent, which always wins.
+func TestTraceSamplingDisabled(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.TraceSample = -1
+	s := newTestServer(t, cfg)
+
+	res, err := s.Infer(context.Background(), []int32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TraceID.IsZero() {
+		t.Fatalf("untraced request got trace id %s", res.TraceID)
+	}
+	if stats := s.Traces().Stats(); stats.Recorded != 0 {
+		t.Fatalf("recorder saw %d traces with sampling off", stats.Recorded)
+	}
+
+	up := telemetry.TraceParent{TraceID: telemetry.NewTraceID(), Sampled: true}
+	up.Parent[7] = 1
+	res, err = s.Infer(WithTraceParent(context.Background(), up), []int32{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != up.TraceID {
+		t.Fatal("explicitly sampled traceparent must force tracing")
+	}
+}
+
+// TestHTTPTraceRoundTrip is the full wire-level walk: a request with a
+// known traceparent comes back with the id echoed (header + body), the
+// trace is fetchable from /v1/traces, and the serve-e2e histogram's
+// exemplar on /metrics references a recorded trace.
+func TestHTTPTraceRoundTrip(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/infer",
+		strings.NewReader(`{"vertices":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer = %d: %s", resp.StatusCode, body)
+	}
+	const wantID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	echo := resp.Header.Get("traceparent")
+	if !strings.HasPrefix(echo, "00-"+wantID+"-") || !strings.HasSuffix(echo, "-01") {
+		t.Fatalf("traceparent echo = %q, want trace id %s sampled", echo, wantID)
+	}
+	var out inferResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != wantID {
+		t.Fatalf("body trace_id = %q, want %s", out.TraceID, wantID)
+	}
+
+	// The trace is retrievable by id with the span tree attached.
+	resp, err = http.Get(base + "/v1/traces?id=" + wantID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/traces?id= status %d: %s", resp.StatusCode, body)
+	}
+	for _, name := range []string{
+		telemetry.PhaseAdmission, telemetry.PhaseServeQueue,
+		telemetry.PhaseServeBatch, telemetry.LayerName(0),
+	} {
+		if !bytes.Contains(body, []byte(`"name": "`+name+`"`)) {
+			t.Errorf("/v1/traces body missing span %q", name)
+		}
+	}
+
+	// The serve-e2e exemplar on /metrics points at a recorded trace.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	samples, err := obsrv.ParseExposition(bytes.NewReader(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exemplarID := ""
+	for _, sm := range samples.Samples {
+		if sm.Name == "graphite_phase_latency_seconds_bucket" &&
+			sm.Labels["phase"] == telemetry.PhaseServeE2E && sm.Exemplar != nil {
+			exemplarID = sm.Exemplar.Labels["trace_id"]
+			break
+		}
+	}
+	if exemplarID == "" {
+		t.Fatal("no exemplar on serve-e2e latency buckets")
+	}
+	if exemplarID != wantID {
+		t.Fatalf("serve-e2e exemplar trace_id = %s, want %s", exemplarID, wantID)
+	}
+}
+
+// TestRejectionCarriesTraceID pins 429 correlation end to end: the JSON
+// error envelope names the trace id, the trace lands in the flight
+// recorder with status queue_full, and the /events stream carries a
+// serve/queue_full event stamped with the same id.
+func TestRejectionCarriesTraceID(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := testConfig(t)
+	cfg.MaxBatch = 1
+	cfg.QueueCap = 2
+	cfg.Workers = 1
+	cfg.MaxLinger = time.Millisecond
+	cfg.Deadline = 30 * time.Second
+	cfg.testGate = gate
+	s := newTestServer(t, cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	// Wedge the pipeline (worker blocked on the gate), as in
+	// TestOverloadRejects, so a fresh HTTP request must bounce with 429.
+	const stuck = 5
+	var wg sync.WaitGroup
+	for i := 0; i < stuck; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				_, err := s.Infer(context.Background(), []int32{int32(i)})
+				if !errors.Is(err, ErrQueueFull) {
+					if err != nil {
+						t.Errorf("stuck request %d: %v", i, err)
+					}
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+	defer func() { close(gate); wg.Wait() }()
+
+	var envelope apiError
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(base+"/v1/infer", "application/json",
+			strings.NewReader(`{"vertices":[99],"timeout_ms":5}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if err := json.Unmarshal(body, &envelope); err != nil {
+				t.Fatalf("bad 429 envelope %s: %v", body, err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw 429; last status %d", resp.StatusCode)
+		}
+	}
+	if envelope.Error.Code != "queue_full" {
+		t.Fatalf("code = %q, want queue_full", envelope.Error.Code)
+	}
+	if envelope.Error.TraceID == "" {
+		t.Fatal("429 envelope has no trace_id")
+	}
+	tid, err := telemetry.ParseTraceID(envelope.Error.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, ok := s.Traces().Get(tid)
+	if !ok {
+		t.Fatal("rejected trace not in flight recorder")
+	}
+	if td.Status != "queue_full" {
+		t.Fatalf("trace status = %q, want queue_full", td.Status)
+	}
+
+	// The rejection event carries the same trace id; it was published
+	// before this GET, so it arrives in the replay history immediately.
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	timer := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer timer.Stop()
+	sc := bufio.NewScanner(resp.Body)
+	found := false
+	for sc.Scan() {
+		var ev obsrv.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "serve" && ev.Status == "queue_full" && ev.TraceID == envelope.Error.TraceID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no serve/queue_full event with the envelope's trace id")
+	}
+}
+
+// TestStatsReportsRecorder pins the /v1/stats traces block.
+func TestStatsReportsRecorder(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+	if _, err := s.Infer(context.Background(), []int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/stats", s.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Traces obsrv.FlightRecorderStats `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Traces.Recorded < 1 || stats.Traces.Kept < 1 {
+		t.Fatalf("stats.traces = %+v, want at least one recorded+kept", stats.Traces)
+	}
+}

@@ -28,6 +28,22 @@ type Histogram struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
 	buckets [histBuckets]atomic.Int64
+	// exemplars holds, per bucket, the most recent traced observation that
+	// landed there (nil when the bucket has only untraced observations).
+	// Plain Observe never touches this array, so the untraced path pays
+	// nothing for exemplar support.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the trace that produced it —
+// the OpenMetrics exemplar model, restricted to the one label this system
+// needs (trace_id). A bucket keeps only its latest exemplar: the point is a
+// live "which request is in this bucket right now" pointer, not a sample
+// archive (the flight recorder keeps the traces themselves).
+type Exemplar struct {
+	TraceID TraceID
+	Value   time.Duration // the observed duration
+	Time    time.Time     // when it was observed
 }
 
 // bucketIndex maps a nanosecond duration to its bucket.
@@ -67,6 +83,39 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketIndex(ns)].Add(1)
 	h.count.Add(1)
 	h.sumNS.Add(ns)
+}
+
+// ObserveExemplar records one duration like Observe and, when tid is a real
+// trace id, replaces the landing bucket's exemplar so the exposition can
+// link this bucket to a concrete trace.
+func (h *Histogram) ObserveExemplar(d time.Duration, tid TraceID) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bucketIndex(ns)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	if !tid.IsZero() {
+		h.exemplars[i].Store(&Exemplar{TraceID: tid, Value: d, Time: time.Now()})
+	}
+}
+
+// BucketExemplars returns the latest exemplar per bucket, index-aligned with
+// Buckets (nil entries where no traced observation landed). Nil-safe.
+func (h *Histogram) BucketExemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, histBuckets)
+	for i := range out {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -179,6 +228,7 @@ func (h *Histogram) reset() {
 	h.sumNS.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
+		h.exemplars[i].Store(nil)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled gates the AllocsPerRun assertions: race instrumentation
+// allocates shadow state, so the zero-alloc tests only run without -race.
+const raceEnabled = false

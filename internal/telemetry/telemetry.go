@@ -302,7 +302,14 @@ func (s *Sink) Begin(name string) Span {
 // End closes the span and records it: one ring event plus one observation
 // in the phase's latency histogram (the source of the p50/p95/p99 series in
 // WriteMetrics and the JSON benchmark reports).
-func (sp Span) End() {
+func (sp Span) End() { sp.end(TraceID{}) }
+
+// EndTraced is End plus an exemplar: the phase histogram's landing bucket
+// is tagged with tid, linking the aggregate series to one concrete request
+// trace. A zero tid behaves exactly like End.
+func (sp Span) EndTraced(tid TraceID) { sp.end(tid) }
+
+func (sp Span) end(tid TraceID) {
 	if sp.region != nil {
 		sp.region.End()
 	}
@@ -310,7 +317,12 @@ func (sp Span) End() {
 		return
 	}
 	dur := int64(time.Since(sp.s.epoch)) - sp.start
-	sp.s.hists.get(sp.name).Observe(time.Duration(dur))
+	h := sp.s.hists.get(sp.name)
+	if tid.IsZero() {
+		h.Observe(time.Duration(dur))
+	} else {
+		h.ObserveExemplar(time.Duration(dur), tid)
+	}
 	sp.s.record(spanEvent{name: sp.name, tid: sp.tid, startNS: sp.start, durNS: dur}, sp.id)
 }
 
@@ -323,6 +335,17 @@ func (s *Sink) Observe(name string, d time.Duration) {
 		return
 	}
 	s.hists.get(name).Observe(d)
+}
+
+// ObserveTraced is Observe plus an exemplar: the landing bucket of the
+// named phase's histogram is tagged with tid (no-op tagging when tid is
+// zero). The serving path uses it for end-to-end latencies measured outside
+// any span.
+func (s *Sink) ObserveTraced(name string, d time.Duration, tid TraceID) {
+	if !s.Enabled() {
+		return
+	}
+	s.hists.get(name).ObserveExemplar(d, tid)
 }
 
 // Histogram returns the named phase's latency histogram, or nil if nothing
@@ -511,4 +534,9 @@ const (
 	PhaseServeQueue    = "serve-queue"
 	PhaseServeBatch    = "serve-batch"
 	PhaseServeE2E      = "serve-e2e"
+	// PhaseAdmission and PhaseSeal exist only as trace-span names (they are
+	// microsecond-scale and would pollute the histogram families): the time
+	// from request arrival to enqueue, and from batch seal to dispatch.
+	PhaseAdmission = "admission"
+	PhaseSeal      = "seal"
 )

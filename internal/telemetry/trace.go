@@ -1,0 +1,455 @@
+// Request-scoped tracing: a lightweight trace context (TraceID/SpanID,
+// parent links) carried through context.Context, recording per-request
+// span trees on top of the same phase vocabulary as the Sink.
+//
+// The design splits identity from aggregation: the Sink keeps aggregate
+// histograms and the global span ring; a *Trace keeps one request's tree.
+// A context either carries trace refs (the request is sampled) or it does
+// not, and the unsampled path is a single ctx.Value lookup that fails the
+// type assertion — no allocation, no atomic, nothing to disable. Kernel
+// packages never see traces at all: annotation stops at phase granularity
+// (per layer), which the hotloop-telemetry lint rule enforces.
+//
+// One batch executes N requests, so batch-level spans must land in every
+// member's tree. JoinTraces attaches all member traces to the batch
+// context; StartSpan then fans a single timed section into one span per
+// trace, each with that trace's own parent link.
+package telemetry
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C trace-context trace id: 16 bytes, rendered as 32 lowercase
+// hex digits. The all-zero id is invalid and doubles as "no trace".
+type TraceID [16]byte
+
+// SpanID is a W3C trace-context span id: 8 bytes, 16 hex digits. The all-zero
+// id is invalid as a span identity and doubles as "no parent".
+type SpanID [8]byte
+
+// NewTraceID returns a cryptographically random, non-zero trace id.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		if _, err := cryptorand.Read(id[:]); err != nil {
+			// crypto/rand never fails on supported platforms; if it somehow
+			// does, fall back to a fixed marker rather than panicking in the
+			// serving path.
+			id = TraceID{0xde, 0xad, 1}
+		}
+	}
+	return id
+}
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the id as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalText implements encoding.TextMarshaler (hex form in JSON).
+func (id TraceID) MarshalText() ([]byte, error) {
+	out := make([]byte, 32)
+	hex.Encode(out, id[:])
+	return out, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (id *TraceID) UnmarshalText(b []byte) error {
+	parsed, err := ParseTraceID(string(b))
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// ParseTraceID parses a 32-hex-digit trace id. The all-zero id is rejected.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, errors.New("telemetry: trace id must be 32 hex digits")
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, errors.New("telemetry: trace id is not hex")
+	}
+	if id.IsZero() {
+		return TraceID{}, errors.New("telemetry: all-zero trace id is invalid")
+	}
+	return id, nil
+}
+
+// IsZero reports whether the span id is the all-zero "no parent" id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the span id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// MarshalText implements encoding.TextMarshaler (hex form in JSON).
+func (id SpanID) MarshalText() ([]byte, error) {
+	out := make([]byte, 16)
+	hex.Encode(out, id[:])
+	return out, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (id *SpanID) UnmarshalText(b []byte) error {
+	if len(b) != 16 {
+		return errors.New("telemetry: span id must be 16 hex digits")
+	}
+	var parsed SpanID
+	if _, err := hex.Decode(parsed[:], b); err != nil {
+		return errors.New("telemetry: span id is not hex")
+	}
+	*id = parsed
+	return nil
+}
+
+// TraceParent is a parsed W3C traceparent header (version 00):
+//
+//	00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>
+//
+// Sampled mirrors the low flag bit. An upstream caller that sets it is
+// asking for the request to be recorded regardless of local sampling.
+type TraceParent struct {
+	TraceID TraceID
+	Parent  SpanID
+	Sampled bool
+}
+
+// ParseTraceParent parses a traceparent header value. Unknown versions and
+// malformed values error; per the W3C spec callers should then start a fresh
+// trace rather than fail the request.
+func ParseTraceParent(s string) (TraceParent, error) {
+	var tp TraceParent
+	// version "00" layout: 2+1+32+1+16+1+2 = 55 bytes exactly.
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp, errors.New("telemetry: malformed traceparent")
+	}
+	if s[0] != '0' || s[1] != '0' {
+		return tp, errors.New("telemetry: unsupported traceparent version")
+	}
+	tid, err := ParseTraceID(s[3:35])
+	if err != nil {
+		return tp, err
+	}
+	if _, err := hex.Decode(tp.Parent[:], []byte(s[36:52])); err != nil {
+		return tp, errors.New("telemetry: traceparent span id is not hex")
+	}
+	if tp.Parent.IsZero() {
+		return tp, errors.New("telemetry: all-zero traceparent span id is invalid")
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tp, errors.New("telemetry: traceparent flags are not hex")
+	}
+	tp.TraceID = tid
+	tp.Sampled = flags[0]&0x01 != 0
+	return tp, nil
+}
+
+// String renders the header form. A zero Parent renders as all zeros, which
+// is invalid to send upstream — callers should only format trace parents
+// whose span id is a real span.
+func (tp TraceParent) String() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, tp.TraceID[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, tp.Parent[:])
+	if tp.Sampled {
+		b = append(b, "-01"...)
+	} else {
+		b = append(b, "-00"...)
+	}
+	return string(b)
+}
+
+// SpanRecord is one completed span in a trace's tree. Parent is the zero
+// SpanID only for the root (or when the root's parent came from a remote
+// traceparent, recorded separately in TraceData.RemoteParent).
+type SpanRecord struct {
+	Name   string        `json:"name"`
+	ID     SpanID        `json:"span_id"`
+	Parent SpanID        `json:"parent_id"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"duration_ns"`
+}
+
+// DefaultTraceSpanCap bounds spans retained per trace. A serve request
+// records ~6 pipeline spans plus 3 per layer, so 512 covers models far
+// deeper than anything this system runs; beyond it spans are counted as
+// dropped rather than growing without bound.
+const DefaultTraceSpanCap = 512
+
+// Trace accumulates one request's span tree. All methods are safe for
+// concurrent use (the batcher annotates queue spans while the request
+// goroutine may be timing out) and nil-receiver safe, so serve code can
+// thread an optional *Trace without branching.
+type Trace struct {
+	id     TraceID
+	remote SpanID // parent span from the incoming traceparent, if any
+	root   SpanID
+	name   string // root span name
+	start  time.Time
+	nextSp atomic.Uint64
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+	done    bool
+	dur     time.Duration
+	status  string
+	detail  string
+}
+
+// NewTrace starts a trace whose root span is named rootName and opens now.
+// remote is the parent span id from an incoming traceparent (zero when this
+// process originates the trace).
+func NewTrace(id TraceID, remote SpanID, rootName string) *Trace {
+	t := &Trace{id: id, remote: remote, name: rootName, start: time.Now()}
+	t.root = t.newSpanID()
+	return t
+}
+
+// ID returns the trace id (zero for a nil trace).
+func (t *Trace) ID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.id
+}
+
+// RootSpan returns the root span's id (zero for a nil trace). It is the
+// span id to echo in an outgoing traceparent header.
+func (t *Trace) RootSpan() SpanID {
+	if t == nil {
+		return SpanID{}
+	}
+	return t.root
+}
+
+// Start returns when the root span opened.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// newSpanID mints the next span id in this trace: a counter mixed with the
+// trace id so ids differ across traces, never all-zero.
+func (t *Trace) newSpanID() SpanID {
+	n := t.nextSp.Add(1)
+	var id SpanID
+	binary.BigEndian.PutUint64(id[:], n^binary.BigEndian.Uint64(t.id[:8]))
+	if id.IsZero() {
+		id[7] = 0xff
+	}
+	return id
+}
+
+// add appends a completed span, dropping past the cap.
+func (t *Trace) add(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.spans) < DefaultTraceSpanCap {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// AddSpan records a retroactively-timed span as a direct child of the root:
+// the batcher uses it for queue-wait and seal intervals, which are only
+// known after the fact. Nil-safe.
+func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.add(SpanRecord{Name: name, ID: t.newSpanID(), Parent: t.root, Start: start, Dur: dur})
+}
+
+// Finish closes the root span, marks the trace's outcome (status "" means
+// success; anything else is an error class like "queue_full" or
+// "deadline_exceeded"), and returns an immutable snapshot. Only the first
+// Finish takes effect; later calls return the same data. Spans added after
+// Finish are retained on the Trace but not visible in the returned snapshot.
+func (t *Trace) Finish(status, detail string) TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.dur = time.Since(t.start)
+		t.status = status
+		t.detail = detail
+		t.spans = append(t.spans, SpanRecord{
+			Name: t.name, ID: t.root, Parent: t.remote, Start: t.start, Dur: t.dur,
+		})
+	}
+	data := TraceData{
+		TraceID:      t.id,
+		RemoteParent: t.remote,
+		Root:         t.root,
+		Start:        t.start,
+		Duration:     t.dur,
+		Status:       t.status,
+		Detail:       t.detail,
+		Spans:        append([]SpanRecord(nil), t.spans...),
+		Dropped:      t.dropped,
+	}
+	t.mu.Unlock()
+	return data
+}
+
+// TraceData is one finished trace: the immutable export form consumed by the
+// flight recorder and the /v1/traces endpoint.
+type TraceData struct {
+	TraceID      TraceID       `json:"trace_id"`
+	RemoteParent SpanID        `json:"remote_parent,omitempty"`
+	Root         SpanID        `json:"root_span"`
+	Start        time.Time     `json:"start"`
+	Duration     time.Duration `json:"duration_ns"`
+	Status       string        `json:"status,omitempty"`
+	Detail       string        `json:"detail,omitempty"`
+	Spans        []SpanRecord  `json:"spans"`
+	Dropped      int           `json:"spans_dropped,omitempty"`
+}
+
+// Err reports whether the trace finished in an error class.
+func (d TraceData) Err() bool { return d.Status != "" }
+
+// MaxSpanDur returns the longest span duration recorded under name (0 when
+// the phase never ran). Phases can repeat (one span per layer, or fan-in
+// from retries), so the maximum is the per-request answer to "how slow did
+// this phase get".
+func (d TraceData) MaxSpanDur(name string) time.Duration {
+	var max time.Duration
+	for _, sp := range d.Spans {
+		if sp.Name == name && sp.Dur > max {
+			max = sp.Dur
+		}
+	}
+	return max
+}
+
+// HasSpan reports whether any span with the given name was recorded.
+func (d TraceData) HasSpan(name string) bool {
+	for _, sp := range d.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// traceRef is one trace a context is annotating, plus the parent span id
+// new spans under that context should link to.
+type traceRef struct {
+	tr     *Trace
+	parent SpanID
+}
+
+// traceCtxKey is the context key under which trace refs travel.
+type traceCtxKey struct{}
+
+// Attach returns a context whose spans (via StartSpan) record into t,
+// parented to t's root. Nil-safe: a nil trace returns ctx unchanged.
+func (t *Trace) Attach(ctx context.Context) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, []traceRef{{tr: t, parent: t.root}})
+}
+
+// JoinTraces returns a context whose spans fan out into every trace in
+// traces (nils skipped), each parented to that trace's root. The batcher
+// uses it so one batch-execute section lands in all member requests' trees.
+// It replaces any refs already on ctx. With no non-nil traces, ctx is
+// returned unchanged (and stays zero-overhead for StartSpan).
+func JoinTraces(ctx context.Context, traces []*Trace) context.Context {
+	refs := make([]traceRef, 0, len(traces))
+	for _, t := range traces {
+		if t != nil {
+			refs = append(refs, traceRef{tr: t, parent: t.root})
+		}
+	}
+	if len(refs) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, refs)
+}
+
+// Traced reports whether ctx carries at least one trace — the guard for
+// call sites that want to skip building annotation data entirely.
+func Traced(ctx context.Context) bool {
+	refs, _ := ctx.Value(traceCtxKey{}).([]traceRef)
+	return len(refs) > 0
+}
+
+// ContextTraceID returns the first trace id on ctx (zero when untraced).
+func ContextTraceID(ctx context.Context) TraceID {
+	refs, _ := ctx.Value(traceCtxKey{}).([]traceRef)
+	if len(refs) == 0 {
+		return TraceID{}
+	}
+	return refs[0].tr.ID()
+}
+
+// spanEntry is one trace's view of an in-flight TraceSpan.
+type spanEntry struct {
+	tr     *Trace
+	id     SpanID
+	parent SpanID
+}
+
+// TraceSpan is an in-flight trace annotation returned by StartSpan. The
+// zero value is a no-op handle: End on it does nothing, so callers never
+// branch on whether the request is sampled.
+type TraceSpan struct {
+	name    string
+	start   time.Time
+	entries []spanEntry
+}
+
+// StartSpan opens a span named name in every trace ctx carries and returns
+// a derived context under which child spans parent to it. On an untraced
+// context this is the zero-overhead path: one Value lookup, no allocation,
+// ctx returned unchanged, and the returned handle's End is a no-op —
+// asserted by an AllocsPerRun test.
+func StartSpan(ctx context.Context, name string) (context.Context, TraceSpan) {
+	refs, _ := ctx.Value(traceCtxKey{}).([]traceRef)
+	if len(refs) == 0 {
+		return ctx, TraceSpan{}
+	}
+	ts := TraceSpan{name: name, start: time.Now(), entries: make([]spanEntry, len(refs))}
+	next := make([]traceRef, len(refs))
+	for i, r := range refs {
+		id := r.tr.newSpanID()
+		ts.entries[i] = spanEntry{tr: r.tr, id: id, parent: r.parent}
+		next[i] = traceRef{tr: r.tr, parent: id}
+	}
+	return context.WithValue(ctx, traceCtxKey{}, next), ts
+}
+
+// End closes the span, recording it (with one duration measurement shared
+// across all fanned-out traces). Safe on the zero handle.
+func (ts TraceSpan) End() {
+	if len(ts.entries) == 0 {
+		return
+	}
+	dur := time.Since(ts.start)
+	for _, e := range ts.entries {
+		e.tr.add(SpanRecord{Name: ts.name, ID: e.id, Parent: e.parent, Start: ts.start, Dur: dur})
+	}
+}

@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func requireNoRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race (CI has a dedicated step)")
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tp, err := ParseTraceParent(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s", got)
+	}
+	if got := tp.Parent.String(); got != "00f067aa0ba902b7" {
+		t.Fatalf("parent span id = %s", got)
+	}
+	if !tp.Sampled {
+		t.Fatal("sampled flag not parsed")
+	}
+	if got := tp.String(); got != hdr {
+		t.Fatalf("round trip: %s != %s", got, hdr)
+	}
+	unsampled := tp
+	unsampled.Sampled = false
+	if got := unsampled.String(); got[len(got)-2:] != "00" {
+		t.Fatalf("unsampled flags = %s", got)
+	}
+}
+
+func TestTraceParentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473X-00f067aa0ba902b7-01", // non-hex
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad separator
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceParent(s); err == nil {
+			t.Errorf("ParseTraceParent(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestNewTraceIDUniqueNonZero(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("zero trace id")
+		}
+		if seen[id] {
+			t.Fatal("duplicate trace id")
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tid := NewTraceID()
+	tr := NewTrace(tid, SpanID{}, PhaseServeE2E)
+	ctx := tr.Attach(context.Background())
+
+	ctx2, outer := StartSpan(ctx, "serve-batch")
+	_, inner := StartSpan(ctx2, "layer0")
+	inner.End()
+	outer.End()
+	tr.AddSpan("serve-queue", tr.Start(), 5*time.Millisecond)
+
+	d := tr.Finish("", "")
+	if d.TraceID != tid {
+		t.Fatalf("trace id mismatch")
+	}
+	if len(d.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(d.Spans), d.Spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range d.Spans {
+		byName[sp.Name] = sp
+	}
+	root := byName[PhaseServeE2E]
+	if root.ID != d.Root || !root.Parent.IsZero() {
+		t.Fatalf("bad root span %+v", root)
+	}
+	if byName["serve-batch"].Parent != root.ID {
+		t.Fatalf("serve-batch not parented to root")
+	}
+	if byName["layer0"].Parent != byName["serve-batch"].ID {
+		t.Fatalf("layer0 not parented to serve-batch")
+	}
+	if byName["serve-queue"].Parent != root.ID {
+		t.Fatalf("retro span not parented to root")
+	}
+	if got := d.MaxSpanDur("serve-queue"); got != 5*time.Millisecond {
+		t.Fatalf("MaxSpanDur = %v", got)
+	}
+	if !d.HasSpan("layer0") || d.HasSpan("layer9") {
+		t.Fatal("HasSpan wrong")
+	}
+
+	// JSON export renders ids as hex strings.
+	js, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(js, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.TraceID != tid.String() {
+		t.Fatalf("JSON trace_id = %q", decoded.TraceID)
+	}
+}
+
+func TestTraceFanOutAcrossBatchMembers(t *testing.T) {
+	a := NewTrace(NewTraceID(), SpanID{}, PhaseServeE2E)
+	b := NewTrace(NewTraceID(), SpanID{}, PhaseServeE2E)
+	ctx := JoinTraces(context.Background(), []*Trace{a, nil, b})
+	ctx, batch := StartSpan(ctx, "serve-batch")
+	_, layer := StartSpan(ctx, "layer0")
+	layer.End()
+	batch.End()
+
+	for _, tr := range []*Trace{a, b} {
+		d := tr.Finish("", "")
+		if !d.HasSpan("serve-batch") || !d.HasSpan("layer0") {
+			t.Fatalf("trace %s missing fanned-out spans: %+v", d.TraceID, d.Spans)
+		}
+		byName := map[string]SpanRecord{}
+		for _, sp := range d.Spans {
+			byName[sp.Name] = sp
+		}
+		if byName["serve-batch"].Parent != tr.RootSpan() {
+			t.Fatalf("batch span parent not this trace's root")
+		}
+		if byName["layer0"].Parent != byName["serve-batch"].ID {
+			t.Fatalf("layer span not parented to this trace's batch span")
+		}
+	}
+	// Span ids must not collide across the two traces' trees.
+	da, db := a.Finish("", ""), b.Finish("", "")
+	ids := map[SpanID]bool{}
+	for _, sp := range da.Spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range db.Spans {
+		if ids[sp.ID] {
+			t.Fatalf("span id %s reused across traces", sp.ID)
+		}
+	}
+}
+
+func TestTraceFinishIdempotentAndErrorStatus(t *testing.T) {
+	tr := NewTrace(NewTraceID(), SpanID{}, PhaseServeE2E)
+	d1 := tr.Finish("queue_full", "admission queue at capacity")
+	d2 := tr.Finish("", "")
+	if !d1.Err() || d1.Status != "queue_full" {
+		t.Fatalf("status not recorded: %+v", d1)
+	}
+	if d2.Status != "queue_full" || d2.Duration != d1.Duration {
+		t.Fatalf("second Finish overwrote the first: %+v", d2)
+	}
+	// Spans added after Finish must not mutate the returned snapshot.
+	n := len(d1.Spans)
+	tr.AddSpan("late", time.Now(), time.Millisecond)
+	if len(d1.Spans) != n {
+		t.Fatal("snapshot aliased live span slice")
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace(NewTraceID(), SpanID{}, "root")
+	for i := 0; i < DefaultTraceSpanCap+10; i++ {
+		tr.AddSpan("s", time.Now(), time.Microsecond)
+	}
+	d := tr.Finish("", "")
+	if d.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", d.Dropped)
+	}
+	if len(d.Spans) != DefaultTraceSpanCap+1 {
+		// The cap bounds child spans; the root span is always retained so a
+		// flooded trace still reports its end-to-end duration.
+		t.Fatalf("retained %d spans", len(d.Spans))
+	}
+}
+
+// TestUnsampledStartSpanZeroAlloc pins the zero-overhead guarantee: on a
+// context with no trace attached, StartSpan and End must not allocate.
+func TestUnsampledStartSpanZeroAlloc(t *testing.T) {
+	requireNoRace(t)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpan(ctx, PhaseServeBatch)
+		if c2 != ctx {
+			t.Fatal("untraced ctx must be returned unchanged")
+		}
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled StartSpan allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestExemplarStorage(t *testing.T) {
+	s := New(0)
+	tid := NewTraceID()
+	s.ObserveTraced(PhaseServeE2E, 3*time.Millisecond, tid)
+	s.Observe(PhaseServeE2E, 3*time.Millisecond) // untraced: must not clobber
+	h := s.Histogram(PhaseServeE2E)
+	if h == nil {
+		t.Fatal("no histogram")
+	}
+	exs := h.BucketExemplars()
+	var found *Exemplar
+	for _, e := range exs {
+		if e != nil {
+			if found != nil {
+				t.Fatal("exemplar in more than one bucket")
+			}
+			found = e
+		}
+	}
+	if found == nil || found.TraceID != tid || found.Value != 3*time.Millisecond {
+		t.Fatalf("exemplar = %+v", found)
+	}
+	// EndTraced tags the span-fed histogram too.
+	sp := s.Begin(PhaseServeBatch)
+	tid2 := NewTraceID()
+	sp.EndTraced(tid2)
+	var got *Exemplar
+	for _, e := range s.Histogram(PhaseServeBatch).BucketExemplars() {
+		if e != nil {
+			got = e
+		}
+	}
+	if got == nil || got.TraceID != tid2 {
+		t.Fatalf("EndTraced exemplar = %+v", got)
+	}
+	// Reset clears exemplars alongside buckets.
+	s.Reset()
+	for _, e := range s.Histogram(PhaseServeE2E).BucketExemplars() {
+		if e != nil {
+			t.Fatal("Reset left a stale exemplar")
+		}
+	}
+}
