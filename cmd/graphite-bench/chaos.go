@@ -1,0 +1,434 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"graphite/internal/faultinject"
+	"graphite/internal/gnn"
+	"graphite/internal/graph"
+	"graphite/internal/serve"
+	"graphite/internal/telemetry"
+	"graphite/internal/tensor"
+)
+
+// Chaos soak mode: an in-process graphite-serve instance is driven with
+// closed-loop HTTP load while every serve-plane fault-injection site is
+// armed and checkpoint hot swaps run concurrently. Midway through, an
+// execution-failure storm trips the snapshot circuit breaker; the storm
+// then heals so the soak also exercises the half-open probe and recovery.
+//
+// The harness asserts the serving invariants the ISSUE contract names:
+//
+//  1. No mixed-version batches: every 200 response sharing a batch_id
+//     reports the same snapshot_version.
+//  2. No dropped responses: every request gets exactly one HTTP response
+//     well inside the client timeout (a transport error or client timeout
+//     is a violation — the server must answer even when faults fire).
+//  3. Well-formed error envelopes: every non-200 carries a known
+//     machine-readable code, and every 429/503 carries both a Retry-After
+//     header and a retry_after_ms field within sane bounds.
+//  4. Legal breaker transitions: the recorded history is chain-consistent
+//     and every edge is one of the four legal state-machine moves.
+//
+// It also asserts coverage: every armed site actually fired, and the
+// breaker actually tripped — a chaos run that injected nothing proves
+// nothing. Exit code 0 means zero violations.
+
+// chaosViolations collects invariant violations under a lock; any entry
+// fails the run.
+type chaosViolations struct {
+	mu   sync.Mutex
+	list []string
+}
+
+func (v *chaosViolations) add(format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.list) < 100 { // cap the report, not the counting
+		v.list = append(v.list, fmt.Sprintf(format, args...))
+	}
+}
+
+// chaosCodes is the closed vocabulary of envelope error codes.
+var chaosCodes = map[string]bool{
+	"queue_full": true, "overloaded": true, "breaker_open": true,
+	"deadline_exceeded": true, "client_cancelled": true, "draining": true,
+	"invalid_request": true, "internal": true,
+}
+
+// chaosStats aggregates response outcomes across workers.
+type chaosStats struct {
+	mu                             sync.Mutex
+	requests, ok                   int64
+	rejected429, unavailable503    int64
+	internal500, expired504, other int64
+	degraded                       int64
+	batchVersion                   map[uint64]uint64
+}
+
+// runChaos is the -chaos entry point. Returns the process exit code.
+func runChaos(ctx context.Context, dur time.Duration, seed int64, conc, scale int) int {
+	if conc < 1 {
+		conc = 8
+	}
+	if scale <= 0 {
+		scale = 1000
+	}
+	if scale < 200 {
+		scale = 200
+	}
+	inj := faultinject.New(seed)
+	// Background fault rates: low enough that most traffic is healthy,
+	// high enough that every site fires within even a short smoke soak.
+	inj.SetProbability(faultinject.SiteServeAdmission, 0.02)
+	inj.SetProbability(faultinject.SiteServeSeal, 0.01)
+	inj.SetProbability(faultinject.SiteServeExecute, 0.02)
+	inj.SetProbability(faultinject.SiteServeRespond, 0.01)
+	inj.FailAt(faultinject.SiteServeSwap, 2) // the second hot swap fails
+
+	g, err := graph.GenerateProfile(graph.Products, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := tensor.NewMatrix(g.NumVertices(), 12)
+	x.FillSparse(rand.New(rand.NewSource(seed)), 1, 0.3)
+	// The model is deliberately heavy for its graph (wide hidden layer,
+	// deep fanouts) so the single execution worker — not the HTTP stack —
+	// is the bottleneck and queue sojourn genuinely climbs under the burst.
+	net, err := gnn.NewNetwork(gnn.Config{Kind: gnn.GCN, Dims: []int{12, 128, 16}, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Net: net, Graph: g, X: x,
+		// Deliberately undersized: one worker and a small batch cap against
+		// the closed-loop burst, so queue sojourn genuinely exceeds the shed
+		// target and both shedding and ladder degradation engage in-soak.
+		MaxBatch: 16, MaxLinger: time.Millisecond,
+		QueueCap: 64, Workers: 1, Threads: 1,
+		Fanouts:  []int{25, 25},
+		Deadline: 2 * time.Second,
+		Seed:     seed,
+		// A tight sojourn target so overload shedding engages under the
+		// closed-loop burst; the breaker is tuned to trip fast in the storm
+		// and probe quickly after it.
+		ShedTarget: 500 * time.Microsecond, ShedInterval: 10 * time.Millisecond,
+		BreakerThreshold: 3, BreakerProbe: 100 * time.Millisecond,
+		Inject: inj,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	fmt.Printf("chaos: soaking %s for %v (seed %d, %d workers, |V|=%d)\n",
+		base, dur, seed, conc, g.NumVertices())
+
+	var ckpt bytes.Buffer
+	if _, err := srv.WriteCheckpoint(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+
+	viol := &chaosViolations{}
+	stats := &chaosStats{batchVersion: make(map[uint64]uint64)}
+	stopped := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The failure storm: 40%..60% of the soak executes with a 100% failure
+	// rate, guaranteeing consecutive failures (the breaker must trip), then
+	// heals (the half-open probe must close it again).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		storm := time.NewTimer(dur * 2 / 5)
+		defer storm.Stop()
+		select {
+		case <-storm.C:
+		case <-stopped:
+			return
+		}
+		inj.SetProbability(faultinject.SiteServeExecute, 1.0)
+		heal := time.NewTimer(dur / 5)
+		defer heal.Stop()
+		select {
+		case <-heal.C:
+		case <-stopped:
+		}
+		inj.SetProbability(faultinject.SiteServeExecute, 0.02)
+	}()
+
+	// Concurrent hot swaps, including the one armed to fail.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(dur / 10)
+		defer tick.Stop()
+		client := &http.Client{Timeout: 10 * time.Second}
+		for {
+			select {
+			case <-stopped:
+				return
+			case <-tick.C:
+			}
+			resp, err := client.Post(base+"/v1/swap", "application/octet-stream", bytes.NewReader(ckpt.Bytes()))
+			if err != nil {
+				viol.add("swap transport error: %v", err)
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				checkEnvelope(viol, resp, body, "swap")
+			}
+		}
+	}()
+
+	// Overload burst: an open-loop arrival spike over the first 30% of the
+	// soak. The closed-loop workers self-limit (one outstanding request
+	// each) and can never push queue sojourn past the target on their own;
+	// this un-gated arrival stream is what drives the shedder and the
+	// degradation ladder, exactly like a real inbound overload.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		end := time.NewTimer(dur * 3 / 10)
+		defer end.Stop()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		sem := make(chan struct{}, 512)
+		// Enough keep-alive connections for the whole burst: the default
+		// transport's 2-idle-per-host cap would turn the burst into
+		// connection churn instead of queue pressure.
+		client := &http.Client{Timeout: 10 * time.Second, Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		}}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		var bwg sync.WaitGroup
+		defer bwg.Wait()
+		for {
+			select {
+			case <-end.C:
+				return
+			case <-stopped:
+				return
+			case <-tick.C:
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				continue // outstanding cap reached; skip this tick
+			}
+			ids := make([]int32, 8)
+			for i := range ids {
+				ids[i] = int32(rng.Intn(g.NumVertices()))
+			}
+			bwg.Add(1)
+			go func(ids []int32) {
+				defer bwg.Done()
+				defer func() { <-sem }()
+				postInfer(client, base, ids, -1, stats, viol)
+			}(ids)
+		}
+	}()
+
+	rngSeed := seed
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		rngSeed++
+		go func(w int, rngSeed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(rngSeed))
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				ids := make([]int32, 8)
+				for i := range ids {
+					ids[i] = int32(rng.Intn(g.NumVertices()))
+				}
+				postInfer(client, base, ids, w, stats, viol)
+			}
+		}(w, rngSeed)
+	}
+
+	select {
+	case <-time.After(dur):
+	case <-ctx.Done():
+	}
+	close(stopped)
+	wg.Wait()
+
+	// Invariant 4: the breaker history is chain-consistent and legal.
+	trs := srv.BreakerTransitions()
+	for i, tr := range trs {
+		if !serve.LegalBreakerTransition(tr) {
+			viol.add("illegal breaker transition %d: %v→%v", i, tr.From, tr.To)
+		}
+		if i > 0 && trs[i-1].To != tr.From {
+			viol.add("breaker history not chain-consistent at %d: %v then %v→%v", i, trs[i-1].To, tr.From, tr.To)
+		}
+	}
+	tel := srv.Tel()
+	if tel.Counter(telemetry.CtrServeBreakerTrips) == 0 {
+		viol.add("breaker never tripped despite the execution-failure storm")
+	}
+	if tel.Counter(telemetry.CtrServeShed) == 0 {
+		viol.add("shedder never fired despite the open-loop overload burst")
+	}
+	if tel.Counter(telemetry.CtrServeDegraded) == 0 {
+		viol.add("no batch executed degraded despite the open-loop overload burst")
+	}
+	// Coverage: a chaos run that injected nothing proves nothing.
+	for _, site := range faultinject.ServeSites() {
+		if inj.Fired(site) == 0 {
+			viol.add("site %s never fired (reached %d times)", site, inj.Calls(site))
+		}
+	}
+
+	fmt.Printf("chaos: requests=%d ok=%d 429=%d 503=%d 500=%d 504=%d degraded=%d distinct_batches=%d\n",
+		stats.requests, stats.ok, stats.rejected429, stats.unavailable503,
+		stats.internal500, stats.expired504, stats.degraded, len(stats.batchVersion))
+	for _, site := range faultinject.ServeSites() {
+		fmt.Printf("chaos: site %-22s calls=%-6d fired=%d\n", site, inj.Calls(site), inj.Fired(site))
+	}
+	fmt.Printf("chaos: breaker transitions=%d state=%v trips=%d shed=%d batch_retries=%d\n",
+		len(trs), srv.BreakerState(), tel.Counter(telemetry.CtrServeBreakerTrips),
+		tel.Counter(telemetry.CtrServeShed), tel.Counter(telemetry.CtrServeRetries))
+
+	// Surface the overload/breaker counter families from the live /metrics
+	// exposition (the CI smoke greps these lines out of the log).
+	if resp, err := http.Get(base + "/metrics"); err == nil {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "graphite_serve_") &&
+				(strings.Contains(line, "shed") || strings.Contains(line, "breaker") ||
+					strings.Contains(line, "degrade") || strings.Contains(line, "retries")) {
+				fmt.Printf("chaos: metrics %s\n", line)
+			}
+		}
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		viol.add("shutdown after soak: %v", err)
+	}
+
+	if len(viol.list) > 0 {
+		fmt.Printf("chaos: %d invariant violations:\n", len(viol.list))
+		for _, v := range viol.list {
+			fmt.Printf("chaos:   VIOLATION %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("chaos: invariants ok")
+	return 0
+}
+
+// postInfer issues one inference request and applies the per-response
+// invariant checks: exactly one well-formed answer, consistent batch
+// versioning on success, a legal envelope on rejection. w >= 0 identifies
+// a closed-loop worker; -1 marks a burst request.
+func postInfer(client *http.Client, base string, ids []int32, w int, stats *chaosStats, viol *chaosViolations) {
+	body, _ := json.Marshal(map[string]any{"vertices": ids})
+	stats.mu.Lock()
+	stats.requests++
+	stats.mu.Unlock()
+	resp, err := client.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		// Invariant 2: the server must answer every request.
+		viol.add("dropped response (worker %d): %v", w, err)
+		return
+	}
+	rbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var ir struct {
+			SnapshotVersion uint64 `json:"snapshot_version"`
+			BatchID         uint64 `json:"batch_id"`
+			DegradeLevel    int    `json:"degrade_level"`
+		}
+		if err := json.Unmarshal(rbody, &ir); err != nil {
+			viol.add("malformed 200 body: %v", err)
+			return
+		}
+		stats.mu.Lock()
+		stats.ok++
+		if ir.DegradeLevel > 0 {
+			stats.degraded++
+		}
+		// Invariant 1: one batch, one snapshot version.
+		if v, seen := stats.batchVersion[ir.BatchID]; seen && v != ir.SnapshotVersion {
+			viol.add("mixed-version batch %d: versions %d and %d", ir.BatchID, v, ir.SnapshotVersion)
+		}
+		stats.batchVersion[ir.BatchID] = ir.SnapshotVersion
+		stats.mu.Unlock()
+		return
+	}
+	code := checkEnvelope(viol, resp, rbody, "infer")
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		stats.rejected429++
+	case http.StatusServiceUnavailable:
+		stats.unavailable503++
+	case http.StatusGatewayTimeout:
+		stats.expired504++
+	case http.StatusInternalServerError:
+		stats.internal500++
+	default:
+		stats.other++
+		viol.add("unexpected status %d (code %q)", resp.StatusCode, code)
+	}
+}
+
+// checkEnvelope validates invariant 3 on a non-200 response and returns
+// the envelope code.
+func checkEnvelope(viol *chaosViolations, resp *http.Response, body []byte, op string) string {
+	var ae struct {
+		Error struct {
+			Code         string  `json:"code"`
+			Message      string  `json:"message"`
+			RetryAfterMS float64 `json:"retry_after_ms"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &ae); err != nil {
+		viol.add("%s %d: unparseable error envelope %q", op, resp.StatusCode, body)
+		return ""
+	}
+	if !chaosCodes[ae.Error.Code] {
+		viol.add("%s %d: unknown envelope code %q", op, resp.StatusCode, ae.Error.Code)
+	}
+	if ae.Error.Message == "" {
+		viol.add("%s %d: empty envelope message", op, resp.StatusCode)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if ae.Error.RetryAfterMS <= 0 || ae.Error.RetryAfterMS > 10_000 {
+			viol.add("%s %d: retry_after_ms %g out of (0, 10000]", op, resp.StatusCode, ae.Error.RetryAfterMS)
+		}
+		ra := resp.Header.Get("Retry-After")
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			viol.add("%s %d: bad Retry-After header %q", op, resp.StatusCode, ra)
+		}
+	}
+	return ae.Error.Code
+}

@@ -66,6 +66,10 @@ func main() {
 		serveConc = flag.String("serve-concurrency", "1,2,4", "with -serve-load: comma-separated closed-loop concurrency levels")
 		serveDur  = flag.Duration("serve-duration", 2*time.Second, "with -serve-load: wall time per concurrency level")
 		serveVert = flag.Int("serve-vertices", 1, "with -serve-load: vertices per inference request")
+		chaos     = flag.Bool("chaos", false, "chaos soak mode: run an in-process serve instance under closed-loop load with every serve-plane fault site armed, and assert the overload/degradation invariants")
+		chaosDur  = flag.Duration("chaos-duration", 5*time.Second, "with -chaos: soak wall time")
+		chaosSeed = flag.Int64("chaos-seed", 1, "with -chaos: fault-injection and workload seed")
+		chaosConc = flag.Int("chaos-concurrency", 8, "with -chaos: closed-loop client workers")
 	)
 	flag.Parse()
 
@@ -82,6 +86,12 @@ func main() {
 			fmt.Printf("%-12s %s\n", id, title)
 		}
 		return
+	}
+
+	// Chaos soak mode: in-process serve instance, armed fault sites,
+	// invariant assertions. Exit code 1 on any violation.
+	if *chaos {
+		os.Exit(runChaos(ctx, *chaosDur, *chaosSeed, *chaosConc, *scale))
 	}
 
 	// Closed-loop load-generator mode: drives a running server, emits the

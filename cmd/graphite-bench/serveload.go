@@ -155,7 +155,14 @@ type workerStats struct {
 }
 
 func runLevel(ctx context.Context, base string, c int, dur time.Duration, verts, numVerts int, sink *telemetry.Sink) levelResult {
-	client := &http.Client{}
+	// The default transport keeps only 2 idle connections per host, so at
+	// higher concurrency nearly every request would re-dial — measuring
+	// connection churn instead of the server. One warm connection per
+	// worker keeps the harness closed-loop over stable keep-alives.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        c,
+		MaxIdleConnsPerHost: c,
+	}}
 	var wg sync.WaitGroup
 	stop := time.After(dur)
 	stopped := make(chan struct{})

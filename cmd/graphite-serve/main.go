@@ -13,6 +13,12 @@
 // slowest requests for GET /v1/traces; tune with -trace-sample and
 // -trace-slowest.
 //
+// Under overload the server sheds load adaptively (-shed-target,
+// -shed-interval), serves degraded at reduced sampling fanouts
+// (-degrade-ladder), and trips a circuit breaker around snapshot
+// execution (-breaker-threshold, -breaker-probe, -retry-budget); every
+// 429/503 carries a Retry-After header and a retry_after_ms field.
+//
 // Examples:
 //
 //	graphite-serve -listen :8080 -model gcn -profile products -vertices 20000
@@ -63,6 +69,12 @@ func main() {
 		sloFlag   = flag.String("slo", "", "comma-separated latency SLOs, each phase:quantile:threshold (e.g. serve-e2e:0.99:100ms)")
 		traceRate = flag.Float64("trace-sample", serve.DefaultTraceSample, "request-trace head-sampling probability (negative disables; sampled traceparent headers always trace)")
 		traceKeep = flag.Int("trace-slowest", 0, "slowest-traces pool size of the flight recorder (0 = default)")
+		shedTgt   = flag.Duration("shed-target", 0, "queue-sojourn target of the adaptive load shedder (0 = default, negative disables shedding and degradation)")
+		shedIvl   = flag.Duration("shed-interval", 0, "sojourn must stay above target this long before shedding starts (0 = default)")
+		ladder    = flag.String("degrade-ladder", "", "comma-separated fanout fractions per degradation level, first must be 1.0 (empty = default 1.0,0.5,0.25)")
+		brkThresh = flag.Int("breaker-threshold", 0, "consecutive batch failures that open the snapshot circuit breaker (0 = default, negative disables)")
+		brkProbe  = flag.Duration("breaker-probe", 0, "wait before an open breaker admits a half-open probe (0 = default)")
+		retryBdgt = flag.Float64("retry-budget", 0, "retry tokens earned per successful batch, capped (0 = default, negative disables retries)")
 	)
 	flag.Parse()
 
@@ -86,6 +98,10 @@ func main() {
 		if slos, err = obsrv.ParseSLOs(*sloFlag); err != nil {
 			log.Fatal(err)
 		}
+	}
+	degradeLadder, err := parseLadder(*ladder)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	g, err := graph.GenerateProfile(prof, *vertices)
@@ -126,6 +142,8 @@ func main() {
 		Deadline: *deadline, Seed: *seed, SLOs: slos,
 		TraceSample:   *traceRate,
 		TraceRecorder: obsrv.FlightRecorderConfig{TopK: *traceKeep},
+		ShedTarget:    *shedTgt, ShedInterval: *shedIvl, DegradeLadder: degradeLadder,
+		BreakerThreshold: *brkThresh, BreakerProbe: *brkProbe, RetryBudget: *retryBdgt,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -172,6 +190,22 @@ func parseProfile(s string) (graph.Profile, error) {
 		return graph.Profile(s), nil
 	}
 	return "", fmt.Errorf("unknown profile %q", s)
+}
+
+func parseLadder(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -degrade-ladder entry %q: %v", p, err)
+		}
+		out[i] = f
+	}
+	return out, nil
 }
 
 func parseFanouts(s string, layers int) ([]int, error) {

@@ -25,6 +25,34 @@ import (
 // it with errors.Is to distinguish injected faults from organic failures.
 var ErrInjected = errors.New("injected fault")
 
+// Serve-plane injection sites. The inference server consults these on its
+// hot path (one nil check each when no injector is armed); the chaos
+// harness (graphite-bench -chaos) arms them all and asserts the serving
+// invariants hold while they fire.
+const (
+	// SiteServeAdmission fires between request validation and enqueue.
+	SiteServeAdmission = "serve/admission"
+	// SiteServeSeal fires when the batcher seals a mini-batch; a fault
+	// fails every member of the sealing batch.
+	SiteServeSeal = "serve/seal"
+	// SiteServeExecute fires before a sealed batch reaches the kernels,
+	// modelling a failing/panicking model version (feeds the circuit
+	// breaker and the retry budget).
+	SiteServeExecute = "serve/batch-execute"
+	// SiteServeSwap fires inside checkpoint hot swap after validation.
+	SiteServeSwap = "serve/swap"
+	// SiteServeRespond fires per member while a finished batch's results
+	// are distributed; the member receives an error instead of logits
+	// (but always receives exactly one response).
+	SiteServeRespond = "serve/response-write"
+)
+
+// ServeSites lists every serve-plane site, in pipeline order — the chaos
+// harness arms and audits all of them.
+func ServeSites() []string {
+	return []string{SiteServeAdmission, SiteServeSeal, SiteServeExecute, SiteServeSwap, SiteServeRespond}
+}
+
 // Error reports one injected fault: which site fired and at which call
 // ordinal (1-based).
 type Error struct {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -81,6 +82,90 @@ func TestSitesAreIndependent(t *testing.T) {
 	}
 	if err := in.Fault("a"); err == nil {
 		t.Fatal("armed site did not fire")
+	}
+}
+
+// TestOrdinalModeUnderConcurrency proves ordinal (FailAt) injection stays
+// deterministic with concurrent callers: call ordinals are assigned under
+// the injector's mutex, so across any interleaving exactly one caller
+// observes the fault, it reports the armed ordinal, and the per-site
+// accounting is exact. Run under -race in CI.
+func TestOrdinalModeUnderConcurrency(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 50
+		armedAt    = 333 // somewhere in the middle of the 800 total calls
+	)
+	in := New(11)
+	in.FailAt(SiteServeExecute, armedAt)
+	// A second armed site proves site selection is independent under
+	// concurrency: only the named site's ordinal counter can trip it.
+	in.FailAt(SiteServeSeal, 1)
+
+	var wg sync.WaitGroup
+	fired := make([]*Error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := in.Fault(SiteServeExecute); err != nil {
+					var fe *Error
+					if !errors.As(err, &fe) {
+						t.Errorf("err = %T, want *Error", err)
+						return
+					}
+					if fired[g] != nil {
+						t.Errorf("goroutine %d saw two faults", g)
+						return
+					}
+					fired[g] = fe
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var hits []*Error
+	for _, fe := range fired {
+		if fe != nil {
+			hits = append(hits, fe)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("%d goroutines observed the ordinal fault, want exactly 1", len(hits))
+	}
+	if hits[0].Site != SiteServeExecute || hits[0].Call != armedAt {
+		t.Fatalf("fault = %+v, want site %s call %d", hits[0], SiteServeExecute, armedAt)
+	}
+	if got := in.Calls(SiteServeExecute); got != goroutines*perG {
+		t.Fatalf("calls = %d, want %d", got, goroutines*perG)
+	}
+	if got := in.Fired(SiteServeExecute); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+	if got := in.Fired(SiteServeSeal); got != 0 {
+		t.Fatalf("unreached site fired %d times", got)
+	}
+}
+
+// TestServeSitesCoverPipeline pins the chaos-harness site list: every
+// serve-plane stage has exactly one site and the list is stable.
+func TestServeSitesCoverPipeline(t *testing.T) {
+	sites := ServeSites()
+	want := []string{SiteServeAdmission, SiteServeSeal, SiteServeExecute, SiteServeSwap, SiteServeRespond}
+	if len(sites) != len(want) {
+		t.Fatalf("ServeSites() = %v", sites)
+	}
+	seen := map[string]bool{}
+	for i, s := range sites {
+		if s != want[i] {
+			t.Fatalf("site %d = %q, want %q", i, s, want[i])
+		}
+		if seen[s] {
+			t.Fatalf("duplicate site %q", s)
+		}
+		seen[s] = true
 	}
 }
 

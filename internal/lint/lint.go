@@ -54,6 +54,7 @@ func Checkers(module string) []Checker {
 		&GoroutineCapture{Module: module},
 		&GoroutineRecover{Module: module},
 		&HTTPListener{Module: module},
+		&NakedSleep{Module: module},
 	}
 	sort.Slice(cs, func(i, j int) bool { return cs[i].Name() < cs[j].Name() })
 	return cs

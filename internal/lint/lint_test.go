@@ -54,6 +54,7 @@ var goldenCases = []struct {
 	{"gorecover", "graphite/internal/goldenbadgorecover", "goroutine-recover"},
 	{"httplistener", "graphite/internal/goldenbadhttp", "http-listener"},
 	{"httplistener_cmd", "graphite/cmd/graphite-serve/goldenbad", "http-listener"},
+	{"nakedsleep", "graphite/internal/serve/goldenbad", "naked-sleep"},
 }
 
 // TestGolden runs each checker over its known-bad package and requires the

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NakedSleep bans time.Sleep in the serve plane. A sleeping goroutine in
+// internal/serve ignores request deadlines, shutdown, and the chaos
+// harness's fault clocks: a drain can stall behind it and a cancelled
+// request keeps burning a worker. Every wait in the serve plane must be
+// ctx-aware — a select over ctx.Done() with a timer channel, or a
+// time.Timer the surrounding select can abandon. Test files are exempt
+// (the loader already skips them); deliberate exceptions carry a
+// //lint:ignore naked-sleep directive with a reason.
+type NakedSleep struct {
+	// Module is the module path; internal/serve and its subpackages are
+	// covered.
+	Module string
+}
+
+// Name implements Checker.
+func (*NakedSleep) Name() string { return "naked-sleep" }
+
+// Doc implements Checker.
+func (*NakedSleep) Doc() string {
+	return "time.Sleep is banned in internal/serve; waits must be ctx-aware (select over ctx.Done() and a timer)"
+}
+
+// Applies implements Checker.
+func (c *NakedSleep) Applies(importPath string) bool {
+	serve := c.Module + "/internal/serve"
+	return importPath == serve || strings.HasPrefix(importPath, serve+"/")
+}
+
+// Check implements Checker.
+func (c *NakedSleep) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgSelector(pkg.Info, sel); ok && path == "time" && name == "Sleep" {
+				out = append(out, pkg.finding(c.Name(), sel,
+					"time.Sleep in the serve plane ignores deadlines and shutdown; select over ctx.Done() and a timer instead"))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Package goldenbadsleep exercises the naked-sleep checker: every
+// time.Sleep in the serve plane must be flagged; ctx-aware waits and other
+// uses of package time must not be.
+package goldenbadsleep
+
+import (
+	"context"
+	"time"
+)
+
+func retryLoop() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(100 * time.Millisecond) // want naked-sleep
+	}
+}
+
+func backoff(d time.Duration) {
+	time.Sleep(d) // want naked-sleep
+}
+
+// sleepValue shows the checker catches the function value too, not just
+// direct calls: handing time.Sleep to a helper is the same wait.
+func sleepValue() func(time.Duration) {
+	return time.Sleep // want naked-sleep
+}
+
+func suppressed() {
+	//lint:ignore naked-sleep exercising the suppression path
+	time.Sleep(time.Millisecond)
+}
+
+// ctxAwareWaitIsFine is the required shape: the wait loses the race against
+// cancellation, so drains and deadlines cut it short.
+func ctxAwareWaitIsFine(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// otherTimeUseIsFine shows the checker leaves the rest of package time
+// alone: timers, tickers, measurements and arithmetic are not sleeps.
+func otherTimeUseIsFine() time.Duration {
+	start := time.Now()
+	tick := time.NewTicker(time.Second)
+	tick.Stop()
+	<-time.After(0)
+	return time.Since(start)
+}

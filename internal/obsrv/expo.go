@@ -127,6 +127,10 @@ var counterHelp = map[string]string{
 	"graphite_serve_batches_total":        "mini-batches dispatched by the dynamic batcher",
 	"graphite_serve_vertices_total":       "vertices inferred through dispatched mini-batches",
 	"graphite_serve_snapshot_swaps_total": "checkpoint hot swaps applied to the serving snapshot",
+	"graphite_serve_shed_total":           "requests shed by the adaptive overload controller",
+	"graphite_serve_degraded_total":       "mini-batches executed at a reduced fanout ladder level",
+	"graphite_serve_breaker_trips_total":  "snapshot circuit breaker trips (closed/half-open to open)",
+	"graphite_serve_batch_retries_total":  "batch executions retried under the retry budget",
 }
 
 // quantileGauges are the fixed percentile gauges derived from each phase

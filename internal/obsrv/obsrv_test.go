@@ -543,9 +543,18 @@ graphite_sched_chunks_total 0
 # HELP graphite_sched_rows_total rows handed out by the scheduler
 # TYPE graphite_sched_rows_total counter
 graphite_sched_rows_total 0
+# HELP graphite_serve_batch_retries_total batch executions retried under the retry budget
+# TYPE graphite_serve_batch_retries_total counter
+graphite_serve_batch_retries_total 0
 # HELP graphite_serve_batches_total mini-batches dispatched by the dynamic batcher
 # TYPE graphite_serve_batches_total counter
 graphite_serve_batches_total 0
+# HELP graphite_serve_breaker_trips_total snapshot circuit breaker trips (closed/half-open to open)
+# TYPE graphite_serve_breaker_trips_total counter
+graphite_serve_breaker_trips_total 0
+# HELP graphite_serve_degraded_total mini-batches executed at a reduced fanout ladder level
+# TYPE graphite_serve_degraded_total counter
+graphite_serve_degraded_total 0
 # HELP graphite_serve_expired_total requests whose deadline passed before dispatch
 # TYPE graphite_serve_expired_total counter
 graphite_serve_expired_total 0
@@ -558,6 +567,9 @@ graphite_serve_rejected_total 0
 # HELP graphite_serve_requests_total inference requests admitted to the serving queue
 # TYPE graphite_serve_requests_total counter
 graphite_serve_requests_total 0
+# HELP graphite_serve_shed_total requests shed by the adaptive overload controller
+# TYPE graphite_serve_shed_total counter
+graphite_serve_shed_total 0
 # HELP graphite_serve_snapshot_swaps_total checkpoint hot swaps applied to the serving snapshot
 # TYPE graphite_serve_snapshot_swaps_total counter
 graphite_serve_snapshot_swaps_total 0

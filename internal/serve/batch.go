@@ -2,10 +2,13 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
+	"graphite/internal/faultinject"
 	"graphite/internal/gnn"
 	"graphite/internal/telemetry"
 	"graphite/internal/tensor"
@@ -18,6 +21,11 @@ type batch struct {
 	reqs   []*request
 	ids    []int32
 	sealed time.Time // when the batcher closed this batch
+	// Degradation is decided at seal time, so every member of the batch
+	// executes at the same level and reports it consistently.
+	level   int     // degradation ladder level
+	frac    float64 // fanout fraction at that level
+	fanouts []int   // cfg.Fanouts scaled by frac
 }
 
 // batcher coalesces queued requests into mini-batches. A batch seals when
@@ -48,6 +56,9 @@ func (s *Server) batcher() {
 				r.resp <- response{err: r.ctx.Err()}
 				continue
 			}
+			// Seal is the controller's dequeue point: every sealed member's
+			// queue sojourn feeds the CoDel law.
+			s.shed.observe(now.Sub(r.enq), now)
 			s.tel.ObserveTraced(telemetry.PhaseServeQueue, now.Sub(r.enq), r.tr.ID())
 			r.tr.AddSpan(telemetry.PhaseServeQueue, r.enq, now.Sub(r.enq))
 			b.reqs = append(b.reqs, r)
@@ -55,6 +66,18 @@ func (s *Server) batcher() {
 		}
 		pending, pendingVerts = nil, 0
 		if len(b.reqs) == 0 {
+			return
+		}
+		// The degradation level is stamped at seal so the whole batch
+		// executes at one fanout fraction.
+		b.level = s.shed.degradeLevel()
+		b.frac = s.ladder[b.level]
+		b.fanouts = scaleFanouts(s.cfg.Fanouts, b.frac)
+		if err := s.cfg.Inject.Fault(faultinject.SiteServeSeal); err != nil {
+			serr := fmt.Errorf("serve: batch %d seal: %w", b.id, err)
+			for _, r := range b.reqs {
+				r.resp <- response{err: serr}
+			}
 			return
 		}
 		s.batches <- b
@@ -71,7 +94,16 @@ func (s *Server) batcher() {
 			flush()
 		}
 		if pendingVerts == 0 {
-			linger.Reset(s.cfg.MaxLinger)
+			// Credit the time the request already spent in the channel: the
+			// linger contract bounds time-to-seal from *arrival*, and a
+			// request that waited behind a blocked batcher (e.g. a full
+			// batches channel) must not restart a full window — without the
+			// credit such a request can wait just under 2×MaxLinger.
+			d := s.cfg.MaxLinger - time.Since(r.enq)
+			if d < 0 {
+				d = 0
+			}
+			linger.Reset(d)
 		}
 		pending = append(pending, r)
 		pendingVerts += len(r.ids)
@@ -168,32 +200,88 @@ func (s *Server) runBatch(b *batch) {
 		ctx = telemetry.JoinTraces(ctx, trs)
 	}
 
-	rng := rand.New(rand.NewSource(s.cfg.Seed + int64(b.id)))
+	// Batches sealed before a breaker trip still reach here; re-check at
+	// execution time so a freshly opened breaker fails them fast instead of
+	// running them against the failing snapshot.
+	if s.brk != nil && !s.brk.allow(time.Now()) {
+		for _, r := range b.reqs {
+			r.resp <- response{err: ErrBreakerOpen}
+			responded++
+		}
+		return
+	}
+
+	if b.level > 0 {
+		s.tel.Inc(telemetry.CtrServeDegraded)
+		for _, r := range b.reqs {
+			r.tr.SetAttr("degrade_level", strconv.Itoa(b.level))
+		}
+	}
+
 	bctx, tsp := telemetry.StartSpan(ctx, telemetry.PhaseServeBatch)
 	sp := s.tel.Begin(telemetry.PhaseServeBatch)
-	out, err := gnn.InferVerticesContext(bctx, snap.Net, s.cfg.Graph, s.cfg.X, b.ids, s.cfg.Fanouts, rng,
-		gnn.RunOptions{Threads: s.cfg.Threads, Tel: s.tel})
+	// execute is one attempt against the pinned snapshot; the rng is rebuilt
+	// per attempt so a budgeted retry samples the exact same neighbourhoods.
+	execute := func() (*tensor.Matrix, error) {
+		if ferr := s.cfg.Inject.Fault(faultinject.SiteServeExecute); ferr != nil {
+			return nil, fmt.Errorf("serve: batch %d execute: %w", b.id, ferr)
+		}
+		rng := rand.New(rand.NewSource(s.cfg.Seed + int64(b.id)))
+		return gnn.InferVerticesContext(bctx, snap.Net, s.cfg.Graph, s.cfg.X, b.ids, b.fanouts, rng,
+			gnn.RunOptions{Threads: s.cfg.Threads, Tel: s.tel})
+	}
+	out, err := execute()
+	if err != nil && !isCtxErr(err) && s.retry.spend() {
+		// One budgeted retry against the same snapshot (never a newer one:
+		// the retry must not break the no-mixed-versions invariant).
+		s.tel.Inc(telemetry.CtrServeRetries)
+		out, err = execute()
+	}
 	tsp.End()
 	sp.EndTraced(telemetry.ContextTraceID(ctx))
 
 	if err != nil {
+		// Deadline/cancellation failures are load problems, not snapshot
+		// problems — only organic execution failures feed the breaker.
+		if !isCtxErr(err) {
+			s.brk.onFailure(time.Now())
+		}
 		for _, r := range b.reqs {
 			r.resp <- response{err: err}
 			responded++
 		}
 		return
 	}
+	s.brk.onSuccess(time.Now())
+	s.retry.earn()
 	s.tel.Inc(telemetry.CtrServeBatches)
 	s.tel.Add(telemetry.CtrServeVertices, int64(len(b.ids)))
 
 	off := 0
 	for _, r := range b.reqs {
+		start := off
+		off += len(r.ids)
+		if ferr := s.cfg.Inject.Fault(faultinject.SiteServeRespond); ferr != nil {
+			// The member still gets exactly one response — an error envelope
+			// instead of logits; distribution faults never drop a waiter.
+			r.resp <- response{err: fmt.Errorf("serve: batch %d respond: %w", b.id, ferr)}
+			responded++
+			continue
+		}
 		rows := tensor.NewMatrix(len(r.ids), out.Cols)
 		for i := range r.ids {
-			copy(rows.Row(i), out.Row(off+i))
+			copy(rows.Row(i), out.Row(start+i))
 		}
-		off += len(r.ids)
-		r.resp <- response{res: Result{Logits: rows, Version: snap.Version, BatchID: b.id}}
+		r.resp <- response{res: Result{
+			Logits: rows, Version: snap.Version, BatchID: b.id,
+			DegradeLevel: b.level, FanoutFrac: b.frac,
+		}}
 		responded++
 	}
+}
+
+// isCtxErr reports whether an execution error is a context expiry rather
+// than an organic failure of the snapshot.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }

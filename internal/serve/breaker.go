@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults applied by NewServer when the corresponding Config
+// field is zero.
+const (
+	// DefaultBreakerThreshold is the consecutive-failure count that trips
+	// the breaker open.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerProbe is the open-state dwell before a half-open
+	// probe batch is admitted.
+	DefaultBreakerProbe = 500 * time.Millisecond
+	// DefaultRetryBudget is the retry-token earn rate: each successful
+	// batch earns this fraction of a retry token (capped at 10 tokens),
+	// so at a 10% budget a sustained failure storm can retry at most one
+	// batch per ten successes — retries can smooth transient faults but
+	// never amplify an outage.
+	DefaultRetryBudget = 0.1
+)
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: executions flow normally; consecutive failures are
+	// counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: executions fail fast with ErrBreakerOpen; after the
+	// probe cadence the next admission transitions to half-open.
+	BreakerOpen
+	// BreakerHalfOpen: a probe execution is in flight; its outcome decides
+	// closed (success) or open again (failure).
+	BreakerHalfOpen
+)
+
+// String renders the state for envelopes, events and the chaos report.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// BreakerTransition is one recorded state change, kept in a bounded
+// history so the chaos harness can assert every transition is legal:
+// closed→open, open→half-open, half-open→closed, half-open→open.
+type BreakerTransition struct {
+	From BreakerState `json:"from"`
+	To   BreakerState `json:"to"`
+	At   time.Time    `json:"at"`
+}
+
+// breakerHistoryCap bounds the retained transition history; older entries
+// are dropped from the front (the chaos soak checks legality pairwise, so
+// a bounded window loses nothing as long as it is contiguous).
+const breakerHistoryCap = 1024
+
+// breaker is a circuit breaker around snapshot batch execution. A failing
+// or panicking model version produces consecutive execution failures;
+// after threshold of them the breaker trips open and batches fail fast
+// with ErrBreakerOpen (503 + Retry-After) instead of burning kernel time
+// on a poisoned snapshot. After probeAfter in the open state the next
+// execution is admitted as a half-open probe; success closes the breaker,
+// failure re-opens it and the probe clock restarts.
+type breaker struct {
+	threshold  int
+	probeAfter time.Duration
+	onTrip     func() // telemetry hook, called outside the lock
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	history  []BreakerTransition
+}
+
+func newBreaker(threshold int, probeAfter time.Duration, onTrip func()) *breaker {
+	return &breaker{threshold: threshold, probeAfter: probeAfter, onTrip: onTrip}
+}
+
+// transition must be called with mu held.
+func (b *breaker) transition(to BreakerState, now time.Time) {
+	if len(b.history) >= breakerHistoryCap {
+		b.history = b.history[1:]
+	}
+	b.history = append(b.history, BreakerTransition{From: b.state, To: to, At: now})
+	b.state = to
+}
+
+// allow reports whether an execution arriving at now may proceed. In the
+// open state it returns false until the probe cadence elapses, at which
+// point it transitions to half-open and admits the probe.
+func (b *breaker) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.probeAfter {
+			b.transition(BreakerHalfOpen, now)
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// onSuccess records a successful execution: closes a half-open breaker,
+// clears the consecutive-failure count.
+func (b *breaker) onSuccess(now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.transition(BreakerClosed, now)
+	}
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// onFailure records a failed execution; returns true when this failure
+// tripped (or re-tripped) the breaker open.
+func (b *breaker) onFailure(now time.Time) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	tripped := false
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open, probe clock restarts.
+		b.transition(BreakerOpen, now)
+		b.openedAt = now
+		b.failures = 0
+		tripped = true
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.transition(BreakerOpen, now)
+			b.openedAt = now
+			b.failures = 0
+			tripped = true
+		}
+	}
+	b.mu.Unlock()
+	if tripped && b.onTrip != nil {
+		b.onTrip()
+	}
+	return tripped
+}
+
+// State returns the current state.
+func (b *breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// retryIn is the Retry-After hint while open: time until the next probe
+// is due (minimum 1ms so the hint is never zero or negative).
+func (b *breaker) retryIn(now time.Time) time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.probeAfter - now.Sub(b.openedAt)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Transitions returns a copy of the recorded state-change history.
+func (b *breaker) Transitions() []BreakerTransition {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]BreakerTransition(nil), b.history...)
+}
+
+// LegalBreakerTransition reports whether a single recorded transition is
+// one of the four legal edges of the state machine. The chaos harness
+// additionally checks the history is chain-consistent (each From equals
+// the previous To).
+func LegalBreakerTransition(tr BreakerTransition) bool {
+	switch {
+	case tr.From == BreakerClosed && tr.To == BreakerOpen:
+		return true
+	case tr.From == BreakerOpen && tr.To == BreakerHalfOpen:
+		return true
+	case tr.From == BreakerHalfOpen && tr.To == BreakerClosed:
+		return true
+	case tr.From == BreakerHalfOpen && tr.To == BreakerOpen:
+		return true
+	}
+	return false
+}
+
+// retryBudget is a token bucket bounding batch-execution retries: each
+// successful batch earns `ratio` tokens (capped), each retry spends one.
+// Under a sustained failure storm the bucket drains and retries stop —
+// the budget converts retries from an amplifier into a smoother.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+func newRetryBudget(ratio float64) *retryBudget {
+	// Start with one token so an early transient fault (before any
+	// successes have earned budget) can still be smoothed.
+	return &retryBudget{tokens: 1, max: 10, ratio: ratio}
+}
+
+// earn credits the budget for one successful batch.
+func (rb *retryBudget) earn() {
+	if rb == nil {
+		return
+	}
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.max {
+		rb.tokens = rb.max
+	}
+	rb.mu.Unlock()
+}
+
+// spend takes one token if available; false means the retry is denied.
+func (rb *retryBudget) spend() bool {
+	if rb == nil {
+		return false
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}

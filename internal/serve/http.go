@@ -18,11 +18,14 @@ const maxSwapBody = 1 << 30
 // apiError is the structured JSON error body: {"error":{"code":...}}.
 // TraceID is present when the failed request was traced, so a 429/504 can
 // be looked up on /v1/traces (and correlated with the rejection events).
+// RetryAfterMS accompanies every 429/503 rejection (mirrored by the
+// Retry-After header): how long an obedient client should back off.
 type apiError struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
-		TraceID string `json:"trace_id,omitempty"`
+		Code         string  `json:"code"`
+		Message      string  `json:"message"`
+		TraceID      string  `json:"trace_id,omitempty"`
+		RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
 	} `json:"error"`
 }
 
@@ -34,12 +37,16 @@ type inferRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// inferResponse is the /v1/infer reply.
+// inferResponse is the /v1/infer reply. DegradeLevel and FanoutFrac report
+// whether the answer was computed in degraded mode (reduced sampling
+// fanouts under overload): level 0 / fraction 1 is full fidelity.
 type inferResponse struct {
 	Vertices        []int32     `json:"vertices"`
 	Logits          [][]float32 `json:"logits"`
 	SnapshotVersion uint64      `json:"snapshot_version"`
 	BatchID         uint64      `json:"batch_id"`
+	DegradeLevel    int         `json:"degrade_level"`
+	FanoutFrac      float64     `json:"fanout_frac"`
 	LatencyMS       float64     `json:"latency_ms"`
 	TraceID         string      `json:"trace_id,omitempty"`
 }
@@ -58,20 +65,23 @@ func (s *Server) handler() http.Handler {
 }
 
 // writeError maps a pipeline error to (status, code) and emits the
-// structured JSON body. 429 = back off; 504 = deadline spent; 503 =
-// draining; 400 = caller bug. tid, when non-zero, is the failed request's
-// trace id, stamped into the envelope.
-func writeError(w http.ResponseWriter, err error, tid telemetry.TraceID) {
+// structured JSON body. 429 = back off (queue full or shedding); 504 =
+// deadline spent; 503 = draining or breaker open; 400 = caller bug. Every
+// 429/503 carries a Retry-After header and a retry_after_ms envelope field
+// so obedient clients back off for as long as the controller expects the
+// condition to last. tid, when non-zero, is the failed request's trace id,
+// stamped into the envelope.
+func (s *Server) writeError(w http.ResponseWriter, err error, tid telemetry.TraceID) {
 	code := statusOf(err)
 	status := http.StatusInternalServerError
 	switch code {
-	case "queue_full":
+	case "queue_full", "overloaded":
 		status = http.StatusTooManyRequests
 	case "deadline_exceeded":
 		status = http.StatusGatewayTimeout
 	case "client_cancelled":
 		status = 499 // nginx convention
-	case "draining":
+	case "draining", "breaker_open":
 		status = http.StatusServiceUnavailable
 	case "invalid_request":
 		status = http.StatusBadRequest
@@ -82,24 +92,34 @@ func writeError(w http.ResponseWriter, err error, tid telemetry.TraceID) {
 	if !tid.IsZero() {
 		body.Error.TraceID = tid.String()
 	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		ra := s.RetryAfter(err)
+		if ra <= 0 {
+			ra = DefaultShedInterval
+		}
+		body.Error.RetryAfterMS = float64(ra) / float64(time.Millisecond)
+		// The header is whole seconds (RFC 9110), rounded up so it is never
+		// "0": clients honouring only the header still back off.
+		w.Header().Set("Retry-After", fmt.Sprint(int64((ra+time.Second-1)/time.Second)))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
 }
 
-func writeMethodError(w http.ResponseWriter, want string) {
+func (s *Server) writeMethodError(w http.ResponseWriter, want string) {
 	w.Header().Set("Allow", want)
-	writeError(w, fmt.Errorf("%w: method not allowed, use %s", ErrInvalid, want), telemetry.TraceID{})
+	s.writeError(w, fmt.Errorf("%w: method not allowed, use %s", ErrInvalid, want), telemetry.TraceID{})
 }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeMethodError(w, http.MethodPost)
+		s.writeMethodError(w, http.MethodPost)
 		return
 	}
 	var req inferRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("%w: bad JSON: %v", ErrInvalid, err), telemetry.TraceID{})
+		s.writeError(w, fmt.Errorf("%w: bad JSON: %v", ErrInvalid, err), telemetry.TraceID{})
 		return
 	}
 	ctx := r.Context()
@@ -124,7 +144,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			telemetry.TraceParent{TraceID: res.TraceID, Parent: res.RootSpan, Sampled: true}.String())
 	}
 	if err != nil {
-		writeError(w, err, res.TraceID)
+		s.writeError(w, err, res.TraceID)
 		return
 	}
 	out := inferResponse{
@@ -132,6 +152,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Logits:          make([][]float32, res.Logits.Rows),
 		SnapshotVersion: res.Version,
 		BatchID:         res.BatchID,
+		DegradeLevel:    res.DegradeLevel,
+		FanoutFrac:      res.FanoutFrac,
 		LatencyMS:       float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if !res.TraceID.IsZero() {
@@ -148,12 +170,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeMethodError(w, http.MethodPost)
+		s.writeMethodError(w, http.MethodPost)
 		return
 	}
 	v, err := s.Swap(http.MaxBytesReader(w, r.Body, maxSwapBody))
 	if err != nil {
-		writeError(w, err, telemetry.TraceID{})
+		s.writeError(w, err, telemetry.TraceID{})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -162,7 +184,7 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeMethodError(w, http.MethodGet)
+		s.writeMethodError(w, http.MethodGet)
 		return
 	}
 	// Version header first: Save streams the body.
@@ -178,7 +200,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeMethodError(w, http.MethodGet)
+		s.writeMethodError(w, http.MethodGet)
 		return
 	}
 	stats := map[string]any{
@@ -190,6 +212,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshot_version": s.snap.Load().Version,
 		"inflight_batches": s.inflightBatches.Load(),
 		"draining":         s.draining.Load(),
+		"shedding":         s.shed.isShedding(),
+		"degrade_level":    s.shed.degradeLevel(),
+		"sojourn_ms":       float64(s.shed.sojourn()) / float64(time.Millisecond),
+		"breaker_state":    s.brk.State().String(),
+		"shed":             s.tel.Counter(telemetry.CtrServeShed),
+		"degraded_batches": s.tel.Counter(telemetry.CtrServeDegraded),
+		"breaker_trips":    s.tel.Counter(telemetry.CtrServeBreakerTrips),
+		"batch_retries":    s.tel.Counter(telemetry.CtrServeRetries),
 		"requests":         s.tel.Counter(telemetry.CtrServeRequests),
 		"rejected":         s.tel.Counter(telemetry.CtrServeRejected),
 		"expired":          s.tel.Counter(telemetry.CtrServeExpired),

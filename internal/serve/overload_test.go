@@ -1,0 +1,737 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphite/internal/faultinject"
+	"graphite/internal/telemetry"
+)
+
+// fake clock base for shedder unit tests: one hour in the future so the
+// controller's internal timestamps can never collide with the real clock
+// used by the pipeline.
+func futureBase() time.Time { return time.Now().Add(time.Hour) }
+
+// TestShedderControlLaw drives the CoDel adaptation with an injected
+// clock: sojourn must stay above target for a full interval before the
+// first shed, rejections are spaced on the interval/sqrt(count) schedule,
+// and one observation under target exits the shedding state.
+func TestShedderControlLaw(t *testing.T) {
+	const (
+		target   = 50 * time.Millisecond
+		interval = 100 * time.Millisecond
+	)
+	sh := newShedder(target, interval, 2)
+	base := futureBase()
+
+	// Below target: never sheds.
+	sh.observe(target/4, base)
+	if sh.shouldShed(base) {
+		t.Fatal("shed below target")
+	}
+	// Above target, but not yet for a full interval: still admitting.
+	sh.observe(2*target, base)
+	if sh.shouldShed(base.Add(interval / 2)) {
+		t.Fatal("shed before a full interval above target")
+	}
+	sh.observe(2*target, base.Add(interval/2))
+	if sh.isShedding() {
+		t.Fatal("entered shedding state early")
+	}
+	// A full interval above target: shedding starts, first admission drops.
+	sh.observe(2*target, base.Add(interval))
+	if !sh.isShedding() {
+		t.Fatal("not shedding after a full interval above target")
+	}
+	now := base.Add(interval)
+	if !sh.shouldShed(now) {
+		t.Fatal("first admission after entering shedding was not dropped")
+	}
+	// Drops are spaced: an admission right behind the first is let through,
+	// one after the CoDel gap is dropped.
+	if sh.shouldShed(now.Add(time.Millisecond)) {
+		t.Fatal("back-to-back admissions both dropped; drop spacing broken")
+	}
+	if !sh.shouldShed(now.Add(interval)) {
+		t.Fatal("admission after a full drop gap was not dropped")
+	}
+	// One observation under target exits shedding immediately.
+	sh.observe(target/4, now.Add(2*interval))
+	if sh.isShedding() {
+		t.Fatal("still shedding after sojourn dropped below target")
+	}
+	if sh.shouldShed(now.Add(3 * interval)) {
+		t.Fatal("shed after exiting the shedding state")
+	}
+}
+
+// TestShedderLadderHysteresis pins the degradation ladder's movement: one
+// level per interval up while above target, and recovery only after a full
+// interval below target/2 — sojourn hovering between target/2 and target
+// holds the level (no flapping on the boundary).
+func TestShedderLadderHysteresis(t *testing.T) {
+	const (
+		target   = 50 * time.Millisecond
+		interval = 100 * time.Millisecond
+	)
+	sh := newShedder(target, interval, 2)
+	base := futureBase()
+
+	sh.observe(2*target, base)
+	sh.observe(2*target, base.Add(interval)) // level 1
+	if lvl := sh.degradeLevel(); lvl != 1 {
+		t.Fatalf("level after one interval above target = %d, want 1", lvl)
+	}
+	// A burst of observations inside the same interval must not jump levels.
+	for i := 0; i < 10; i++ {
+		sh.observe(2*target, base.Add(interval+time.Duration(i)*time.Millisecond))
+	}
+	if lvl := sh.degradeLevel(); lvl != 1 {
+		t.Fatalf("level after burst within one interval = %d, want 1", lvl)
+	}
+	sh.observe(2*target, base.Add(2*interval+time.Millisecond)) // level 2
+	if lvl := sh.degradeLevel(); lvl != 2 {
+		t.Fatalf("level after second interval = %d, want 2", lvl)
+	}
+	// Ladder is capped at its highest level.
+	sh.observe(2*target, base.Add(4*interval))
+	if lvl := sh.degradeLevel(); lvl != 2 {
+		t.Fatalf("level exceeded ladder: %d", lvl)
+	}
+
+	// Sojourn in (target/2, target): out of the shedding state but NOT
+	// recovering — this is the hysteresis band.
+	rec := base.Add(5 * interval)
+	for i := 0; i < 5; i++ {
+		sh.observe(3*target/4, rec.Add(time.Duration(i)*interval))
+	}
+	if lvl := sh.degradeLevel(); lvl != 2 {
+		t.Fatalf("level recovered inside the hysteresis band: %d", lvl)
+	}
+	// Below target/2 for a full interval: one step down per interval.
+	deep := rec.Add(6 * interval)
+	sh.observe(target/4, deep)
+	if lvl := sh.degradeLevel(); lvl != 2 {
+		t.Fatalf("level stepped down without a full interval below target/2: %d", lvl)
+	}
+	sh.observe(target/4, deep.Add(interval))
+	if lvl := sh.degradeLevel(); lvl != 1 {
+		t.Fatalf("level after one recovery interval = %d, want 1", lvl)
+	}
+	sh.observe(target/4, deep.Add(2*interval))
+	if lvl := sh.degradeLevel(); lvl != 0 {
+		t.Fatalf("level after two recovery intervals = %d, want 0", lvl)
+	}
+}
+
+func TestScaleFanouts(t *testing.T) {
+	got := scaleFanouts([]int{8, 4, 1}, 0.25)
+	for i, want := range []int{2, 1, 1} {
+		if got[i] != want {
+			t.Fatalf("scaleFanouts[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	// Full neighbourhoods (<= 0) stay exact: degraded mode must not invent
+	// sampling where the operator asked for exact inference.
+	got = scaleFanouts([]int{-1, 0, 10}, 0.5)
+	for i, want := range []int{-1, 0, 5} {
+		if got[i] != want {
+			t.Fatalf("scaleFanouts[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+	// Fraction 1 is the identity (and must not copy).
+	in := []int{3, 3}
+	if out := scaleFanouts(in, 1.0); &out[0] != &in[0] {
+		t.Fatal("frac=1 copied the fanout slice")
+	}
+}
+
+// TestBreakerStateMachine covers every legal edge with an injected clock:
+// trip on consecutive failures, fail fast while open, half-open probe on
+// cadence, close on probe success, re-open on probe failure.
+func TestBreakerStateMachine(t *testing.T) {
+	const probe = 100 * time.Millisecond
+	trips := 0
+	b := newBreaker(3, probe, func() { trips++ })
+	base := futureBase()
+
+	// Two failures then a success: the consecutive count resets.
+	b.onFailure(base)
+	b.onFailure(base)
+	b.onSuccess(base)
+	b.onFailure(base)
+	b.onFailure(base)
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after interrupted failure run = %v, want closed", st)
+	}
+	// Third consecutive failure trips.
+	if !b.onFailure(base) {
+		t.Fatal("threshold-th consecutive failure did not trip")
+	}
+	if st := b.State(); st != BreakerOpen || trips != 1 {
+		t.Fatalf("state = %v trips = %d, want open/1", st, trips)
+	}
+	// Open: fail fast until the probe cadence elapses.
+	if b.allow(base.Add(probe / 2)) {
+		t.Fatal("open breaker admitted before the probe cadence")
+	}
+	if ra := b.retryIn(base.Add(probe / 2)); ra <= 0 || ra > probe {
+		t.Fatalf("retryIn while open = %v, want (0, %v]", ra, probe)
+	}
+	// Cadence elapsed: the next admission is the half-open probe.
+	if !b.allow(base.Add(probe)) {
+		t.Fatal("probe admission refused after the cadence")
+	}
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", st)
+	}
+	// Probe failure: straight back to open, and that counts as a trip.
+	if !b.onFailure(base.Add(probe)) {
+		t.Fatal("failed probe did not re-trip")
+	}
+	if st := b.State(); st != BreakerOpen || trips != 2 {
+		t.Fatalf("state = %v trips = %d, want open/2", st, trips)
+	}
+	// Second probe succeeds: closed.
+	if !b.allow(base.Add(2 * probe)) {
+		t.Fatal("second probe refused")
+	}
+	b.onSuccess(base.Add(2 * probe))
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+
+	// The recorded history must be chain-consistent and every edge legal.
+	trs := b.Transitions()
+	want := []BreakerTransition{
+		{From: BreakerClosed, To: BreakerOpen},
+		{From: BreakerOpen, To: BreakerHalfOpen},
+		{From: BreakerHalfOpen, To: BreakerOpen},
+		{From: BreakerOpen, To: BreakerHalfOpen},
+		{From: BreakerHalfOpen, To: BreakerClosed},
+	}
+	if len(trs) != len(want) {
+		t.Fatalf("history has %d transitions, want %d: %+v", len(trs), len(want), trs)
+	}
+	for i, tr := range trs {
+		if tr.From != want[i].From || tr.To != want[i].To {
+			t.Fatalf("transition %d = %v→%v, want %v→%v", i, tr.From, tr.To, want[i].From, want[i].To)
+		}
+		if !LegalBreakerTransition(tr) {
+			t.Fatalf("transition %d (%v→%v) reported illegal", i, tr.From, tr.To)
+		}
+		if i > 0 && trs[i-1].To != tr.From {
+			t.Fatalf("history not chain-consistent at %d", i)
+		}
+	}
+	if LegalBreakerTransition(BreakerTransition{From: BreakerClosed, To: BreakerHalfOpen}) {
+		t.Fatal("closed→half-open accepted as legal")
+	}
+	if LegalBreakerTransition(BreakerTransition{From: BreakerOpen, To: BreakerClosed}) {
+		t.Fatal("open→closed accepted as legal")
+	}
+
+	// Nil breaker (disabled) is fully inert.
+	var nb *breaker
+	if !nb.allow(base) || nb.onFailure(base) || nb.State() != BreakerClosed || nb.Transitions() != nil {
+		t.Fatal("nil breaker is not inert")
+	}
+}
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	rb := newRetryBudget(0.1)
+	// Starts with exactly one token.
+	if !rb.spend() {
+		t.Fatal("initial token missing")
+	}
+	if rb.spend() {
+		t.Fatal("second spend granted with an empty bucket")
+	}
+	// About ten successes earn one retry at a 10% ratio (eleven here:
+	// binary floating point leaves 10×0.1 a hair under 1.0, and the budget
+	// is a rate limiter, not an accountant).
+	for i := 0; i < 11; i++ {
+		rb.earn()
+	}
+	if !rb.spend() {
+		t.Fatal("earned token not spendable")
+	}
+	if rb.spend() {
+		t.Fatal("over-spend granted")
+	}
+	// The bucket is capped.
+	for i := 0; i < 1000; i++ {
+		rb.earn()
+	}
+	spent := 0
+	for rb.spend() {
+		spent++
+	}
+	if spent != 10 {
+		t.Fatalf("bucket held %d tokens after saturation, want cap 10", spent)
+	}
+	var nilRB *retryBudget
+	nilRB.earn()
+	if nilRB.spend() {
+		t.Fatal("nil retry budget granted a retry")
+	}
+}
+
+// forceShedding puts a live server's controller into the shedding state
+// with timestamps in the past, so the very next real admission is dropped.
+func forceShedding(s *Server) {
+	past := time.Now().Add(-time.Hour)
+	s.shed.observe(2*s.cfg.ShedTarget, past)
+	s.shed.observe(2*s.cfg.ShedTarget, past.Add(s.cfg.ShedInterval))
+}
+
+// forceDegraded escalates a live server's ladder to its top level using
+// future timestamps: the drop schedule lands in the future (so admissions
+// still pass) while the level sticks.
+func forceDegraded(s *Server) {
+	future := time.Now().Add(time.Hour)
+	s.shed.observe(2*s.cfg.ShedTarget, future)
+	for lvl := 1; lvl < len(s.ladder); lvl++ {
+		s.shed.observe(2*s.cfg.ShedTarget, future.Add(time.Duration(lvl)*s.cfg.ShedInterval+time.Millisecond))
+	}
+}
+
+// TestShedReturnsErrShed proves a shedding controller turns admissions
+// away with ErrShed and the shed counter moves — while the queue is
+// completely empty (latency-based, not occupancy-based, rejection).
+func TestShedReturnsErrShed(t *testing.T) {
+	cfg := testConfig(t)
+	s := newTestServer(t, cfg)
+	forceShedding(s)
+	if !s.Shedding() {
+		t.Fatal("controller not in shedding state")
+	}
+	_, err := s.Infer(context.Background(), []int32{1})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeShed); n != 1 {
+		t.Fatalf("shed counter = %d, want 1", n)
+	}
+	if ra := s.RetryAfter(err); ra <= 0 || ra > 10*time.Second {
+		t.Fatalf("RetryAfter(ErrShed) = %v, want (0, 10s]", ra)
+	}
+}
+
+// TestSheddingDisabledIsSeedFIFO proves ShedTarget < 0 restores the
+// pre-controller behaviour: no shedder is constructed, requests are never
+// shed, responses always report full fidelity, and the accessors stay
+// nil-safe.
+func TestSheddingDisabledIsSeedFIFO(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ShedTarget = -1
+	s := newTestServer(t, cfg)
+	if s.shed != nil {
+		t.Fatal("shedder constructed despite ShedTarget < 0")
+	}
+	if s.Shedding() || s.DegradeLevel() != 0 {
+		t.Fatal("disabled controller reports activity")
+	}
+	res, err := s.Infer(context.Background(), []int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradeLevel != 0 || res.FanoutFrac != 1.0 {
+		t.Fatalf("disabled controller degraded: level %d frac %g", res.DegradeLevel, res.FanoutFrac)
+	}
+}
+
+// TestDegradedModeServing forces the ladder to its top level and proves a
+// batch sealed in that state executes at the reduced fanout fraction,
+// stamps the level into the Result, and bumps the degraded counter.
+func TestDegradedModeServing(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Fanouts = []int{8, 8}
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+	forceDegraded(s)
+	if lvl := s.DegradeLevel(); lvl != 2 {
+		t.Fatalf("forced level = %d, want 2", lvl)
+	}
+	res, err := s.Infer(context.Background(), []int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradeLevel != 2 {
+		t.Fatalf("Result.DegradeLevel = %d, want 2", res.DegradeLevel)
+	}
+	if res.FanoutFrac != 0.25 {
+		t.Fatalf("Result.FanoutFrac = %g, want 0.25", res.FanoutFrac)
+	}
+	if res.Logits == nil || res.Logits.Rows != 3 {
+		t.Fatal("degraded batch did not produce logits")
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeDegraded); n == 0 {
+		t.Fatal("degraded counter not incremented")
+	}
+}
+
+// TestBreakerTripProbeRecovery drives the breaker through a full outage
+// via injected execution faults: organic failures trip it, admissions then
+// fail fast with ErrBreakerOpen, and after the probe cadence a clean
+// execution closes it. The transition history must be exactly the legal
+// closed→open→half-open→closed walk.
+func TestBreakerTripProbeRecovery(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.SetProbability(faultinject.SiteServeExecute, 1.0)
+	cfg := testConfig(t)
+	cfg.Inject = inj
+	cfg.BreakerThreshold = 2
+	cfg.BreakerProbe = 50 * time.Millisecond
+	cfg.RetryBudget = -1 // isolate the breaker from retry smoothing
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+
+	// Two organic failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Infer(context.Background(), []int32{1}); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("request %d: err = %v, want injected fault", i, err)
+		}
+	}
+	if st := s.BreakerState(); st != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 2, st)
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeBreakerTrips); n != 1 {
+		t.Fatalf("trip counter = %d, want 1", n)
+	}
+	// Open: admissions fail fast with the sentinel and a retry hint.
+	_, err := s.Infer(context.Background(), []int32{1})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err while open = %v, want ErrBreakerOpen", err)
+	}
+	if ra := s.RetryAfter(err); ra <= 0 || ra > cfg.BreakerProbe {
+		t.Fatalf("RetryAfter while open = %v, want (0, %v]", ra, cfg.BreakerProbe)
+	}
+
+	// Heal the snapshot, wait out the probe cadence, and recover.
+	inj.SetProbability(faultinject.SiteServeExecute, 0)
+	time.Sleep(cfg.BreakerProbe + 20*time.Millisecond)
+	if _, err := s.Infer(context.Background(), []int32{1}); err != nil {
+		t.Fatalf("probe request failed: %v", err)
+	}
+	if st := s.BreakerState(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+
+	trs := s.BreakerTransitions()
+	want := []BreakerTransition{
+		{From: BreakerClosed, To: BreakerOpen},
+		{From: BreakerOpen, To: BreakerHalfOpen},
+		{From: BreakerHalfOpen, To: BreakerClosed},
+	}
+	if len(trs) != len(want) {
+		t.Fatalf("history = %+v, want 3 transitions", trs)
+	}
+	for i, tr := range trs {
+		if tr.From != want[i].From || tr.To != want[i].To || !LegalBreakerTransition(tr) {
+			t.Fatalf("transition %d = %v→%v, want %v→%v", i, tr.From, tr.To, want[i].From, want[i].To)
+		}
+	}
+}
+
+// TestRetryBudgetSmoothsTransient proves a single injected execution fault
+// is absorbed by the budgeted retry: the caller sees success, one retry is
+// counted, and the breaker never moves.
+func TestRetryBudgetSmoothsTransient(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.FailAt(faultinject.SiteServeExecute, 1)
+	cfg := testConfig(t)
+	cfg.Inject = inj
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+
+	res, err := s.Infer(context.Background(), []int32{1, 2})
+	if err != nil {
+		t.Fatalf("transient fault leaked to the caller: %v", err)
+	}
+	if res.Logits.Rows != 2 {
+		t.Fatal("retried batch produced no logits")
+	}
+	if n := s.Tel().Counter(telemetry.CtrServeRetries); n != 1 {
+		t.Fatalf("retry counter = %d, want 1", n)
+	}
+	if st := s.BreakerState(); st != BreakerClosed {
+		t.Fatalf("breaker moved on a retried transient: %v", st)
+	}
+	if got := inj.Calls(faultinject.SiteServeExecute); got != 2 {
+		t.Fatalf("execute site reached %d times, want 2 (attempt + retry)", got)
+	}
+}
+
+// TestRetryAfterOnRejections is the satellite contract: every 429/503
+// carries both a Retry-After header (whole seconds, >= 1) and a
+// retry_after_ms envelope field within sane bounds.
+func TestRetryAfterOnRejections(t *testing.T) {
+	inj := faultinject.New(1)
+	cfg := testConfig(t)
+	cfg.Inject = inj
+	cfg.BreakerThreshold = 1
+	cfg.RetryBudget = -1
+	cfg.Deadline = 10 * time.Second
+	s := newTestServer(t, cfg)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	post := func() (*http.Response, apiError) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/infer", "application/json",
+			strings.NewReader(`{"vertices":[1]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var ae apiError
+		if resp.StatusCode != http.StatusOK {
+			if err := json.Unmarshal(body, &ae); err != nil {
+				t.Fatalf("malformed error envelope %s: %v", body, err)
+			}
+		}
+		return resp, ae
+	}
+	checkRetryHints := func(resp *http.Response, ae apiError) {
+		t.Helper()
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("%d response missing Retry-After header", resp.StatusCode)
+		}
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 || secs > 10 {
+			t.Fatalf("Retry-After = %q, want integer seconds in [1, 10]", ra)
+		}
+		if ae.Error.RetryAfterMS <= 0 || ae.Error.RetryAfterMS > 10_000 {
+			t.Fatalf("retry_after_ms = %g, want (0, 10000]", ae.Error.RetryAfterMS)
+		}
+	}
+
+	// 429 via the shedding controller.
+	forceShedding(s)
+	resp, ae := post()
+	if resp.StatusCode != http.StatusTooManyRequests || ae.Error.Code != "overloaded" {
+		t.Fatalf("shed response = %d %q, want 429 overloaded", resp.StatusCode, ae.Error.Code)
+	}
+	checkRetryHints(resp, ae)
+	// Clear the shedding state so the breaker path below is reachable.
+	s.shed.observe(0, time.Now())
+
+	// 503 via the breaker: one injected failure trips it (threshold 1).
+	inj.FailAt(faultinject.SiteServeExecute, inj.Calls(faultinject.SiteServeExecute)+1)
+	if resp, _ := post(); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("tripping request = %d, want 500", resp.StatusCode)
+	}
+	resp, ae = post()
+	if resp.StatusCode != http.StatusServiceUnavailable || ae.Error.Code != "breaker_open" {
+		t.Fatalf("breaker response = %d %q, want 503 breaker_open", resp.StatusCode, ae.Error.Code)
+	}
+	checkRetryHints(resp, ae)
+}
+
+// TestLingerCreditsQueueWait is the regression test for the linger-timer
+// bug: a request that waited in the admission queue behind a wedged
+// batcher used to restart a full MaxLinger window on admission, making its
+// time-to-seal up to 2×MaxLinger. With the credit, a request already older
+// than MaxLinger seals immediately.
+func TestLingerCreditsQueueWait(t *testing.T) {
+	const linger = 600 * time.Millisecond
+	gate := make(chan struct{})
+	cfg := testConfig(t)
+	cfg.MaxBatch = 2
+	cfg.MaxLinger = linger
+	cfg.Workers = 1 // batches channel capacity 1
+	cfg.QueueCap = 8
+	cfg.Deadline = 30 * time.Second
+	cfg.testGate = gate
+	s := newTestServer(t, cfg)
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	results := make(chan error, 4)
+	send := func(ids []int32) {
+		go func() {
+			_, err := s.Infer(context.Background(), ids)
+			results <- err
+		}()
+	}
+
+	// Wedge the pipeline: A executes (blocked on the gate), B fills the
+	// batches channel, C leaves the batcher blocked on its send. All three
+	// seal by size (MaxBatch=2).
+	send([]int32{0, 1})
+	waitFor("batch A executing", func() bool { return s.inflightBatches.Load() == 1 })
+	send([]int32{2, 3})
+	waitFor("batch B parked in the batches channel", func() bool { return len(s.batches) == 1 })
+	send([]int32{4, 5})
+	waitFor("batch C consumed from the queue", func() bool { return len(s.queue) == 0 })
+	time.Sleep(20 * time.Millisecond) // let the batcher reach the blocked send
+
+	// D is a partial batch (1 vertex < MaxBatch): it can only seal via the
+	// linger timer. It sits in the queue while the batcher is wedged.
+	send([]int32{6})
+	waitFor("request D parked in the queue", func() bool { return len(s.queue) == 1 })
+
+	// Age D past the full linger window, then release the pipeline.
+	time.Sleep(linger + linger/2)
+	released := time.Now()
+	close(gate)
+	for i := 0; i < 4; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	// With the credit, D's window is already spent at admission: it seals
+	// immediately. Without it, D restarts a full window and the drain takes
+	// over MaxLinger.
+	if elapsed := time.Since(released); elapsed > linger/2 {
+		t.Fatalf("drain after release took %v; request D restarted a full %v linger window", elapsed, linger)
+	}
+}
+
+// TestLingerExpiryNotLost paces lone partial-batch requests so each one
+// arrives right as the previous linger window expires — the seal/re-arm
+// race window. Every request must complete in bounded time; a lost timer
+// would strand one until its deadline.
+func TestLingerExpiryNotLost(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxBatch = 1000 // only the linger timer can seal
+	cfg.MaxLinger = 10 * time.Millisecond
+	cfg.Deadline = 30 * time.Second
+	s := newTestServer(t, cfg)
+
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		if _, err := s.Infer(context.Background(), []int32{int32(i)}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if took := time.Since(start); took > 20*cfg.MaxLinger {
+			t.Fatalf("request %d took %v, want bounded by the linger window", i, took)
+		}
+		// Land the next arrival on the expiry boundary.
+		time.Sleep(cfg.MaxLinger)
+	}
+}
+
+// TestSealAndRespondFaultsNeverDropWaiters arms the seal and response-
+// write sites and proves every member still receives exactly one response
+// (an error envelope, not silence).
+func TestSealAndRespondFaultsNeverDropWaiters(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.FailAt(faultinject.SiteServeSeal, 1)
+	inj.FailAt(faultinject.SiteServeRespond, 1)
+	cfg := testConfig(t)
+	cfg.Inject = inj
+	cfg.Deadline = 5 * time.Second
+	s := newTestServer(t, cfg)
+
+	// First request's batch dies at seal: the error must come back well
+	// before the deadline (nothing waits on a dead batch).
+	start := time.Now()
+	_, err := s.Infer(context.Background(), []int32{1})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("seal fault: err = %v, want injected", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("seal fault response was not prompt; waiter likely timed out instead")
+	}
+	// Second request's batch executes but its response write faults: still
+	// exactly one (error) response.
+	if _, err := s.Infer(context.Background(), []int32{2}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("respond fault: err = %v, want injected", err)
+	}
+	// Third request is past both armed ordinals and must succeed.
+	if _, err := s.Infer(context.Background(), []int32{3}); err != nil {
+		t.Fatalf("request after faults: %v", err)
+	}
+}
+
+// TestSwapFaultLeavesSnapshotServing arms the swap site and proves an
+// injected swap failure leaves the old version serving.
+func TestSwapFaultLeavesSnapshotServing(t *testing.T) {
+	inj := faultinject.New(1)
+	inj.FailAt(faultinject.SiteServeSwap, 1)
+	cfg := testConfig(t)
+	cfg.Inject = inj
+	s := newTestServer(t, cfg)
+
+	ckpt := checkpointBytes(t, cfg.Net)
+	if _, err := s.Swap(readerOf(ckpt)); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("swap fault: err = %v, want injected", err)
+	}
+	if v := s.Snapshot().Version; v != 1 {
+		t.Fatalf("failed swap moved the snapshot to v%d", v)
+	}
+	// The site is one-shot: the next swap lands.
+	if v, err := s.Swap(readerOf(ckpt)); err != nil || v != 2 {
+		t.Fatalf("post-fault swap = v%d, %v", v, err)
+	}
+}
+
+func readerOf(b []byte) io.Reader { return strings.NewReader(string(b)) }
+
+// TestWedgedQueueStillSheds proves the controller and the queue-full path
+// compose: with the pipeline wedged AND the controller shedding, requests
+// bounce with one of the two 429-class sentinels and nothing is lost.
+func TestWedgedQueueStillSheds(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := testConfig(t)
+	cfg.MaxBatch = 1
+	cfg.QueueCap = 1
+	cfg.Workers = 1
+	cfg.Deadline = 30 * time.Second
+	cfg.testGate = gate
+	s := newTestServer(t, cfg)
+	forceShedding(s)
+
+	var wg sync.WaitGroup
+	sheds, fulls := 0, 0
+	var mu sync.Mutex
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := s.Infer(ctx, []int32{int32(i)})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(err, ErrShed):
+				sheds++
+			case errors.Is(err, ErrQueueFull):
+				fulls++
+			case err != nil:
+				t.Errorf("request %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	// Unwedge promptly so admitted requests complete.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if sheds == 0 {
+		t.Fatal("shedding controller never fired under a wedged queue")
+	}
+}

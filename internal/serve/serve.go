@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphite/internal/faultinject"
 	"graphite/internal/gnn"
 	"graphite/internal/graph"
 	"graphite/internal/obsrv"
@@ -48,6 +49,16 @@ var (
 	// ErrQueueFull is returned when the admission queue is at capacity
 	// (HTTP 429): the caller should back off and retry.
 	ErrQueueFull = errors.New("serve: queue full")
+	// ErrShed is returned when the adaptive load-shedding controller
+	// turns a request away because queue sojourn has been above target
+	// for a sustained interval (HTTP 429 + Retry-After). Unlike
+	// ErrQueueFull it fires before the queue is physically full — it
+	// bounds queueing *latency*, not just queue length.
+	ErrShed = errors.New("serve: shedding load")
+	// ErrBreakerOpen is returned while the snapshot circuit breaker is
+	// open (HTTP 503 + Retry-After): the serving model version is
+	// failing and requests fail fast until a probe succeeds.
+	ErrBreakerOpen = errors.New("serve: snapshot circuit breaker open")
 	// ErrDraining is returned once shutdown has begun (HTTP 503).
 	ErrDraining = errors.New("serve: draining")
 	// ErrInvalid wraps request-validation failures (HTTP 400).
@@ -106,6 +117,33 @@ type Config struct {
 	// /v1/traces. Zero-value fields take the obsrv defaults; its SLOs
 	// default to Config.SLOs and its Seed to Config.Seed.
 	TraceRecorder obsrv.FlightRecorderConfig
+	// ShedTarget is the queue-sojourn target of the adaptive
+	// load-shedding controller: sustained sojourn above it sheds new
+	// admissions with 429 + Retry-After. 0 means DefaultShedTarget;
+	// negative disables shedding AND degraded-mode serving entirely (the
+	// pre-overload-controller FIFO behaviour, kept for comparison runs).
+	ShedTarget time.Duration
+	// ShedInterval is the CoDel control interval (0 = DefaultShedInterval).
+	ShedInterval time.Duration
+	// DegradeLadder is the degraded-mode fanout ladder: entry k is the
+	// fraction of the configured sampling fanouts served at degradation
+	// level k. Entry 0 must be 1.0 and entries must be non-increasing in
+	// (0, 1]. Nil means DefaultDegradeLadder; a one-entry ladder {1.0}
+	// disables degradation while keeping shedding.
+	DegradeLadder []float64
+	// BreakerThreshold is the consecutive batch-execution failures that
+	// trip the snapshot circuit breaker open (0 = DefaultBreakerThreshold;
+	// negative disables the breaker).
+	BreakerThreshold int
+	// BreakerProbe is the open-state dwell before a half-open probe is
+	// admitted (0 = DefaultBreakerProbe).
+	BreakerProbe time.Duration
+	// RetryBudget is the retry-token earn rate per successful batch
+	// (0 = DefaultRetryBudget; negative disables execution retries).
+	RetryBudget float64
+	// Inject arms the serve-path fault-injection sites (see
+	// faultinject.ServeSites). Nil is inert: one nil check per site.
+	Inject *faultinject.Injector
 	// SLOs are latency objectives exported through the metrics plane.
 	SLOs []obsrv.SLO
 	// BuildLabels extends graphite_build_info (tests pin it).
@@ -125,6 +163,12 @@ type Result struct {
 	// BatchID identifies the mini-batch this request rode in; requests
 	// sharing a BatchID are guaranteed to share a Version.
 	BatchID uint64
+	// DegradeLevel is the overload-degradation ladder level the batch
+	// executed at (0 = full configured fanouts).
+	DegradeLevel int
+	// FanoutFrac is the fraction of the configured sampling fanouts
+	// served (1.0 when not degraded).
+	FanoutFrac float64
 	// TraceID identifies the request's trace when it was sampled for
 	// tracing (zero otherwise); the trace is retrievable from /v1/traces
 	// while the flight recorder retains it.
@@ -159,6 +203,11 @@ type Server struct {
 
 	snap   atomic.Pointer[Snapshot]
 	swapMu sync.Mutex // serialises Swap version assignment
+
+	shed   *shedder     // nil when shedding is disabled
+	ladder []float64    // degradation fanout ladder (always non-empty)
+	brk    *breaker     // nil when the breaker is disabled
+	retry  *retryBudget // nil when execution retries are disabled
 
 	queue    chan *request
 	batches  chan *batch
@@ -209,6 +258,33 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = DefaultDeadline
 	}
+	if cfg.ShedTarget == 0 {
+		cfg.ShedTarget = DefaultShedTarget
+	}
+	if cfg.ShedInterval <= 0 {
+		cfg.ShedInterval = DefaultShedInterval
+	}
+	if cfg.DegradeLadder == nil {
+		cfg.DegradeLadder = DefaultDegradeLadder
+	}
+	if len(cfg.DegradeLadder) == 0 || cfg.DegradeLadder[0] != 1.0 {
+		return nil, fmt.Errorf("serve: degrade ladder must start at 1.0, got %v", cfg.DegradeLadder)
+	}
+	for i := 1; i < len(cfg.DegradeLadder); i++ {
+		f := cfg.DegradeLadder[i]
+		if f <= 0 || f > cfg.DegradeLadder[i-1] {
+			return nil, fmt.Errorf("serve: degrade ladder must be non-increasing in (0,1], got %v", cfg.DegradeLadder)
+		}
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerProbe <= 0 {
+		cfg.BreakerProbe = DefaultBreakerProbe
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
 
 	traceRate := cfg.TraceSample
 	if traceRate == 0 {
@@ -224,6 +300,19 @@ func NewServer(cfg Config) (*Server, error) {
 		stopc:     make(chan struct{}),
 	}
 	s.snap.Store(&Snapshot{Net: cfg.Net, Version: 1})
+	s.ladder = cfg.DegradeLadder
+	if cfg.ShedTarget > 0 {
+		s.shed = newShedder(cfg.ShedTarget, cfg.ShedInterval, len(cfg.DegradeLadder)-1)
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerProbe, func() {
+			s.tel.Inc(telemetry.CtrServeBreakerTrips)
+			s.obs.Publish(obsrv.Event{Kind: "breaker", Status: "open", Detail: "snapshot execution failures tripped the circuit breaker"})
+		})
+	}
+	if cfg.RetryBudget > 0 {
+		s.retry = newRetryBudget(cfg.RetryBudget)
+	}
 	recCfg := cfg.TraceRecorder
 	if recCfg.SLOs == nil {
 		recCfg.SLOs = cfg.SLOs
@@ -276,8 +365,16 @@ func (s *Server) gauges() []obsrv.Gauge {
 	if s.draining.Load() {
 		draining = 1
 	}
+	var shedding float64
+	if s.shed.isShedding() {
+		shedding = 1
+	}
 	rec := s.rec.Stats()
 	return []obsrv.Gauge{
+		{Name: "graphite_serve_degrade_level", Help: "Current overload-degradation ladder level (0 = full configured fanouts).", Value: float64(s.shed.degradeLevel())},
+		{Name: "graphite_serve_shedding", Help: "1 while the CoDel-style admission controller is actively shedding.", Value: shedding},
+		{Name: "graphite_serve_queue_sojourn_seconds", Help: "Most recent queue sojourn observed at batch seal.", Value: s.shed.sojourn().Seconds()},
+		{Name: "graphite_serve_breaker_state", Help: "Snapshot circuit breaker state: 0 closed, 1 open, 2 half-open.", Value: float64(s.brk.State())},
 		{Name: "graphite_serve_queue_depth", Help: "Inference requests waiting in the admission queue.", Value: float64(len(s.queue))},
 		{Name: "graphite_serve_queue_capacity", Help: "Admission queue capacity; at depth==capacity new requests are rejected.", Value: float64(cap(s.queue))},
 		{Name: "graphite_serve_max_batch_size", Help: "Mini-batch size cap in vertices.", Value: float64(s.cfg.MaxBatch)},
@@ -335,6 +432,10 @@ func statusOf(err error) string {
 		return ""
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrShed):
+		return "overloaded"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker_open"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline_exceeded"
 	case errors.Is(err, context.Canceled):
@@ -366,12 +467,16 @@ func (s *Server) Infer(ctx context.Context, ids []int32) (Result, error) {
 	}
 	switch {
 	case err == nil:
+	case errors.Is(err, ErrShed):
+		s.tel.Inc(telemetry.CtrServeShed)
 	case errors.Is(err, ErrQueueFull):
 		s.tel.Inc(telemetry.CtrServeRejected)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.tel.Inc(telemetry.CtrServeExpired)
-	case errors.Is(err, ErrInvalid), errors.Is(err, ErrDraining):
-		// Not counted as failures: the server did nothing wrong.
+	case errors.Is(err, ErrInvalid), errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
+		// Not counted as failures: shedding, draining and an open breaker
+		// are the server protecting itself, and CtrServeBreakerTrips
+		// already counts the underlying execution failures.
 	default:
 		s.tel.Inc(telemetry.CtrServeFailed)
 	}
@@ -388,7 +493,7 @@ func (s *Server) Infer(ctx context.Context, ids []int32) (Result, error) {
 		// Rejections and expiries ride the event stream with their trace
 		// id, so a 429/504 spike on the dashboard correlates to concrete
 		// traces without scraping exemplars.
-		if status == "queue_full" || status == "deadline_exceeded" {
+		if status == "queue_full" || status == "deadline_exceeded" || status == "overloaded" || status == "breaker_open" {
 			s.obs.Publish(obsrv.Event{
 				Kind: "serve", Status: status, Detail: detail,
 				TraceID: td.TraceID.String(),
@@ -416,6 +521,22 @@ func (s *Server) infer(ctx context.Context, tr *telemetry.Trace, ids []int32, st
 	}
 	defer s.reqWG.Done()
 	s.tel.Inc(telemetry.CtrServeRequests)
+
+	now := time.Now()
+	if s.brk != nil && !s.brk.allow(now) {
+		// Fail fast while the serving snapshot is tripping the breaker:
+		// queueing behind a poisoned model version only burns deadline.
+		return Result{}, ErrBreakerOpen
+	}
+	if s.shed.shouldShed(now) {
+		// The controller bounds queueing latency, not just queue length:
+		// the queue may have free slots and still be over the sojourn
+		// target.
+		return Result{}, ErrShed
+	}
+	if err := s.cfg.Inject.Fault(faultinject.SiteServeAdmission); err != nil {
+		return Result{}, fmt.Errorf("serve: admission: %w", err)
+	}
 
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -452,6 +573,38 @@ func (s *Server) admit() bool {
 	}
 	s.reqWG.Add(1)
 	return true
+}
+
+// BreakerState returns the snapshot circuit breaker's current state
+// (BreakerClosed when the breaker is disabled).
+func (s *Server) BreakerState() BreakerState { return s.brk.State() }
+
+// BreakerTransitions returns the breaker's recorded state-change history,
+// oldest first. The chaos harness asserts every entry is a legal edge and
+// the chain is consistent.
+func (s *Server) BreakerTransitions() []BreakerTransition { return s.brk.Transitions() }
+
+// Shedding reports whether the admission controller is actively shedding.
+func (s *Server) Shedding() bool { return s.shed.isShedding() }
+
+// DegradeLevel returns the degradation ladder level new batches execute at.
+func (s *Server) DegradeLevel() int { return s.shed.degradeLevel() }
+
+// RetryAfter returns the client backoff hint for a rejection error: how
+// long an obedient client should wait before retrying. Zero means the
+// error carries no hint.
+func (s *Server) RetryAfter(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrShed), errors.Is(err, ErrQueueFull):
+		return s.shed.retryAfter()
+	case errors.Is(err, ErrBreakerOpen):
+		return s.brk.retryIn(time.Now())
+	case errors.Is(err, ErrDraining):
+		// This instance is going away; the hint is for the load balancer's
+		// sake, long enough to finish routing traffic elsewhere.
+		return time.Second
+	}
+	return 0
 }
 
 // Start binds addr and serves HTTP. The pipeline is already running; this

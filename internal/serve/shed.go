@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Overload-controller defaults applied by NewServer when the corresponding
+// Config field is zero.
+const (
+	// DefaultShedTarget is the queue-sojourn target: sustained sojourn
+	// above it means the server is queueing more latency than it can
+	// drain, and admission starts shedding.
+	DefaultShedTarget = 50 * time.Millisecond
+	// DefaultShedInterval is the CoDel control interval: sojourn must stay
+	// above target for a full interval before the first shed, and the
+	// degradation ladder moves at most one step per interval.
+	DefaultShedInterval = 100 * time.Millisecond
+)
+
+// DefaultDegradeLadder is the fanout ladder applied under measured
+// overload: level 0 serves the configured fanouts, level 1 serves half,
+// level 2 a quarter. Each entry is the fraction of the configured
+// per-layer sampling fanout served at that level.
+var DefaultDegradeLadder = []float64{1.0, 0.5, 0.25}
+
+// shedder is a CoDel-style overload controller for the admission queue.
+//
+// Classic CoDel watches packet sojourn time at dequeue and starts dropping
+// when the minimum sojourn over a control interval exceeds a target,
+// spacing drops at interval/sqrt(count) so drop pressure grows until the
+// queue drains. This adaptation observes request sojourn at batch-seal
+// time (the serving analogue of dequeue) and sheds at admission — new
+// requests bounce with 429 + Retry-After while already-queued requests
+// keep their order — which is the right edge for an HTTP server: the
+// client that has not invested wait time yet is the cheap one to turn
+// away.
+//
+// On top of the binary shed decision it runs the degradation ladder:
+// each full control interval spent above target escalates one level
+// (serving progressively smaller sampling fanouts), and recovery requires
+// sojourn below target/2 (hysteresis) for a full interval per step down,
+// so the level cannot flap on a noisy boundary.
+//
+// All methods are safe for concurrent use. now is injected for tests.
+type shedder struct {
+	target   time.Duration
+	interval time.Duration
+	levels   int // highest ladder level (len(ladder)-1)
+
+	mu sync.Mutex
+	// firstAbove is the earliest time shedding may begin: set to
+	// now+interval when sojourn first exceeds target, zeroed when sojourn
+	// drops below target.
+	firstAbove time.Time
+	shedding   bool
+	dropNext   time.Time
+	dropCount  int
+	// level is the current degradation ladder level; levelSince is when
+	// it last changed (rate-limits escalation and recovery).
+	level      int
+	levelSince time.Time
+	// belowSince is when sojourn last crossed under target/2; recovery
+	// steps require a full interval below that line.
+	belowSince time.Time
+	// lastSojourn is the most recent observation, exported for the
+	// Retry-After hint and /v1/stats.
+	lastSojourn time.Duration
+}
+
+func newShedder(target, interval time.Duration, levels int) *shedder {
+	return &shedder{target: target, interval: interval, levels: levels}
+}
+
+// observe feeds one sealed request's queue sojourn into the control law.
+// The batcher calls it for every member it seals, so under load the
+// controller sees a dense sample of what the queue is actually doing.
+func (sh *shedder) observe(sojourn time.Duration, now time.Time) {
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lastSojourn = sojourn
+
+	if sojourn < sh.target {
+		// Below target: disarm shedding immediately (CoDel's exit: any
+		// observation under target proves the queue can drain).
+		sh.firstAbove = time.Time{}
+		if sh.shedding {
+			sh.shedding = false
+			// Next episode restarts gently but remembers recent history:
+			// halving instead of resetting is CoDel's standard refinement.
+			sh.dropCount /= 2
+		}
+		// Ladder recovery: a full interval below target/2 steps down one
+		// level; the tighter line plus the dwell time is the hysteresis
+		// that keeps recovery stable.
+		if sojourn < sh.target/2 {
+			if sh.belowSince.IsZero() {
+				sh.belowSince = now
+			}
+			if sh.level > 0 && now.Sub(sh.levelSince) >= sh.interval && now.Sub(sh.belowSince) >= sh.interval {
+				sh.level--
+				sh.levelSince = now
+			}
+		} else {
+			sh.belowSince = time.Time{}
+		}
+		return
+	}
+
+	// Above target.
+	sh.belowSince = time.Time{}
+	if sh.firstAbove.IsZero() {
+		sh.firstAbove = now.Add(sh.interval)
+		return
+	}
+	if now.Before(sh.firstAbove) {
+		return
+	}
+	// Sojourn has been above target for a full interval.
+	if !sh.shedding {
+		sh.shedding = true
+		if sh.dropCount < 1 {
+			sh.dropCount = 1
+		}
+		sh.dropNext = now // shed the next admission immediately
+	}
+	if sh.level < sh.levels && now.Sub(sh.levelSince) >= sh.interval {
+		sh.level++
+		sh.levelSince = now
+	}
+}
+
+// shouldShed reports whether the admission arriving at now should be
+// turned away. While in the shedding state, rejections are spaced on the
+// CoDel schedule: the gap shrinks as interval/sqrt(count) until observe
+// sees sojourn back under target.
+func (sh *shedder) shouldShed(now time.Time) bool {
+	if sh == nil {
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.shedding || now.Before(sh.dropNext) {
+		return false
+	}
+	sh.dropCount++
+	sh.dropNext = now.Add(time.Duration(float64(sh.interval) / math.Sqrt(float64(sh.dropCount))))
+	return true
+}
+
+// degradeLevel returns the ladder level batches sealing now execute at.
+func (sh *shedder) degradeLevel() int {
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.level
+}
+
+// isShedding reports the binary shedding state (exported as a gauge).
+func (sh *shedder) isShedding() bool {
+	if sh == nil {
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.shedding
+}
+
+// retryAfter is the backoff hint stamped on shed responses: long enough
+// that an obedient client retries after the controller has had a full
+// interval to drain, scaled up when observed sojourn is worse than that.
+func (sh *shedder) retryAfter() time.Duration {
+	if sh == nil {
+		return DefaultShedInterval
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	d := sh.interval
+	if sh.lastSojourn > d {
+		d = sh.lastSojourn
+	}
+	if max := 10 * time.Second; d > max {
+		d = max
+	}
+	return d
+}
+
+// sojourn returns the most recent observed queue sojourn (for /v1/stats).
+func (sh *shedder) sojourn() time.Duration {
+	if sh == nil {
+		return 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.lastSojourn
+}
+
+// scaleFanouts applies one ladder fraction to the configured per-layer
+// fanouts. Full neighbourhoods (entries <= 0) are left exact — degraded
+// mode trades sampled accuracy for latency, it does not invent sampling
+// where the operator asked for exact inference — and scaled fanouts never
+// drop below 1 neighbour.
+func scaleFanouts(fanouts []int, frac float64) []int {
+	if frac >= 1 || len(fanouts) == 0 {
+		return fanouts
+	}
+	out := make([]int, len(fanouts))
+	for i, f := range fanouts {
+		if f <= 0 {
+			out[i] = f
+			continue
+		}
+		s := int(math.Ceil(float64(f) * frac))
+		if s < 1 {
+			s = 1
+		}
+		out[i] = s
+	}
+	return out
+}

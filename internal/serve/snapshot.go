@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"graphite/internal/faultinject"
 	"graphite/internal/gnn"
 	"graphite/internal/obsrv"
 	"graphite/internal/telemetry"
@@ -40,6 +41,12 @@ func (s *Server) Swap(r io.Reader) (uint64, error) {
 			return 0, fmt.Errorf("%w: layer %d is %dx%d, serving %dx%d",
 				ErrInvalid, k, l.In(), l.Out(), cur.Layers[k].In(), cur.Layers[k].Out())
 		}
+	}
+
+	// The fault site sits after validation and before the store: an
+	// injected swap failure must leave the old snapshot serving, untouched.
+	if err := s.cfg.Inject.Fault(faultinject.SiteServeSwap); err != nil {
+		return 0, fmt.Errorf("serve: swap: %w", err)
 	}
 
 	s.swapMu.Lock()

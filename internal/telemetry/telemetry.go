@@ -85,6 +85,20 @@ const (
 	// CtrServeSwaps counts checkpoint hot swaps applied to the serving
 	// snapshot.
 	CtrServeSwaps
+	// CtrServeShed counts requests rejected by the adaptive load-shedding
+	// controller (sustained queue sojourn above target), as opposed to the
+	// hard queue-full backstop counted by CtrServeRejected.
+	CtrServeShed
+	// CtrServeDegraded counts requests served at a reduced sampling
+	// fanout because the overload controller was above degradation level 0
+	// when their batch sealed.
+	CtrServeDegraded
+	// CtrServeBreakerTrips counts circuit-breaker transitions into the
+	// open state (a failing snapshot execution path tripped protection).
+	CtrServeBreakerTrips
+	// CtrServeRetries counts batch executions retried after a transient
+	// failure under the retry budget.
+	CtrServeRetries
 
 	numCounters
 )
@@ -109,6 +123,10 @@ var counterNames = [numCounters]string{
 	CtrServeBatches:       "graphite_serve_batches_total",
 	CtrServeVertices:      "graphite_serve_vertices_total",
 	CtrServeSwaps:         "graphite_serve_snapshot_swaps_total",
+	CtrServeShed:          "graphite_serve_shed_total",
+	CtrServeDegraded:      "graphite_serve_degraded_total",
+	CtrServeBreakerTrips:  "graphite_serve_breaker_trips_total",
+	CtrServeRetries:       "graphite_serve_batch_retries_total",
 }
 
 // Name returns the counter's metrics key.

@@ -149,11 +149,15 @@ graphite_rows_compressed_total 0
 graphite_rows_decompressed_total 0
 graphite_sched_chunks_total 0
 graphite_sched_rows_total 0
+graphite_serve_batch_retries_total 0
 graphite_serve_batches_total 0
+graphite_serve_breaker_trips_total 0
+graphite_serve_degraded_total 0
 graphite_serve_expired_total 0
 graphite_serve_failed_total 0
 graphite_serve_rejected_total 0
 graphite_serve_requests_total 0
+graphite_serve_shed_total 0
 graphite_serve_snapshot_swaps_total 0
 graphite_serve_vertices_total 0
 graphite_vertices_aggregated_total 10

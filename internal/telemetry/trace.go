@@ -204,6 +204,7 @@ type Trace struct {
 
 	mu      sync.Mutex
 	spans   []SpanRecord
+	attrs   map[string]string
 	dropped int
 	done    bool
 	dur     time.Duration
@@ -278,6 +279,23 @@ func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) {
 	t.add(SpanRecord{Name: name, ID: t.newSpanID(), Parent: t.root, Start: start, Dur: dur})
 }
 
+// SetAttr stamps a key/value attribute on the trace (e.g. the degradation
+// level a batch executed at). Attributes set after Finish are retained on
+// the Trace but not visible in already-returned snapshots. Nil-safe; the
+// attribute map stays nil until the first SetAttr, so untraced and
+// unannotated requests pay nothing.
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attrs == nil {
+		t.attrs = make(map[string]string)
+	}
+	t.attrs[key] = value
+	t.mu.Unlock()
+}
+
 // Finish closes the root span, marks the trace's outcome (status "" means
 // success; anything else is an error class like "queue_full" or
 // "deadline_exceeded"), and returns an immutable snapshot. Only the first
@@ -308,6 +326,12 @@ func (t *Trace) Finish(status, detail string) TraceData {
 		Spans:        append([]SpanRecord(nil), t.spans...),
 		Dropped:      t.dropped,
 	}
+	if len(t.attrs) > 0 {
+		data.Attrs = make(map[string]string, len(t.attrs))
+		for k, v := range t.attrs {
+			data.Attrs[k] = v
+		}
+	}
 	t.mu.Unlock()
 	return data
 }
@@ -324,6 +348,9 @@ type TraceData struct {
 	Detail       string        `json:"detail,omitempty"`
 	Spans        []SpanRecord  `json:"spans"`
 	Dropped      int           `json:"spans_dropped,omitempty"`
+	// Attrs are request-level key/value annotations (e.g. degrade_level)
+	// stamped with SetAttr; nil when none were set.
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // Err reports whether the trace finished in an error class.
